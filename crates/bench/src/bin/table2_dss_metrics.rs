@@ -1,0 +1,106 @@
+//! Table II — DSS metrics as a function of the architecture (k̄, d).
+//!
+//! Trains one DSS model per (k̄, d) pair on the same extracted dataset and
+//! reports the test residual, the relative error against exact local solves,
+//! and the number of weights — the three columns of the paper's Table II.
+//!
+//! Environment variables:
+//! * `T2_EPOCHS`   — training epochs per model, default 25 (paper: 400)
+//! * `T2_SAMPLES`  — dataset size, default 150 (paper: 117 138)
+//! * `T2_SUBSIZE`  — sub-domain size, default 200 (paper: ~1000)
+//! * `T2_FULL=1`   — use the paper's full (k̄, d) grid instead of the reduced
+//!                   default grid
+
+use bench::{env_usize, write_csv};
+use gnn::{
+    evaluate, extract_local_problems, train, AdamConfig, DatasetConfig, DssConfig, DssModel,
+    TrainingConfig,
+};
+
+fn main() {
+    let epochs = env_usize("T2_EPOCHS", 25);
+    let samples_cap = env_usize("T2_SAMPLES", 150);
+    let subsize = env_usize("T2_SUBSIZE", 200);
+    let full_grid = std::env::var("T2_FULL").map(|v| v == "1").unwrap_or(false);
+
+    let grid: Vec<(usize, usize)> = if full_grid {
+        vec![
+            (5, 5),
+            (5, 10),
+            (5, 20),
+            (10, 5),
+            (10, 10),
+            (10, 20),
+            (20, 5),
+            (20, 10),
+            (20, 20),
+            (30, 10),
+        ]
+    } else {
+        vec![(5, 5), (5, 10), (10, 5), (10, 10), (16, 10)]
+    };
+
+    println!("extracting dataset (sub-domain size ~{subsize}, cap {samples_cap} samples)...");
+    let samples = extract_local_problems(&DatasetConfig {
+        num_global_problems: 4,
+        target_nodes: subsize * 4,
+        subdomain_size: subsize,
+        overlap: 2,
+        max_iterations_per_problem: 15,
+        max_samples: Some(samples_cap),
+        seed: 1,
+        ..Default::default()
+    });
+    let split = (samples.len() * 4) / 5;
+    let (train_set, test_set) = samples.split_at(split.max(1).min(samples.len() - 1));
+    println!("dataset: {} training / {} test samples", train_set.len(), test_set.len());
+
+    println!("\nTABLE II — DSS metrics for varying k̄ and d ({epochs} epochs each)");
+    println!(
+        "{:>4} {:>4} | {:>18} {:>18} {:>12}",
+        "k̄", "d", "residual (1e-2)", "relative error", "weights"
+    );
+    let mut csv_rows = Vec::new();
+    for (kbar, d) in grid {
+        let mut model =
+            DssModel::new(DssConfig { num_blocks: kbar, latent_dim: d, alpha: 1.0 / kbar as f64 }, 3);
+        let config = TrainingConfig {
+            epochs,
+            batch_size: 16,
+            adam: AdamConfig { learning_rate: 5e-3, clip_norm: Some(1.0), ..Default::default() },
+            validation_fraction: 0.15,
+            lr_patience: 8,
+            lr_factor: 0.3,
+            seed: 2,
+            log_every: 0,
+        };
+        let start = std::time::Instant::now();
+        train(&mut model, train_set, &config);
+        let metrics = evaluate(&model, test_set);
+        println!(
+            "{:>4} {:>4} | {:>8.2} ± {:<7.2} {:>8.2} ± {:<7.2} {:>12}   ({:.0}s)",
+            kbar,
+            d,
+            metrics.residual_mean * 100.0,
+            metrics.residual_std * 100.0,
+            metrics.relative_error_mean,
+            metrics.relative_error_std,
+            model.num_params(),
+            start.elapsed().as_secs_f64()
+        );
+        csv_rows.push(format!(
+            "{kbar},{d},{:.5},{:.5},{:.5},{:.5},{}",
+            metrics.residual_mean,
+            metrics.residual_std,
+            metrics.relative_error_mean,
+            metrics.relative_error_std,
+            model.num_params()
+        ));
+    }
+
+    write_csv(
+        "table2_dss_metrics.csv",
+        "kbar,d,residual_mean,residual_std,relative_error_mean,relative_error_std,num_weights",
+        &csv_rows,
+    );
+}

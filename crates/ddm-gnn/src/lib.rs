@@ -1,0 +1,96 @@
+//! DDM-GNN: the multi-level GNN preconditioner and hybrid solver — the
+//! paper's primary contribution (Section III).
+//!
+//! The preconditioner replaces the exact local solves of the two-level
+//! Additive Schwarz Method with inference of a trained Deep Statistical
+//! Solver, keeping the Nicolaides coarse correction:
+//!
+//! ```text
+//! z  =  R₀ᵀ (R₀ A R₀ᵀ)⁻¹ R₀ r                     (coarse problem, LU)
+//!     + Σᵢ Rᵢᵀ ‖Rᵢ r‖ · DSSθ(Ωₕ,ᵢ, Rᵢ r / ‖Rᵢ r‖)   (local problems, GNN)
+//! ```
+//!
+//! (Eq. 13–16).  Used inside the Preconditioned Conjugate Gradient method this
+//! yields a hybrid solver that converges to any tolerance while the
+//! preconditioner runs as batched, data-parallel GNN inference.
+//!
+//! * [`preconditioner::DdmGnnPreconditioner`] — the operator above,
+//! * [`solver`] — the [`solver::HybridSolver`] public API plus the baseline
+//!   drivers (plain CG, IC(0), DDM-LU) used throughout the paper's evaluation,
+//! * [`pipeline`] — end-to-end helpers: problem generation, dataset
+//!   extraction, model training and evaluation with one call each.
+
+pub mod pipeline;
+pub mod preconditioner;
+pub mod solver;
+
+pub use pipeline::{generate_problem, load_pretrained, train_model, PipelineConfig, TrainedModel};
+pub use preconditioner::DdmGnnPreconditioner;
+pub use solver::{
+    solve_cg, solve_ddm_gnn, solve_ddm_lu, solve_ic0, HybridSolver, HybridSolverConfig, Method,
+    SolveOutcome, TimedPreconditioner,
+};
+
+#[cfg(test)]
+pub(crate) mod test_support {
+    //! Shared fixture: a small global problem, its decomposition and a tiny
+    //! trained model (trained just enough to be a useful preconditioner).
+    use fem::PoissonProblem;
+    use gnn::{DssConfig, DssModel};
+    use meshgen::{generate_mesh, MeshingOptions, RandomBlobDomain};
+    use partition::partition_mesh_with_overlap;
+    use std::sync::OnceLock;
+
+    pub struct Fixture {
+        pub problem: PoissonProblem,
+        pub subdomains: Vec<Vec<usize>>,
+        pub model: DssModel,
+    }
+
+    /// A small fixture shared by the tests in this crate.  It prefers the
+    /// pre-trained model shipped in `assets/` (produced by the `train_dss`
+    /// example); when that file is absent it falls back to training a small
+    /// model on the fly so the test-suite stays self-contained.
+    pub fn fixture() -> &'static Fixture {
+        static FIXTURE: OnceLock<Fixture> = OnceLock::new();
+        FIXTURE.get_or_init(|| {
+            let domain = RandomBlobDomain::generate(23, 20, 1.0);
+            let h = meshgen::generator::element_size_for_target_nodes(&domain, 1100);
+            let mesh = generate_mesh(&domain, &MeshingOptions::with_element_size(h).seed(23));
+            let subdomains = partition_mesh_with_overlap(&mesh, 200, 2, 0);
+            let problem = PoissonProblem::with_random_data(mesh, 31);
+            let model = crate::pipeline::load_pretrained().unwrap_or_else(fallback_model);
+            Fixture { problem, subdomains, model }
+        })
+    }
+
+    /// Quick fallback training used only when the shipped model is missing.
+    fn fallback_model() -> DssModel {
+        let samples = gnn::extract_local_problems(&gnn::DatasetConfig {
+            num_global_problems: 2,
+            target_nodes: 800,
+            subdomain_size: 200,
+            overlap: 2,
+            max_iterations_per_problem: 12,
+            max_samples: Some(90),
+            seed: 77,
+            ..Default::default()
+        });
+        let mut model =
+            DssModel::new(DssConfig { num_blocks: 12, latent_dim: 10, alpha: 1.0 / 12.0 }, 3);
+        let config = gnn::TrainingConfig {
+            epochs: 40,
+            batch_size: 12,
+            adam: gnn::AdamConfig {
+                learning_rate: 5e-3,
+                clip_norm: Some(1.0),
+                ..Default::default()
+            },
+            validation_fraction: 0.15,
+            seed: 5,
+            ..Default::default()
+        };
+        gnn::train(&mut model, &samples, &config);
+        model
+    }
+}

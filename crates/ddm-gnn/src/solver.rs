@@ -1,0 +1,361 @@
+//! The hybrid solver public API and the baseline drivers of the evaluation.
+//!
+//! [`HybridSolver`] is the interface a downstream user would adopt: configure
+//! sub-domain size, overlap and tolerance once, hand it a trained DSS model,
+//! and call [`HybridSolver::solve`] on assembled Poisson problems.  The free
+//! functions ([`solve_cg`], [`solve_ic0`], [`solve_ddm_lu`], [`solve_ddm_gnn`])
+//! are the four columns of the paper's Tables I and III; all of them report
+//! wall-clock timings split into total time and time spent inside the
+//! preconditioner (the `T`, `T_lu`, `T_gnn` columns of Table III).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use ddm::{AdditiveSchwarz, AsmLevel};
+use fem::PoissonProblem;
+use gnn::DssModel;
+use krylov::{
+    conjugate_gradient, preconditioned_conjugate_gradient, Ic0Preconditioner, Preconditioner,
+    SolveStats, SolverOptions,
+};
+use partition::partition_mesh_with_overlap;
+
+use crate::preconditioner::DdmGnnPreconditioner;
+
+/// The solver variants benchmarked in the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Method {
+    /// Unpreconditioned Conjugate Gradient.
+    Cg,
+    /// PCG with zero-fill incomplete Cholesky.
+    Ic0,
+    /// PCG with the two-level Additive Schwarz method and exact local solves.
+    DdmLu,
+    /// PCG with the DDM-GNN preconditioner.
+    DdmGnn,
+}
+
+impl Method {
+    /// Human-readable name used in harness tables.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Method::Cg => "CG",
+            Method::Ic0 => "IC(0)",
+            Method::DdmLu => "DDM-LU",
+            Method::DdmGnn => "DDM-GNN",
+        }
+    }
+}
+
+/// Result of one solve, with the timing breakdown of Table III.
+#[derive(Debug, Clone)]
+pub struct SolveOutcome {
+    /// Which method produced this outcome.
+    pub method: Method,
+    /// Solution vector.
+    pub x: Vec<f64>,
+    /// Iteration counts, residuals, convergence history.
+    pub stats: SolveStats,
+    /// Total wall-clock time of the solve (excluding setup/factorisation).
+    pub total_seconds: f64,
+    /// Wall-clock time of preconditioner setup (factorisations, coarse space,
+    /// graph construction).
+    pub setup_seconds: f64,
+    /// Wall-clock time spent applying the preconditioner.
+    pub preconditioner_seconds: f64,
+    /// Number of sub-domains (0 for CG / IC(0)).
+    pub num_subdomains: usize,
+}
+
+/// Wraps any preconditioner and accumulates the wall-clock time spent in
+/// `apply` — used to report the `T_lu` / `T_gnn` columns of Table III.
+pub struct TimedPreconditioner<P> {
+    inner: P,
+    nanos: AtomicU64,
+}
+
+impl<P: Preconditioner> TimedPreconditioner<P> {
+    /// Wrap a preconditioner.
+    pub fn new(inner: P) -> Self {
+        TimedPreconditioner { inner, nanos: AtomicU64::new(0) }
+    }
+
+    /// Seconds spent inside `apply` so far.
+    pub fn seconds(&self) -> f64 {
+        self.nanos.load(Ordering::Relaxed) as f64 * 1e-9
+    }
+
+    /// Access the wrapped preconditioner.
+    pub fn inner(&self) -> &P {
+        &self.inner
+    }
+}
+
+impl<P: Preconditioner> Preconditioner for TimedPreconditioner<P> {
+    fn apply(&self, r: &[f64], z: &mut [f64]) {
+        let start = Instant::now();
+        self.inner.apply(r, z);
+        self.nanos.fetch_add(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
+    }
+
+    fn dim(&self) -> usize {
+        self.inner.dim()
+    }
+
+    fn name(&self) -> &str {
+        self.inner.name()
+    }
+}
+
+/// Solve with unpreconditioned CG.
+pub fn solve_cg(problem: &PoissonProblem, opts: &SolverOptions) -> SolveOutcome {
+    let start = Instant::now();
+    let result = conjugate_gradient(&problem.matrix, &problem.rhs, None, opts);
+    SolveOutcome {
+        method: Method::Cg,
+        x: result.x,
+        stats: result.stats,
+        total_seconds: start.elapsed().as_secs_f64(),
+        setup_seconds: 0.0,
+        preconditioner_seconds: 0.0,
+        num_subdomains: 0,
+    }
+}
+
+/// Solve with IC(0)-preconditioned CG (the "legacy optimised preconditioner").
+pub fn solve_ic0(problem: &PoissonProblem, opts: &SolverOptions) -> sparse::Result<SolveOutcome> {
+    let setup_start = Instant::now();
+    let precond = TimedPreconditioner::new(Ic0Preconditioner::new(&problem.matrix)?);
+    let setup_seconds = setup_start.elapsed().as_secs_f64();
+    let start = Instant::now();
+    let result =
+        preconditioned_conjugate_gradient(&problem.matrix, &problem.rhs, None, &precond, opts);
+    Ok(SolveOutcome {
+        method: Method::Ic0,
+        x: result.x,
+        stats: result.stats,
+        total_seconds: start.elapsed().as_secs_f64(),
+        setup_seconds,
+        preconditioner_seconds: precond.seconds(),
+        num_subdomains: 0,
+    })
+}
+
+/// Solve with PCG preconditioned by the two-level ASM with exact local solves
+/// (the paper's DDM-LU).
+pub fn solve_ddm_lu(
+    problem: &PoissonProblem,
+    subdomains: Vec<Vec<usize>>,
+    two_level: bool,
+    opts: &SolverOptions,
+) -> sparse::Result<SolveOutcome> {
+    let num_subdomains = subdomains.len();
+    let level = if two_level { AsmLevel::TwoLevel } else { AsmLevel::OneLevel };
+    let setup_start = Instant::now();
+    let precond =
+        TimedPreconditioner::new(AdditiveSchwarz::new(&problem.matrix, subdomains, level)?);
+    let setup_seconds = setup_start.elapsed().as_secs_f64();
+    let start = Instant::now();
+    let result =
+        preconditioned_conjugate_gradient(&problem.matrix, &problem.rhs, None, &precond, opts);
+    Ok(SolveOutcome {
+        method: Method::DdmLu,
+        x: result.x,
+        stats: result.stats,
+        total_seconds: start.elapsed().as_secs_f64(),
+        setup_seconds,
+        preconditioner_seconds: precond.seconds(),
+        num_subdomains,
+    })
+}
+
+/// Solve with PCG preconditioned by DDM-GNN.
+pub fn solve_ddm_gnn(
+    problem: &PoissonProblem,
+    subdomains: Vec<Vec<usize>>,
+    model: Arc<DssModel>,
+    two_level: bool,
+    opts: &SolverOptions,
+) -> sparse::Result<SolveOutcome> {
+    let num_subdomains = subdomains.len();
+    let setup_start = Instant::now();
+    let precond = TimedPreconditioner::new(DdmGnnPreconditioner::new(
+        problem, subdomains, model, two_level,
+    )?);
+    let setup_seconds = setup_start.elapsed().as_secs_f64();
+    let start = Instant::now();
+    let result =
+        preconditioned_conjugate_gradient(&problem.matrix, &problem.rhs, None, &precond, opts);
+    Ok(SolveOutcome {
+        method: Method::DdmGnn,
+        x: result.x,
+        stats: result.stats,
+        total_seconds: start.elapsed().as_secs_f64(),
+        setup_seconds,
+        preconditioner_seconds: precond.seconds(),
+        num_subdomains,
+    })
+}
+
+/// Configuration of the high-level [`HybridSolver`].
+#[derive(Debug, Clone)]
+pub struct HybridSolverConfig {
+    /// Target sub-domain size in nodes (the paper trains on ~1000).
+    pub subdomain_size: usize,
+    /// Overlap layers.
+    pub overlap: usize,
+    /// Use the two-level method (Nicolaides coarse correction).
+    pub two_level: bool,
+    /// Relative residual tolerance.
+    pub tolerance: f64,
+    /// Iteration cap.
+    pub max_iterations: usize,
+    /// Seed for the partitioner.
+    pub partition_seed: u64,
+}
+
+impl Default for HybridSolverConfig {
+    fn default() -> Self {
+        HybridSolverConfig {
+            subdomain_size: 1000,
+            overlap: 2,
+            two_level: true,
+            tolerance: 1e-6,
+            max_iterations: 5000,
+            partition_seed: 0,
+        }
+    }
+}
+
+/// The hybrid Krylov + GNN solver: the public API of the paper's contribution.
+pub struct HybridSolver {
+    config: HybridSolverConfig,
+    model: Arc<DssModel>,
+}
+
+impl HybridSolver {
+    /// Create a solver from a trained model and a configuration.
+    pub fn new(model: DssModel, config: HybridSolverConfig) -> Self {
+        HybridSolver { config: config.clone(), model: Arc::new(model) }
+    }
+
+    /// The solver configuration.
+    pub fn config(&self) -> &HybridSolverConfig {
+        &self.config
+    }
+
+    /// The trained model backing the preconditioner.
+    pub fn model(&self) -> &DssModel {
+        &self.model
+    }
+
+    /// Solve an assembled Poisson problem with the DDM-GNN preconditioned CG.
+    pub fn solve(&self, problem: &PoissonProblem) -> sparse::Result<SolveOutcome> {
+        let subdomains = partition_mesh_with_overlap(
+            &problem.mesh,
+            self.config.subdomain_size,
+            self.config.overlap,
+            self.config.partition_seed,
+        );
+        let opts = SolverOptions::with_tolerance(self.config.tolerance)
+            .max_iterations(self.config.max_iterations);
+        solve_ddm_gnn(problem, subdomains, Arc::clone(&self.model), self.config.two_level, &opts)
+    }
+
+    /// Solve the same problem with the exact (DDM-LU) preconditioner — handy
+    /// for side-by-side comparisons like Table I.
+    pub fn solve_with_exact_local_solver(
+        &self,
+        problem: &PoissonProblem,
+    ) -> sparse::Result<SolveOutcome> {
+        let subdomains = partition_mesh_with_overlap(
+            &problem.mesh,
+            self.config.subdomain_size,
+            self.config.overlap,
+            self.config.partition_seed,
+        );
+        let opts = SolverOptions::with_tolerance(self.config.tolerance)
+            .max_iterations(self.config.max_iterations);
+        solve_ddm_lu(problem, subdomains, self.config.two_level, &opts)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_support::fixture;
+
+    #[test]
+    fn all_methods_converge_and_agree() {
+        let fx = fixture();
+        let opts = SolverOptions::with_tolerance(1e-6).max_iterations(3000);
+        let cg = solve_cg(&fx.problem, &opts);
+        let ic0 = solve_ic0(&fx.problem, &opts).unwrap();
+        let lu = solve_ddm_lu(&fx.problem, fx.subdomains.clone(), true, &opts).unwrap();
+        let gnn = solve_ddm_gnn(
+            &fx.problem,
+            fx.subdomains.clone(),
+            Arc::new(fx.model.clone()),
+            true,
+            &opts,
+        )
+        .unwrap();
+        for outcome in [&cg, &ic0, &lu, &gnn] {
+            assert!(outcome.stats.converged(), "{:?} did not converge", outcome.method);
+            assert!(outcome.total_seconds >= 0.0);
+        }
+        // All methods solve the same system: solutions agree.
+        assert!(sparse::vector::relative_error(&gnn.x, &lu.x) < 1e-4);
+        assert!(sparse::vector::relative_error(&ic0.x, &lu.x) < 1e-4);
+        // Iteration ordering of Table I: DDM-LU <= DDM-GNN < CG.
+        assert!(lu.stats.iterations <= gnn.stats.iterations);
+        assert!(gnn.stats.iterations < cg.stats.iterations);
+        // Timing bookkeeping is self-consistent.
+        assert!(gnn.preconditioner_seconds <= gnn.total_seconds + 1e-9);
+        assert!(lu.preconditioner_seconds <= lu.total_seconds + 1e-9);
+        assert_eq!(cg.num_subdomains, 0);
+        assert_eq!(gnn.num_subdomains, fx.subdomains.len());
+        assert_eq!(Method::DdmGnn.name(), "DDM-GNN");
+    }
+
+    #[test]
+    fn hybrid_solver_api_end_to_end() {
+        let fx = fixture();
+        let solver = HybridSolver::new(
+            fx.model.clone(),
+            HybridSolverConfig {
+                subdomain_size: 250,
+                overlap: 2,
+                tolerance: 1e-6,
+                ..Default::default()
+            },
+        );
+        assert_eq!(solver.config().overlap, 2);
+        assert_eq!(solver.model().config().latent_dim, fx.model.config().latent_dim);
+        let outcome = solver.solve(&fx.problem).unwrap();
+        assert!(outcome.stats.converged());
+        let exact = solver.solve_with_exact_local_solver(&fx.problem).unwrap();
+        assert!(exact.stats.converged());
+        assert!(exact.stats.iterations <= outcome.stats.iterations);
+        assert!(
+            krylov::true_relative_residual(&fx.problem.matrix, &outcome.x, &fx.problem.rhs) < 1e-5
+        );
+    }
+
+    #[test]
+    fn timed_preconditioner_accumulates() {
+        let fx = fixture();
+        let inner = krylov::JacobiPreconditioner::new(&fx.problem.matrix);
+        let timed = TimedPreconditioner::new(inner);
+        let r = fx.problem.rhs.clone();
+        let mut z = vec![0.0; r.len()];
+        assert_eq!(timed.seconds(), 0.0);
+        timed.apply(&r, &mut z);
+        timed.apply(&r, &mut z);
+        assert!(timed.seconds() > 0.0);
+        assert_eq!(timed.dim(), r.len());
+        assert_eq!(timed.name(), "jacobi");
+        assert_eq!(timed.inner().dim(), r.len());
+    }
+}

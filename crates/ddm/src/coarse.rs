@@ -1,0 +1,147 @@
+//! The Nicolaides coarse space and coarse problem (Eq. 7 and 13 of the paper).
+//!
+//! The coarse space has one degree of freedom per sub-domain.  Its basis
+//! vectors are the partition-of-unity weighted indicator vectors of the
+//! sub-domains: node `v` contributes `1 / multiplicity(v)` to every
+//! sub-domain that contains it, so the basis sums to the constant vector —
+//! the kernel direction the one-level method struggles with.  The coarse
+//! operator `A₀ = R₀ A R₀ᵀ` is a small `K × K` dense matrix factored with LU
+//! once per solve.
+
+use sparse::{CsrMatrix, DenseMatrix, LuFactor};
+
+use crate::restriction::{node_multiplicity, Restriction};
+
+/// The assembled Nicolaides coarse space: basis vectors, coarse operator LU.
+pub struct NicolaidesCoarseSpace {
+    /// `R₀` rows: one dense global vector per sub-domain.
+    rows: Vec<Vec<f64>>,
+    /// LU factorisation of `R₀ A R₀ᵀ`.
+    factor: LuFactor,
+}
+
+impl NicolaidesCoarseSpace {
+    /// Build the coarse space from the global matrix and the sub-domain
+    /// restrictions.
+    pub fn new(matrix: &CsrMatrix, restrictions: &[Restriction]) -> sparse::Result<Self> {
+        let n = matrix.nrows();
+        let k = restrictions.len();
+        assert!(k > 0, "coarse space needs at least one sub-domain");
+        let mult = node_multiplicity(restrictions, n);
+        let mut rows = Vec::with_capacity(k);
+        for r in restrictions {
+            let mut row = vec![0.0; n];
+            for &g in r.indices() {
+                // Partition-of-unity weight.
+                row[g] = 1.0 / mult[g].max(1) as f64;
+            }
+            rows.push(row);
+        }
+        // Coarse operator A0 = R0 A R0ᵀ (dense K × K).
+        let a0 = matrix.galerkin_product(&rows);
+        let dense = DenseMatrix::from_row_major(k, k, a0)?;
+        let factor = LuFactor::factor_dense(&dense)?;
+        Ok(NicolaidesCoarseSpace { rows, factor })
+    }
+
+    /// Number of coarse degrees of freedom (= number of sub-domains).
+    pub fn dim(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Apply the coarse correction `z_c = R₀ᵀ (R₀ A R₀ᵀ)⁻¹ R₀ r`, accumulating
+    /// the result into `out`.
+    pub fn apply_into(&self, r: &[f64], out: &mut [f64]) {
+        let k = self.rows.len();
+        // coarse rhs = R0 r
+        let mut coarse_rhs = vec![0.0; k];
+        for (i, row) in self.rows.iter().enumerate() {
+            coarse_rhs[i] = sparse::vector::dot(row, r);
+        }
+        let coarse_sol = self
+            .factor
+            .solve(&coarse_rhs)
+            .expect("coarse solve dimension mismatch cannot happen");
+        // out += R0ᵀ coarse_sol
+        for (i, row) in self.rows.iter().enumerate() {
+            let alpha = coarse_sol[i];
+            if alpha == 0.0 {
+                continue;
+            }
+            for (o, &w) in out.iter_mut().zip(row.iter()) {
+                *o += alpha * w;
+            }
+        }
+    }
+
+    /// Apply the coarse correction returning a fresh vector.
+    pub fn apply(&self, r: &[f64]) -> Vec<f64> {
+        let mut out = vec![0.0; r.len()];
+        self.apply_into(r, &mut out);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_support::fixture;
+    use crate::Decomposition;
+
+    #[test]
+    fn basis_is_a_partition_of_unity() {
+        let fx = fixture(800, 200, 2);
+        let decomp = Decomposition::new(&fx.problem.matrix, fx.subdomains.clone());
+        let n = fx.problem.num_unknowns();
+        let coarse = NicolaidesCoarseSpace::new(&fx.problem.matrix, &decomp.restrictions).unwrap();
+        assert_eq!(coarse.dim(), decomp.num_subdomains());
+        // Sum of basis rows = 1 everywhere (partition of unity).
+        let mut sum = vec![0.0; n];
+        for row in &coarse.rows {
+            for (s, &v) in sum.iter_mut().zip(row.iter()) {
+                *s += v;
+            }
+        }
+        for &s in &sum {
+            assert!((s - 1.0).abs() < 1e-12, "partition of unity violated: {s}");
+        }
+    }
+
+    #[test]
+    fn coarse_apply_is_symmetric_operator() {
+        // zᵀ apply(y) == yᵀ apply(z) because R0ᵀ A0⁻¹ R0 is symmetric.
+        let fx = fixture(600, 200, 2);
+        let decomp = Decomposition::new(&fx.problem.matrix, fx.subdomains.clone());
+        let coarse = NicolaidesCoarseSpace::new(&fx.problem.matrix, &decomp.restrictions).unwrap();
+        let n = fx.problem.num_unknowns();
+        let y: Vec<f64> = (0..n).map(|i| ((i % 7) as f64) - 3.0).collect();
+        let z: Vec<f64> = (0..n).map(|i| ((i % 11) as f64) * 0.25).collect();
+        let ay = coarse.apply(&y);
+        let az = coarse.apply(&z);
+        let lhs = sparse::vector::dot(&z, &ay);
+        let rhs = sparse::vector::dot(&y, &az);
+        assert!((lhs - rhs).abs() < 1e-8 * lhs.abs().max(1.0));
+    }
+
+    #[test]
+    fn coarse_correction_captures_constant_like_error() {
+        // The coarse space must represent (approximately) constant vectors:
+        // applying the coarse correction to A * 1 should recover something
+        // close to the constant vector on the interior.
+        let fx = fixture(700, 200, 2);
+        let decomp = Decomposition::new(&fx.problem.matrix, fx.subdomains.clone());
+        let coarse = NicolaidesCoarseSpace::new(&fx.problem.matrix, &decomp.restrictions).unwrap();
+        let n = fx.problem.num_unknowns();
+        let ones = vec![1.0; n];
+        let a_ones = fx.problem.matrix.spmv(&ones);
+        let recovered = coarse.apply(&a_ones);
+        // Galerkin projection property: R0 A (recovered - ones) = 0, i.e. the
+        // coarse residual of the recovered vector vanishes.
+        let diff: Vec<f64> = recovered.iter().zip(ones.iter()).map(|(r, o)| r - o).collect();
+        let a_diff = fx.problem.matrix.spmv(&diff);
+        for row in &coarse.rows {
+            let proj = sparse::vector::dot(row, &a_diff);
+            assert!(proj.abs() < 1e-6, "coarse residual component {proj}");
+        }
+    }
+}

@@ -1,0 +1,135 @@
+//! Plain-text model serialisation.
+//!
+//! Trained DSS models are small (tens of thousands of `f64`s), so a simple
+//! self-describing text format is enough: a header line with the
+//! hyper-parameters followed by one parameter value per line.  The format is
+//! stable across runs and platforms, letting the examples and the benchmark
+//! harness reuse models trained by `examples/train_dss.rs`.
+
+use std::fs;
+use std::io::{self, Write};
+use std::path::Path;
+
+use crate::model::{DssConfig, DssModel};
+
+/// Magic tag identifying the format.
+const MAGIC: &str = "dss-model-v1";
+
+/// Save a model to a text file.
+pub fn save_model(path: &Path, model: &DssModel) -> io::Result<()> {
+    let config = model.config();
+    let params = model.flatten();
+    let mut out = String::with_capacity(params.len() * 24 + 64);
+    out.push_str(&format!(
+        "{MAGIC} {} {} {:e}\n",
+        config.num_blocks, config.latent_dim, config.alpha
+    ));
+    for p in &params {
+        out.push_str(&format!("{:e}\n", p));
+    }
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            fs::create_dir_all(parent)?;
+        }
+    }
+    let mut file = fs::File::create(path)?;
+    file.write_all(out.as_bytes())
+}
+
+/// Load a model previously written by [`save_model`].
+pub fn load_model(path: &Path) -> io::Result<DssModel> {
+    let text = fs::read_to_string(path)?;
+    let mut lines = text.lines();
+    let header = lines
+        .next()
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "empty model file"))?;
+    let mut fields = header.split_whitespace();
+    let magic = fields.next().unwrap_or("");
+    if magic != MAGIC {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("unexpected model file magic: {magic}"),
+        ));
+    }
+    let parse_err = |what: &str| io::Error::new(io::ErrorKind::InvalidData, what.to_string());
+    let num_blocks: usize = fields
+        .next()
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| parse_err("bad num_blocks"))?;
+    let latent_dim: usize = fields
+        .next()
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| parse_err("bad latent_dim"))?;
+    let alpha: f64 = fields
+        .next()
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| parse_err("bad alpha"))?;
+    let mut model = DssModel::new(DssConfig { num_blocks, latent_dim, alpha }, 0);
+    let mut params = Vec::with_capacity(model.num_params());
+    for line in lines {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let value: f64 = line.parse().map_err(|_| parse_err("bad parameter value"))?;
+        params.push(value);
+    }
+    if params.len() != model.num_params() {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("expected {} parameters, found {}", model.num_params(), params.len()),
+        ));
+    }
+    model.load_flat(&params);
+    Ok(model)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::LocalGraph;
+    use meshgen::Point2;
+    use sparse::CooMatrix;
+
+    fn tmp_path(name: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("ddm_gnn_test_{name}_{}", std::process::id()))
+    }
+
+    fn tiny_graph() -> LocalGraph {
+        let n = 4;
+        let mut coo = CooMatrix::new(n, n);
+        for i in 0..n {
+            coo.push(i, i, 2.0).unwrap();
+            if i + 1 < n {
+                coo.push(i, i + 1, -1.0).unwrap();
+                coo.push(i + 1, i, -1.0).unwrap();
+            }
+        }
+        let positions = (0..n).map(|i| Point2::new(i as f64, 0.0)).collect();
+        LocalGraph::new(coo.to_csr(), positions, &[1.0, 2.0, 3.0, 4.0], vec![true, false, false, true])
+    }
+
+    #[test]
+    fn save_load_roundtrip_preserves_outputs() {
+        let model = DssModel::new(DssConfig::new(3, 5), 12);
+        let path = tmp_path("roundtrip.txt");
+        save_model(&path, &model).unwrap();
+        let loaded = load_model(&path).unwrap();
+        assert_eq!(loaded.config(), model.config());
+        assert_eq!(loaded.num_params(), model.num_params());
+        let graph = tiny_graph();
+        assert_eq!(model.infer(&graph), loaded.infer(&graph));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn corrupted_files_are_rejected() {
+        let path = tmp_path("corrupt.txt");
+        std::fs::write(&path, "not-a-model 1 2 3\n").unwrap();
+        assert!(load_model(&path).is_err());
+        std::fs::write(&path, "dss-model-v1 2 3 1e-3\n1.0\n2.0\n").unwrap();
+        assert!(load_model(&path).is_err(), "wrong parameter count must be rejected");
+        std::fs::remove_file(&path).ok();
+        assert!(load_model(&tmp_path("missing.txt")).is_err());
+    }
+}

@@ -1,0 +1,590 @@
+//! The Deep Statistical Solver model (Section III-B of the paper).
+//!
+//! The model maintains a latent state `H ∈ R^{n×d}` initialised to zero and
+//! applies `k̄` *distinct* message-passing blocks.  Block `k` computes, for
+//! every node `j`,
+//!
+//! ```text
+//! φ→_j = Σ_{l ∈ N(j)} Φ→_k(h_j, h_l,  d_jl, ‖d_jl‖)
+//! φ←_j = Σ_{l ∈ N(j)} Φ←_k(h_j, h_l, -d_jl, ‖d_jl‖)
+//! h'_j = h_j + α Ψ_k(h_j, c_j, φ→_j, φ←_j)
+//! r̂_j  = D_k(h'_j)
+//! ```
+//!
+//! with all of `Φ→`, `Φ←`, `Ψ`, `D` two-layer MLPs of hidden width `d` (this
+//! choice reproduces the paper's reported weight counts exactly).  Training
+//! minimises the sum over blocks of the physics-informed residual loss of the
+//! decoded state (Eq. 23).  Gradients are exact reverse-mode derivatives with
+//! per-block activation recomputation so the memory footprint stays at one
+//! latent state per block.
+
+use rand::prelude::*;
+use rand_chacha::ChaCha8Rng;
+use rayon::prelude::*;
+
+use crate::graph::LocalGraph;
+use crate::layers::Mlp;
+use crate::loss::residual_loss_and_grad;
+
+/// Hyper-parameters of the DSS model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DssConfig {
+    /// Number of message-passing blocks `k̄`.
+    pub num_blocks: usize,
+    /// Latent dimension `d` (also the hidden width of every MLP).
+    pub latent_dim: usize,
+    /// Residual update step `α` (the paper uses 1e-3).
+    pub alpha: f64,
+}
+
+impl Default for DssConfig {
+    fn default() -> Self {
+        // The paper's training configuration: k̄ = 30, d = 10, α = 1e-3.
+        DssConfig { num_blocks: 30, latent_dim: 10, alpha: 1e-3 }
+    }
+}
+
+impl DssConfig {
+    /// Convenience constructor.
+    pub fn new(num_blocks: usize, latent_dim: usize) -> Self {
+        DssConfig { num_blocks, latent_dim, alpha: 1e-3 }
+    }
+}
+
+/// One message-passing block with its four MLPs.
+#[derive(Debug, Clone)]
+pub(crate) struct Block {
+    pub phi_fwd: Mlp,
+    pub phi_bwd: Mlp,
+    pub psi: Mlp,
+    pub decoder: Mlp,
+}
+
+impl Block {
+    fn xavier(d: usize, rng: &mut impl Rng) -> Self {
+        let edge_in = 2 * d + 3;
+        let psi_in = 3 * d + 1;
+        Block {
+            phi_fwd: Mlp::xavier(edge_in, d, d, rng),
+            phi_bwd: Mlp::xavier(edge_in, d, d, rng),
+            psi: Mlp::xavier(psi_in, d, d, rng),
+            decoder: Mlp::xavier(d, d, 1, rng),
+        }
+    }
+
+    fn zeros_like(other: &Block) -> Self {
+        Block {
+            phi_fwd: Mlp::zeros_like(&other.phi_fwd),
+            phi_bwd: Mlp::zeros_like(&other.phi_bwd),
+            psi: Mlp::zeros_like(&other.psi),
+            decoder: Mlp::zeros_like(&other.decoder),
+        }
+    }
+
+    fn num_params(&self) -> usize {
+        self.phi_fwd.num_params()
+            + self.phi_bwd.num_params()
+            + self.psi.num_params()
+            + self.decoder.num_params()
+    }
+}
+
+/// The Deep Statistical Solver.
+#[derive(Debug, Clone)]
+pub struct DssModel {
+    config: DssConfig,
+    blocks: Vec<Block>,
+}
+
+impl DssModel {
+    /// Create a Xavier-initialised model.
+    pub fn new(config: DssConfig, seed: u64) -> Self {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let blocks =
+            (0..config.num_blocks).map(|_| Block::xavier(config.latent_dim, &mut rng)).collect();
+        DssModel { config, blocks }
+    }
+
+    /// The model hyper-parameters.
+    pub fn config(&self) -> DssConfig {
+        self.config
+    }
+
+    /// Total number of trainable weights (matches Table II of the paper).
+    pub fn num_params(&self) -> usize {
+        self.blocks.iter().map(|b| b.num_params()).sum()
+    }
+
+    /// A zeroed clone used as a gradient accumulator.
+    pub fn zeros_like(&self) -> DssModel {
+        DssModel {
+            config: self.config,
+            blocks: self.blocks.iter().map(Block::zeros_like).collect(),
+        }
+    }
+
+    /// Flatten all parameters into a single vector.
+    pub fn flatten(&self) -> Vec<f64> {
+        let mut out = Vec::with_capacity(self.num_params());
+        for b in &self.blocks {
+            b.phi_fwd.append_params(&mut out);
+            b.phi_bwd.append_params(&mut out);
+            b.psi.append_params(&mut out);
+            b.decoder.append_params(&mut out);
+        }
+        out
+    }
+
+    /// Load parameters from a flat vector produced by [`DssModel::flatten`].
+    pub fn load_flat(&mut self, data: &[f64]) {
+        assert_eq!(data.len(), self.num_params(), "flat parameter length mismatch");
+        let mut offset = 0;
+        for b in &mut self.blocks {
+            b.phi_fwd.read_params(data, &mut offset);
+            b.phi_bwd.read_params(data, &mut offset);
+            b.psi.read_params(data, &mut offset);
+            b.decoder.read_params(data, &mut offset);
+        }
+    }
+
+    /// One block forward step: returns the next latent state.
+    fn block_forward(&self, block: &Block, graph: &LocalGraph, h: &[f64]) -> Vec<f64> {
+        self.block_forward_with_input(block, graph, h, &graph.input)
+    }
+
+    /// One block forward step using an explicit node input `c`.
+    fn block_forward_with_input(
+        &self,
+        block: &Block,
+        graph: &LocalGraph,
+        h: &[f64],
+        input: &[f64],
+    ) -> Vec<f64> {
+        let d = self.config.latent_dim;
+        let n = graph.num_nodes();
+        let (msg_fwd, msg_bwd) = self.messages(block, graph, h);
+        // Ψ update.
+        let psi_in = build_psi_input(input, h, &msg_fwd, &msg_bwd, d);
+        let update = block.psi.forward(&psi_in, n);
+        let mut h_next = h.to_vec();
+        for i in 0..n * d {
+            h_next[i] += self.config.alpha * update[i];
+        }
+        h_next
+    }
+
+    /// Compute the two aggregated message fields for a block.
+    fn messages(
+        &self,
+        block: &Block,
+        graph: &LocalGraph,
+        h: &[f64],
+    ) -> (Vec<f64>, Vec<f64>) {
+        let d = self.config.latent_dim;
+        let n = graph.num_nodes();
+        let e = graph.num_edges();
+        let (x_fwd, x_bwd) = build_edge_inputs(graph, h, d);
+        let m_fwd = block.phi_fwd.forward(&x_fwd, e);
+        let m_bwd = block.phi_bwd.forward(&x_bwd, e);
+        let mut msg_fwd = vec![0.0; n * d];
+        let mut msg_bwd = vec![0.0; n * d];
+        for (ei, edge) in graph.edges.iter().enumerate() {
+            let dst = edge.dst;
+            for k in 0..d {
+                msg_fwd[dst * d + k] += m_fwd[ei * d + k];
+                msg_bwd[dst * d + k] += m_bwd[ei * d + k];
+            }
+        }
+        (msg_fwd, msg_bwd)
+    }
+
+    /// Run the full model and return the final decoded state `r̂`.
+    pub fn infer(&self, graph: &LocalGraph) -> Vec<f64> {
+        self.infer_with_input(graph, &graph.input)
+    }
+
+    /// Run the model using `input` as the node feature `c` instead of the
+    /// graph's stored input.  This is the hot path of the DDM-GNN
+    /// preconditioner: the sub-domain graphs are built once per solve and only
+    /// the (normalised) residual changes between PCG iterations.
+    pub fn infer_with_input(&self, graph: &LocalGraph, input: &[f64]) -> Vec<f64> {
+        assert_eq!(input.len(), graph.num_nodes(), "input length mismatch");
+        let d = self.config.latent_dim;
+        let n = graph.num_nodes();
+        let mut h = vec![0.0; n * d];
+        let mut last = vec![0.0; n];
+        for block in &self.blocks {
+            h = self.block_forward_with_input(block, graph, &h, input);
+            last = block.decoder.forward(&h, n);
+        }
+        last
+    }
+
+    /// Run the model on a batch of graphs in parallel (the CPU analogue of the
+    /// paper's batched GPU inference of Eq. 14).
+    pub fn infer_batch(&self, graphs: &[LocalGraph]) -> Vec<Vec<f64>> {
+        graphs.par_iter().map(|g| self.infer(g)).collect()
+    }
+
+    /// Total training loss (sum of per-block residual losses, Eq. 23).
+    pub fn loss(&self, graph: &LocalGraph) -> f64 {
+        let n = graph.num_nodes();
+        let d = self.config.latent_dim;
+        let mut h = vec![0.0; n * d];
+        let mut total = 0.0;
+        for block in &self.blocks {
+            h = self.block_forward(block, graph, &h);
+            let decoded = block.decoder.forward(&h, n);
+            total += crate::loss::residual_loss(&graph.matrix, &graph.input, &decoded);
+        }
+        total
+    }
+
+    /// The residual loss of the *final* decoded state only (the metric the
+    /// paper reports in Table II).
+    pub fn final_residual_loss(&self, graph: &LocalGraph) -> f64 {
+        let out = self.infer(graph);
+        crate::loss::residual_loss(&graph.matrix, &graph.input, &out)
+    }
+
+    /// Forward + backward pass on one graph.  Accumulates parameter gradients
+    /// into `grad` (which must have the same shape) and returns the total
+    /// training loss of this graph.
+    pub fn backward(&self, graph: &LocalGraph, grad: &mut DssModel) -> f64 {
+        assert_eq!(grad.config, self.config, "gradient container shape mismatch");
+        let d = self.config.latent_dim;
+        let n = graph.num_nodes();
+        let e = graph.num_edges();
+        let kbar = self.config.num_blocks;
+
+        // Forward pass, storing every latent state (h^0 .. h^kbar).
+        let mut states: Vec<Vec<f64>> = Vec::with_capacity(kbar + 1);
+        states.push(vec![0.0; n * d]);
+        for block in &self.blocks {
+            let next = self.block_forward(block, graph, states.last().unwrap());
+            states.push(next);
+        }
+
+        // Total loss (recomputed per block during the backward sweep).
+        let mut total_loss = 0.0;
+
+        // Backward sweep.
+        let mut grad_h_next = vec![0.0; n * d]; // dL/dh^{k+1}
+        for k in (0..kbar).rev() {
+            let block = &self.blocks[k];
+            let gblock = &mut grad.blocks[k];
+            let h = &states[k];
+            let h_next = &states[k + 1];
+
+            // Decoder path of this block: loss on the decoded state of h^{k+1}.
+            let (decoded, dec_cache) = block.decoder.forward_cached(h_next, n);
+            let (lk, dldr) = residual_loss_and_grad(&graph.matrix, &graph.input, &decoded);
+            total_loss += lk;
+            let d_dec_in = block.decoder.backward(h_next, &dec_cache, &dldr, n, &mut gblock.decoder);
+            for i in 0..n * d {
+                grad_h_next[i] += d_dec_in[i];
+            }
+
+            // Recompute the block's internals for backprop.
+            let (x_fwd, x_bwd) = build_edge_inputs(graph, h, d);
+            let (m_fwd, fwd_cache) = block.phi_fwd.forward_cached(&x_fwd, e);
+            let (m_bwd, bwd_cache) = block.phi_bwd.forward_cached(&x_bwd, e);
+            let mut msg_fwd = vec![0.0; n * d];
+            let mut msg_bwd = vec![0.0; n * d];
+            for (ei, edge) in graph.edges.iter().enumerate() {
+                for kk in 0..d {
+                    msg_fwd[edge.dst * d + kk] += m_fwd[ei * d + kk];
+                    msg_bwd[edge.dst * d + kk] += m_bwd[ei * d + kk];
+                }
+            }
+            let psi_in = build_psi_input(&graph.input, h, &msg_fwd, &msg_bwd, d);
+            let (_update, psi_cache) = block.psi.forward_cached(&psi_in, n);
+
+            // h^{k+1} = h^k + α Ψ(psi_in): gradient through Ψ.
+            let d_psi_out: Vec<f64> =
+                grad_h_next.iter().map(|&g| g * self.config.alpha).collect();
+            let d_psi_in = block.psi.backward(&psi_in, &psi_cache, &d_psi_out, n, &mut gblock.psi);
+
+            // Gradient with respect to h^k: identity path + Ψ's h input.
+            let psi_cols = 3 * d + 1;
+            let mut grad_h = grad_h_next.clone();
+            for j in 0..n {
+                for kk in 0..d {
+                    grad_h[j * d + kk] += d_psi_in[j * psi_cols + kk];
+                }
+            }
+            // Gradients with respect to the message sums.
+            let mut d_msg_fwd = vec![0.0; n * d];
+            let mut d_msg_bwd = vec![0.0; n * d];
+            for j in 0..n {
+                for kk in 0..d {
+                    d_msg_fwd[j * d + kk] = d_psi_in[j * psi_cols + d + 1 + kk];
+                    d_msg_bwd[j * d + kk] = d_psi_in[j * psi_cols + 2 * d + 1 + kk];
+                }
+            }
+
+            // Scatter message gradients back to the edges and through the
+            // message MLPs.
+            let mut d_m_fwd = vec![0.0; e * d];
+            let mut d_m_bwd = vec![0.0; e * d];
+            for (ei, edge) in graph.edges.iter().enumerate() {
+                for kk in 0..d {
+                    d_m_fwd[ei * d + kk] = d_msg_fwd[edge.dst * d + kk];
+                    d_m_bwd[ei * d + kk] = d_msg_bwd[edge.dst * d + kk];
+                }
+            }
+            let d_x_fwd = block.phi_fwd.backward(&x_fwd, &fwd_cache, &d_m_fwd, e, &mut gblock.phi_fwd);
+            let d_x_bwd = block.phi_bwd.backward(&x_bwd, &bwd_cache, &d_m_bwd, e, &mut gblock.phi_bwd);
+            let edge_cols = 2 * d + 3;
+            for (ei, edge) in graph.edges.iter().enumerate() {
+                for kk in 0..d {
+                    // x = [h_dst, h_src, delta, dist]
+                    grad_h[edge.dst * d + kk] += d_x_fwd[ei * edge_cols + kk];
+                    grad_h[edge.src * d + kk] += d_x_fwd[ei * edge_cols + d + kk];
+                    grad_h[edge.dst * d + kk] += d_x_bwd[ei * edge_cols + kk];
+                    grad_h[edge.src * d + kk] += d_x_bwd[ei * edge_cols + d + kk];
+                }
+            }
+
+            grad_h_next = grad_h;
+        }
+
+        total_loss
+    }
+
+    /// Add `other`'s parameters (scaled by `alpha`) into `self`.  Used to
+    /// accumulate gradients across a mini-batch.
+    pub fn add_scaled(&mut self, alpha: f64, other: &DssModel) {
+        let mut mine = self.flatten();
+        let theirs = other.flatten();
+        for (m, t) in mine.iter_mut().zip(theirs.iter()) {
+            *m += alpha * t;
+        }
+        self.load_flat(&mine);
+    }
+}
+
+/// Build the per-edge input batches for the two message MLPs.
+fn build_edge_inputs(graph: &LocalGraph, h: &[f64], d: usize) -> (Vec<f64>, Vec<f64>) {
+    let e = graph.num_edges();
+    let cols = 2 * d + 3;
+    let mut x_fwd = vec![0.0; e * cols];
+    let mut x_bwd = vec![0.0; e * cols];
+    for (ei, edge) in graph.edges.iter().enumerate() {
+        let row_f = &mut x_fwd[ei * cols..(ei + 1) * cols];
+        for k in 0..d {
+            row_f[k] = h[edge.dst * d + k];
+            row_f[d + k] = h[edge.src * d + k];
+        }
+        row_f[2 * d] = edge.delta[0];
+        row_f[2 * d + 1] = edge.delta[1];
+        row_f[2 * d + 2] = edge.dist;
+        let row_b = &mut x_bwd[ei * cols..(ei + 1) * cols];
+        for k in 0..d {
+            row_b[k] = h[edge.dst * d + k];
+            row_b[d + k] = h[edge.src * d + k];
+        }
+        row_b[2 * d] = -edge.delta[0];
+        row_b[2 * d + 1] = -edge.delta[1];
+        row_b[2 * d + 2] = edge.dist;
+    }
+    (x_fwd, x_bwd)
+}
+
+/// Build the per-node input batch for the Ψ update MLP.
+fn build_psi_input(
+    input: &[f64],
+    h: &[f64],
+    msg_fwd: &[f64],
+    msg_bwd: &[f64],
+    d: usize,
+) -> Vec<f64> {
+    let n = input.len();
+    let cols = 3 * d + 1;
+    let mut x = vec![0.0; n * cols];
+    for j in 0..n {
+        let row = &mut x[j * cols..(j + 1) * cols];
+        for k in 0..d {
+            row[k] = h[j * d + k];
+            row[d + 1 + k] = msg_fwd[j * d + k];
+            row[2 * d + 1 + k] = msg_bwd[j * d + k];
+        }
+        row[d] = input[j];
+    }
+    x
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use meshgen::Point2;
+    use sparse::CooMatrix;
+
+    /// A tiny local graph (5-node chain) for gradient checking.
+    fn tiny_graph() -> LocalGraph {
+        let n = 5;
+        let mut coo = CooMatrix::new(n, n);
+        for i in 0..n {
+            coo.push(i, i, 2.0).unwrap();
+            if i + 1 < n {
+                coo.push(i, i + 1, -1.0).unwrap();
+                coo.push(i + 1, i, -1.0).unwrap();
+            }
+        }
+        let positions: Vec<Point2> =
+            (0..n).map(|i| Point2::new(i as f64 * 0.5, (i as f64 * 0.3).sin())).collect();
+        let rhs: Vec<f64> = (0..n).map(|i| (i as f64 + 1.0) * 0.7 - 1.5).collect();
+        let mut boundary = vec![false; n];
+        boundary[0] = true;
+        boundary[n - 1] = true;
+        LocalGraph::new(coo.to_csr(), positions, &rhs, boundary)
+    }
+
+    #[test]
+    fn weight_counts_match_paper_table_ii() {
+        // (k̄, d) → number of weights reported by the paper.
+        let expected = [
+            (5, 5, 1755),
+            (5, 10, 6255),
+            (5, 20, 23505),
+            (10, 5, 3510),
+            (10, 10, 12510),
+            (10, 20, 47010),
+            (20, 5, 7020),
+            (20, 10, 25020),
+            (20, 20, 94020),
+            (30, 10, 37530),
+        ];
+        for (kbar, d, weights) in expected {
+            let model = DssModel::new(DssConfig::new(kbar, d), 0);
+            assert_eq!(
+                model.num_params(),
+                weights,
+                "weight count mismatch for k̄={kbar}, d={d}"
+            );
+        }
+    }
+
+    #[test]
+    fn inference_shape_and_determinism() {
+        let graph = tiny_graph();
+        let model = DssModel::new(DssConfig::new(3, 4), 7);
+        let out1 = model.infer(&graph);
+        let out2 = model.infer(&graph);
+        assert_eq!(out1.len(), graph.num_nodes());
+        assert_eq!(out1, out2);
+        // Different seeds give different outputs.
+        let other = DssModel::new(DssConfig::new(3, 4), 8);
+        assert_ne!(out1, other.infer(&graph));
+    }
+
+    #[test]
+    fn flatten_roundtrip_preserves_behaviour() {
+        let graph = tiny_graph();
+        let model = DssModel::new(DssConfig::new(2, 3), 3);
+        let flat = model.flatten();
+        assert_eq!(flat.len(), model.num_params());
+        let mut copy = DssModel::new(DssConfig::new(2, 3), 99);
+        copy.load_flat(&flat);
+        assert_eq!(model.infer(&graph), copy.infer(&graph));
+    }
+
+    #[test]
+    fn backward_gradient_matches_finite_differences() {
+        let graph = tiny_graph();
+        let model = DssModel::new(DssConfig { num_blocks: 2, latent_dim: 3, alpha: 0.05 }, 11);
+        let mut grad = model.zeros_like();
+        let loss = model.backward(&graph, &mut grad);
+        assert!(loss > 0.0);
+        // Loss from backward matches loss() exactly.
+        assert!((loss - model.loss(&graph)).abs() < 1e-12);
+
+        let params = model.flatten();
+        let analytic = grad.flatten();
+        let eps = 1e-6;
+        // Spot-check a spread of parameters (checking all ~600 would be slow).
+        let num = params.len();
+        let indices: Vec<usize> = (0..24).map(|i| i * num / 24).collect();
+        for &i in &indices {
+            let mut plus = params.clone();
+            plus[i] += eps;
+            let mut minus = params.clone();
+            minus[i] -= eps;
+            let mut mp = model.clone();
+            mp.load_flat(&plus);
+            let mut mm = model.clone();
+            mm.load_flat(&minus);
+            let numeric = (mp.loss(&graph) - mm.loss(&graph)) / (2.0 * eps);
+            let diff = (numeric - analytic[i]).abs();
+            let scale = numeric.abs().max(analytic[i].abs()).max(1e-3);
+            assert!(
+                diff / scale < 1e-3,
+                "param {i}: numeric {numeric:e} vs analytic {:e}",
+                analytic[i]
+            );
+        }
+    }
+
+    #[test]
+    fn batched_inference_matches_sequential() {
+        let graphs: Vec<LocalGraph> = (0..4).map(|_| tiny_graph()).collect();
+        let model = DssModel::new(DssConfig::new(3, 4), 5);
+        let batched = model.infer_batch(&graphs);
+        for (g, out) in graphs.iter().zip(batched.iter()) {
+            assert_eq!(out, &model.infer(g));
+        }
+    }
+
+    #[test]
+    fn gradient_step_decreases_loss() {
+        // A small explicit gradient-descent step on one graph must reduce the
+        // training loss — an end-to-end sanity check of the backward pass.
+        let graph = tiny_graph();
+        let model = DssModel::new(DssConfig { num_blocks: 2, latent_dim: 4, alpha: 0.05 }, 21);
+        let mut grad = model.zeros_like();
+        let loss0 = model.backward(&graph, &mut grad);
+        let params = model.flatten();
+        let g = grad.flatten();
+        let gnorm: f64 = g.iter().map(|v| v * v).sum::<f64>().sqrt();
+        let step = 1e-2 / gnorm.max(1e-12);
+        let updated: Vec<f64> = params.iter().zip(g.iter()).map(|(p, gi)| p - step * gi).collect();
+        let mut better = model.clone();
+        better.load_flat(&updated);
+        let loss1 = better.loss(&graph);
+        assert!(loss1 < loss0, "loss did not decrease: {loss0} -> {loss1}");
+    }
+
+    #[test]
+    fn final_residual_loss_uses_last_decode() {
+        let graph = tiny_graph();
+        let model = DssModel::new(DssConfig::new(2, 3), 1);
+        let out = model.infer(&graph);
+        let manual = crate::loss::residual_loss(&graph.matrix, &graph.input, &out);
+        assert!((model.final_residual_loss(&graph) - manual).abs() < 1e-15);
+    }
+
+    #[test]
+    fn infer_with_input_matches_stored_input_and_reacts_to_changes() {
+        let graph = tiny_graph();
+        let model = DssModel::new(DssConfig { num_blocks: 3, latent_dim: 8, alpha: 1e-2 }, 7);
+        let stored = model.infer(&graph);
+        assert!(stored.iter().any(|&v| v != 0.0), "untrained output should not be identically zero");
+        let same = model.infer_with_input(&graph, &graph.input.clone());
+        assert_eq!(stored, same);
+        let different_input: Vec<f64> = graph.input.iter().map(|c| c * -0.5 + 0.1).collect();
+        let different = model.infer_with_input(&graph, &different_input);
+        assert_ne!(stored, different);
+    }
+
+    #[test]
+    fn add_scaled_accumulates() {
+        let model = DssModel::new(DssConfig::new(2, 3), 1);
+        let mut acc = model.zeros_like();
+        acc.add_scaled(2.0, &model);
+        let a = acc.flatten();
+        let m = model.flatten();
+        for (ai, mi) in a.iter().zip(m.iter()) {
+            assert!((ai - 2.0 * mi).abs() < 1e-15);
+        }
+    }
+}

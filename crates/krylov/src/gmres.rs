@@ -1,0 +1,266 @@
+//! Restarted GMRES(m) with right preconditioning.
+//!
+//! GMRES completes the Krylov family the paper cites (CG, BiCGStab, GMRES).
+//! The implementation is the standard Arnoldi process with modified
+//! Gram–Schmidt orthogonalisation and Givens rotations applied to the
+//! Hessenberg matrix so the residual norm is available at every inner step.
+
+use sparse::vector::norm2;
+use sparse::CsrMatrix;
+
+use crate::history::{ConvergenceHistory, SolveStats, StopReason};
+use crate::preconditioner::Preconditioner;
+use crate::{SolveResult, SolverOptions};
+
+/// Solve `A x = b` with right-preconditioned restarted GMRES.
+///
+/// `restart` is the Krylov subspace dimension `m`; the method restarts from
+/// the current iterate whenever `m` inner iterations have been performed.
+pub fn gmres(
+    a: &CsrMatrix,
+    b: &[f64],
+    x0: Option<&[f64]>,
+    preconditioner: &dyn Preconditioner,
+    restart: usize,
+    opts: &SolverOptions,
+) -> SolveResult {
+    assert_eq!(a.nrows(), a.ncols(), "GMRES requires a square matrix");
+    assert_eq!(a.nrows(), b.len(), "GMRES rhs length mismatch");
+    assert!(restart >= 1, "GMRES restart dimension must be at least 1");
+    let n = b.len();
+    let m = restart.min(n.max(1));
+
+    let mut x = match x0 {
+        Some(x0) => {
+            assert_eq!(x0.len(), n, "GMRES initial guess length mismatch");
+            x0.to_vec()
+        }
+        None => vec![0.0; n],
+    };
+
+    let bnorm = norm2(b);
+    let threshold = opts.threshold(bnorm);
+    let mut history = ConvergenceHistory::new();
+
+    let mut r = vec![0.0; n];
+    a.residual_into(b, &x, &mut r);
+    let mut rnorm = norm2(&r);
+    if opts.record_history {
+        history.push(rnorm);
+    }
+
+    let mut total_iterations = 0usize;
+    let mut stop = StopReason::MaxIterations;
+
+    if rnorm <= threshold {
+        stop = StopReason::Converged;
+    }
+
+    'outer: while rnorm > threshold && total_iterations < opts.max_iterations {
+        // Arnoldi basis (m+1 vectors of length n) and Hessenberg matrix.
+        let mut basis: Vec<Vec<f64>> = Vec::with_capacity(m + 1);
+        let mut hess = vec![vec![0.0; m]; m + 1]; // (m+1) x m
+        let mut cs = vec![0.0; m];
+        let mut sn = vec![0.0; m];
+        let mut g = vec![0.0; m + 1];
+        g[0] = rnorm;
+        basis.push(r.iter().map(|v| v / rnorm).collect());
+
+        let mut inner_used = 0usize;
+        let mut z = vec![0.0; n];
+        let mut w = vec![0.0; n];
+
+        for j in 0..m {
+            if total_iterations >= opts.max_iterations {
+                break;
+            }
+            // w = A M⁻¹ v_j
+            preconditioner.apply(&basis[j], &mut z);
+            a.spmv_into(&z, &mut w);
+            // Modified Gram–Schmidt
+            for i in 0..=j {
+                let hij = sparse::vector::dot(&w, &basis[i]);
+                hess[i][j] = hij;
+                for (wk, vk) in w.iter_mut().zip(basis[i].iter()) {
+                    *wk -= hij * vk;
+                }
+            }
+            let hnext = norm2(&w);
+            hess[j + 1][j] = hnext;
+            if hnext > 0.0 {
+                basis.push(w.iter().map(|v| v / hnext).collect());
+            } else {
+                // Happy breakdown: exact solution in the current subspace.
+                basis.push(vec![0.0; n]);
+            }
+
+            // Apply previous Givens rotations to the new column.
+            for i in 0..j {
+                let temp = cs[i] * hess[i][j] + sn[i] * hess[i + 1][j];
+                hess[i + 1][j] = -sn[i] * hess[i][j] + cs[i] * hess[i + 1][j];
+                hess[i][j] = temp;
+            }
+            // New rotation to annihilate hess[j+1][j].
+            let denom = (hess[j][j] * hess[j][j] + hess[j + 1][j] * hess[j + 1][j]).sqrt();
+            if denom == 0.0 || !denom.is_finite() {
+                stop = StopReason::Breakdown;
+                total_iterations += 1;
+                update_solution(&mut x, &basis, &hess, &g, j + 1, preconditioner, n);
+                a.residual_into(b, &x, &mut r);
+                rnorm = norm2(&r);
+                if opts.record_history {
+                    history.push(rnorm);
+                }
+                break 'outer;
+            }
+            cs[j] = hess[j][j] / denom;
+            sn[j] = hess[j + 1][j] / denom;
+            hess[j][j] = denom;
+            hess[j + 1][j] = 0.0;
+            g[j + 1] = -sn[j] * g[j];
+            g[j] *= cs[j];
+
+            total_iterations += 1;
+            inner_used = j + 1;
+            let inner_res = g[j + 1].abs();
+            if opts.record_history {
+                history.push(inner_res);
+            }
+            if inner_res <= threshold {
+                stop = StopReason::Converged;
+                break;
+            }
+        }
+
+        update_solution(&mut x, &basis, &hess, &g, inner_used, preconditioner, n);
+        a.residual_into(b, &x, &mut r);
+        rnorm = norm2(&r);
+        if rnorm <= threshold {
+            stop = StopReason::Converged;
+        } else if !rnorm.is_finite() {
+            stop = StopReason::Diverged;
+            break;
+        }
+    }
+
+    SolveResult {
+        x,
+        stats: SolveStats {
+            iterations: total_iterations,
+            final_residual: rnorm,
+            final_relative_residual: if bnorm > 0.0 { rnorm / bnorm } else { rnorm },
+            stop_reason: stop,
+            history,
+        },
+    }
+}
+
+/// Solve the small least-squares triangular system and add the correction
+/// `x += M⁻¹ (V y)`.
+fn update_solution(
+    x: &mut [f64],
+    basis: &[Vec<f64>],
+    hess: &[Vec<f64>],
+    g: &[f64],
+    k: usize,
+    preconditioner: &dyn Preconditioner,
+    n: usize,
+) {
+    if k == 0 {
+        return;
+    }
+    // Back substitution on the k x k upper triangular part of hess.
+    let mut y = vec![0.0; k];
+    for i in (0..k).rev() {
+        let mut acc = g[i];
+        for j in (i + 1)..k {
+            acc -= hess[i][j] * y[j];
+        }
+        y[i] = if hess[i][i] != 0.0 { acc / hess[i][i] } else { 0.0 };
+    }
+    // v = V y
+    let mut v = vec![0.0; n];
+    for (j, yj) in y.iter().enumerate() {
+        for (vi, bi) in v.iter_mut().zip(basis[j].iter()) {
+            *vi += yj * bi;
+        }
+    }
+    // x += M⁻¹ v
+    let mut z = vec![0.0; n];
+    preconditioner.apply(&v, &mut z);
+    for (xi, zi) in x.iter_mut().zip(z.iter()) {
+        *xi += zi;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::preconditioner::{IdentityPreconditioner, JacobiPreconditioner};
+    use crate::test_matrices::{convection_diffusion_1d, laplacian_2d};
+    use crate::true_relative_residual;
+
+    #[test]
+    fn solves_spd_system() {
+        let a = laplacian_2d(10, 10);
+        let n = a.nrows();
+        let x_true: Vec<f64> = (0..n).map(|i| (i as f64 * 0.11).sin()).collect();
+        let b = a.spmv(&x_true);
+        let id = IdentityPreconditioner::new(n);
+        let result = gmres(&a, &b, None, &id, 50, &SolverOptions::with_tolerance(1e-10));
+        assert!(result.stats.converged());
+        assert!(true_relative_residual(&a, &result.x, &b) < 1e-8);
+    }
+
+    #[test]
+    fn solves_nonsymmetric_system_with_restart() {
+        let a = convection_diffusion_1d(150, 0.7);
+        let n = a.nrows();
+        let x_true: Vec<f64> = (0..n).map(|i| ((i * 3 % 11) as f64) - 5.0).collect();
+        let b = a.spmv(&x_true);
+        let id = IdentityPreconditioner::new(n);
+        let result = gmres(&a, &b, None, &id, 20, &SolverOptions::with_tolerance(1e-10));
+        assert!(result.stats.converged());
+        assert!(sparse::vector::relative_error(&result.x, &x_true) < 1e-6);
+    }
+
+    #[test]
+    fn preconditioned_gmres_converges() {
+        let a = convection_diffusion_1d(300, 0.4);
+        let b = vec![1.0; 300];
+        let jacobi = JacobiPreconditioner::new(&a);
+        let result = gmres(&a, &b, None, &jacobi, 30, &SolverOptions::with_tolerance(1e-8));
+        assert!(result.stats.converged());
+        assert!(true_relative_residual(&a, &result.x, &b) < 1e-6);
+    }
+
+    #[test]
+    fn zero_rhs_converges_immediately() {
+        let a = laplacian_2d(4, 4);
+        let id = IdentityPreconditioner::new(16);
+        let result = gmres(&a, &vec![0.0; 16], None, &id, 10, &SolverOptions::default());
+        assert_eq!(result.stats.iterations, 0);
+        assert!(result.stats.converged());
+    }
+
+    #[test]
+    fn small_restart_still_converges_eventually() {
+        let a = laplacian_2d(8, 8);
+        let b = vec![1.0; 64];
+        let id = IdentityPreconditioner::new(64);
+        let result = gmres(&a, &b, None, &id, 5, &SolverOptions::with_tolerance(1e-8));
+        assert!(result.stats.converged());
+        assert!(true_relative_residual(&a, &result.x, &b) < 1e-6);
+    }
+
+    #[test]
+    fn respects_iteration_cap() {
+        let a = laplacian_2d(20, 20);
+        let b = vec![1.0; a.nrows()];
+        let id = IdentityPreconditioner::new(a.nrows());
+        let opts = SolverOptions { max_iterations: 4, ..SolverOptions::with_tolerance(1e-14) };
+        let result = gmres(&a, &b, None, &id, 10, &opts);
+        assert!(result.stats.iterations <= 4);
+        assert!(!result.stats.converged());
+    }
+}

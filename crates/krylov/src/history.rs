@@ -1,0 +1,143 @@
+//! Convergence bookkeeping shared by all Krylov drivers.
+
+/// Why the iteration stopped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StopReason {
+    /// The residual norm dropped below the requested threshold.
+    Converged,
+    /// The iteration cap was reached before convergence.
+    MaxIterations,
+    /// A breakdown occurred (zero denominator in a recurrence).
+    Breakdown,
+    /// The residual or iterate became non-finite.
+    Diverged,
+}
+
+/// Residual-norm trace of a solve, one entry per iteration (including the
+/// initial residual at index 0 when recording is enabled).
+#[derive(Debug, Clone, Default)]
+pub struct ConvergenceHistory {
+    residual_norms: Vec<f64>,
+}
+
+impl ConvergenceHistory {
+    /// Create an empty history.
+    pub fn new() -> Self {
+        ConvergenceHistory { residual_norms: Vec::new() }
+    }
+
+    /// Append a residual norm.
+    pub fn push(&mut self, norm: f64) {
+        self.residual_norms.push(norm);
+    }
+
+    /// The recorded norms, oldest first.
+    pub fn norms(&self) -> &[f64] {
+        &self.residual_norms
+    }
+
+    /// Relative norms with respect to the first recorded entry.
+    pub fn relative(&self) -> Vec<f64> {
+        match self.residual_norms.first() {
+            Some(&first) if first > 0.0 => {
+                self.residual_norms.iter().map(|&r| r / first).collect()
+            }
+            _ => self.residual_norms.clone(),
+        }
+    }
+
+    /// Number of recorded entries.
+    pub fn len(&self) -> usize {
+        self.residual_norms.len()
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.residual_norms.is_empty()
+    }
+
+    /// Average residual reduction factor per iteration (geometric mean),
+    /// `None` when fewer than two entries are recorded.
+    pub fn mean_reduction_factor(&self) -> Option<f64> {
+        if self.residual_norms.len() < 2 {
+            return None;
+        }
+        let first = *self.residual_norms.first().unwrap();
+        let last = *self.residual_norms.last().unwrap();
+        if first <= 0.0 || last <= 0.0 {
+            return None;
+        }
+        let steps = (self.residual_norms.len() - 1) as f64;
+        Some((last / first).powf(1.0 / steps))
+    }
+}
+
+/// Summary statistics for a completed solve.
+#[derive(Debug, Clone)]
+pub struct SolveStats {
+    /// Number of iterations performed.
+    pub iterations: usize,
+    /// Final (preconditioned-solver reported) residual norm.
+    pub final_residual: f64,
+    /// Final residual norm relative to the right-hand side norm.
+    pub final_relative_residual: f64,
+    /// Why the solver stopped.
+    pub stop_reason: StopReason,
+    /// Optional residual trace.
+    pub history: ConvergenceHistory,
+}
+
+impl SolveStats {
+    /// True when the solver reports convergence.
+    pub fn converged(&self) -> bool {
+        self.stop_reason == StopReason::Converged
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relative_history_is_scaled_by_first_entry() {
+        let mut h = ConvergenceHistory::new();
+        h.push(10.0);
+        h.push(1.0);
+        h.push(0.1);
+        assert_eq!(h.relative(), vec![1.0, 0.1, 0.01]);
+        assert_eq!(h.len(), 3);
+        assert!(!h.is_empty());
+    }
+
+    #[test]
+    fn mean_reduction_factor_geometric() {
+        let mut h = ConvergenceHistory::new();
+        h.push(1.0);
+        h.push(0.1);
+        h.push(0.01);
+        let f = h.mean_reduction_factor().unwrap();
+        assert!((f - 0.1).abs() < 1e-12);
+        assert!(ConvergenceHistory::new().mean_reduction_factor().is_none());
+    }
+
+    #[test]
+    fn stats_converged_flag() {
+        let stats = SolveStats {
+            iterations: 5,
+            final_residual: 1e-8,
+            final_relative_residual: 1e-9,
+            stop_reason: StopReason::Converged,
+            history: ConvergenceHistory::new(),
+        };
+        assert!(stats.converged());
+        let stats = SolveStats { stop_reason: StopReason::MaxIterations, ..stats };
+        assert!(!stats.converged());
+    }
+
+    #[test]
+    fn empty_history_relative_is_empty() {
+        let h = ConvergenceHistory::new();
+        assert!(h.relative().is_empty());
+        assert!(h.is_empty());
+    }
+}

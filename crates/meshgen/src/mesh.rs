@@ -1,0 +1,354 @@
+//! The unstructured triangular mesh data structure.
+//!
+//! A [`Mesh`] stores node coordinates, triangles (counter-clockwise vertex
+//! triples), and a boundary marker per node.  It also provides the derived
+//! quantities the rest of the pipeline needs: the node adjacency graph (for
+//! partitioning and for the GNN edge lists), boundary detection, quality
+//! metrics and a graph-diameter estimate.
+
+use crate::geometry::{min_angle, triangle_area, Point2};
+
+/// An unstructured triangular mesh.
+#[derive(Debug, Clone)]
+pub struct Mesh {
+    /// Node coordinates.
+    pub points: Vec<Point2>,
+    /// Triangles as counter-clockwise triples of node indices.
+    pub triangles: Vec<[usize; 3]>,
+    /// `true` for nodes on the domain boundary (outer boundary or holes).
+    pub boundary: Vec<bool>,
+}
+
+impl Mesh {
+    /// Build a mesh and detect its boundary nodes from the triangle topology:
+    /// a node is a boundary node when it belongs to an edge used by exactly
+    /// one triangle.
+    pub fn new(points: Vec<Point2>, triangles: Vec<[usize; 3]>) -> Self {
+        let boundary = detect_boundary(&points, &triangles);
+        Mesh { points, triangles, boundary }
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Number of triangles.
+    pub fn num_triangles(&self) -> usize {
+        self.triangles.len()
+    }
+
+    /// Number of boundary nodes.
+    pub fn num_boundary_nodes(&self) -> usize {
+        self.boundary.iter().filter(|&&b| b).count()
+    }
+
+    /// Indices of interior (non-boundary) nodes.
+    pub fn interior_nodes(&self) -> Vec<usize> {
+        (0..self.num_nodes()).filter(|&i| !self.boundary[i]).collect()
+    }
+
+    /// Node-to-node adjacency through mesh edges, as a vector of sorted
+    /// neighbour lists (self-loops excluded).
+    pub fn node_adjacency(&self) -> Vec<Vec<usize>> {
+        let mut adj = vec![Vec::new(); self.num_nodes()];
+        for t in &self.triangles {
+            for k in 0..3 {
+                let a = t[k];
+                let b = t[(k + 1) % 3];
+                adj[a].push(b);
+                adj[b].push(a);
+            }
+        }
+        for list in &mut adj {
+            list.sort_unstable();
+            list.dedup();
+        }
+        adj
+    }
+
+    /// Total mesh area.
+    pub fn area(&self) -> f64 {
+        self.triangles
+            .iter()
+            .map(|t| triangle_area(&self.points[t[0]], &self.points[t[1]], &self.points[t[2]]))
+            .sum()
+    }
+
+    /// Smallest triangle angle over the whole mesh, in radians (π/2 for an
+    /// empty mesh).
+    pub fn min_angle(&self) -> f64 {
+        self.triangles
+            .iter()
+            .map(|t| min_angle(&self.points[t[0]], &self.points[t[1]], &self.points[t[2]]))
+            .fold(std::f64::consts::FRAC_PI_2, f64::min)
+    }
+
+    /// Average edge length (a proxy for the element size `h`).
+    pub fn mean_edge_length(&self) -> f64 {
+        let mut total = 0.0;
+        let mut count = 0usize;
+        for t in &self.triangles {
+            for k in 0..3 {
+                let a = &self.points[t[k]];
+                let b = &self.points[t[(k + 1) % 3]];
+                total += a.distance(b);
+                count += 1;
+            }
+        }
+        if count == 0 {
+            0.0
+        } else {
+            total / count as f64
+        }
+    }
+
+    /// Estimate of the graph diameter (longest shortest path in edge count),
+    /// via a double BFS sweep.  The DSS consistency argument ties the number
+    /// of message-passing layers to this quantity.
+    pub fn diameter_estimate(&self) -> usize {
+        if self.num_nodes() == 0 {
+            return 0;
+        }
+        let adj = self.node_adjacency();
+        let far = bfs_farthest(&adj, 0).0;
+        bfs_farthest(&adj, far).1
+    }
+
+    /// Whether the node graph is connected.
+    pub fn is_connected(&self) -> bool {
+        if self.num_nodes() == 0 {
+            return true;
+        }
+        let adj = self.node_adjacency();
+        let mut seen = vec![false; adj.len()];
+        let mut stack = vec![0usize];
+        seen[0] = true;
+        let mut count = 1;
+        while let Some(v) = stack.pop() {
+            for &u in &adj[v] {
+                if !seen[u] {
+                    seen[u] = true;
+                    count += 1;
+                    stack.push(u);
+                }
+            }
+        }
+        count == adj.len()
+    }
+
+    /// Remove nodes not referenced by any triangle and re-index.
+    pub fn compact(&self) -> Mesh {
+        let mut used = vec![false; self.num_nodes()];
+        for t in &self.triangles {
+            for &v in t {
+                used[v] = true;
+            }
+        }
+        let mut remap = vec![usize::MAX; self.num_nodes()];
+        let mut points = Vec::new();
+        for (i, &u) in used.iter().enumerate() {
+            if u {
+                remap[i] = points.len();
+                points.push(self.points[i]);
+            }
+        }
+        let triangles: Vec<[usize; 3]> = self
+            .triangles
+            .iter()
+            .map(|t| [remap[t[0]], remap[t[1]], remap[t[2]]])
+            .collect();
+        Mesh::new(points, triangles)
+    }
+
+    /// Extract the sub-mesh induced by a set of node indices: triangles whose
+    /// three vertices all belong to `nodes`.  Returns the sub-mesh and the
+    /// local→global node map.
+    pub fn submesh(&self, nodes: &[usize]) -> (Mesh, Vec<usize>) {
+        let mut in_set = vec![false; self.num_nodes()];
+        let mut remap = vec![usize::MAX; self.num_nodes()];
+        for (loc, &g) in nodes.iter().enumerate() {
+            in_set[g] = true;
+            remap[g] = loc;
+        }
+        let points: Vec<Point2> = nodes.iter().map(|&g| self.points[g]).collect();
+        let triangles: Vec<[usize; 3]> = self
+            .triangles
+            .iter()
+            .filter(|t| t.iter().all(|&v| in_set[v]))
+            .map(|t| [remap[t[0]], remap[t[1]], remap[t[2]]])
+            .collect();
+        (Mesh::new(points, triangles), nodes.to_vec())
+    }
+}
+
+/// Boundary detection: nodes incident to an edge that belongs to exactly one
+/// triangle.
+fn detect_boundary(points: &[Point2], triangles: &[[usize; 3]]) -> Vec<bool> {
+    use std::collections::HashMap;
+    let mut edge_count: HashMap<(usize, usize), u32> = HashMap::new();
+    for t in triangles {
+        for k in 0..3 {
+            let a = t[k];
+            let b = t[(k + 1) % 3];
+            let key = (a.min(b), a.max(b));
+            *edge_count.entry(key).or_insert(0) += 1;
+        }
+    }
+    let mut boundary = vec![false; points.len()];
+    for (&(a, b), &count) in &edge_count {
+        if count == 1 {
+            boundary[a] = true;
+            boundary[b] = true;
+        }
+    }
+    boundary
+}
+
+/// BFS from `start`; returns (farthest node, eccentricity).
+fn bfs_farthest(adj: &[Vec<usize>], start: usize) -> (usize, usize) {
+    let mut dist = vec![usize::MAX; adj.len()];
+    let mut queue = std::collections::VecDeque::new();
+    dist[start] = 0;
+    queue.push_back(start);
+    let mut far = start;
+    while let Some(v) = queue.pop_front() {
+        if dist[v] > dist[far] {
+            far = v;
+        }
+        for &u in &adj[v] {
+            if dist[u] == usize::MAX {
+                dist[u] = dist[v] + 1;
+                queue.push_back(u);
+            }
+        }
+    }
+    (far, dist[far])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Two triangles forming the unit square.
+    fn square_mesh() -> Mesh {
+        let points = vec![
+            Point2::new(0.0, 0.0),
+            Point2::new(1.0, 0.0),
+            Point2::new(1.0, 1.0),
+            Point2::new(0.0, 1.0),
+        ];
+        let triangles = vec![[0, 1, 2], [0, 2, 3]];
+        Mesh::new(points, triangles)
+    }
+
+    /// Structured triangulated grid on [0,1]² with (n+1)² nodes.
+    fn grid_mesh(n: usize) -> Mesh {
+        let mut points = Vec::new();
+        for i in 0..=n {
+            for j in 0..=n {
+                points.push(Point2::new(i as f64 / n as f64, j as f64 / n as f64));
+            }
+        }
+        let idx = |i: usize, j: usize| i * (n + 1) + j;
+        let mut triangles = Vec::new();
+        for i in 0..n {
+            for j in 0..n {
+                triangles.push([idx(i, j), idx(i + 1, j), idx(i + 1, j + 1)]);
+                triangles.push([idx(i, j), idx(i + 1, j + 1), idx(i, j + 1)]);
+            }
+        }
+        Mesh::new(points, triangles)
+    }
+
+    #[test]
+    fn basic_counts_and_area() {
+        let m = square_mesh();
+        assert_eq!(m.num_nodes(), 4);
+        assert_eq!(m.num_triangles(), 2);
+        assert!((m.area() - 1.0).abs() < 1e-12);
+        assert!(m.is_connected());
+        // All four nodes of a single square are boundary nodes.
+        assert_eq!(m.num_boundary_nodes(), 4);
+        assert!(m.interior_nodes().is_empty());
+    }
+
+    #[test]
+    fn grid_boundary_and_interior() {
+        let m = grid_mesh(4); // 25 nodes, 16 boundary, 9 interior
+        assert_eq!(m.num_nodes(), 25);
+        assert_eq!(m.num_boundary_nodes(), 16);
+        assert_eq!(m.interior_nodes().len(), 9);
+        assert!((m.area() - 1.0).abs() < 1e-12);
+        assert!(m.is_connected());
+    }
+
+    #[test]
+    fn adjacency_is_symmetric_and_deduplicated() {
+        let m = grid_mesh(3);
+        let adj = m.node_adjacency();
+        for (v, list) in adj.iter().enumerate() {
+            let mut sorted = list.clone();
+            sorted.dedup();
+            assert_eq!(&sorted, list, "adjacency list must be sorted+deduped");
+            for &u in list {
+                assert!(adj[u].contains(&v), "adjacency must be symmetric");
+                assert_ne!(u, v, "no self loops");
+            }
+        }
+    }
+
+    #[test]
+    fn diameter_grows_with_grid_size() {
+        let d1 = grid_mesh(4).diameter_estimate();
+        let d2 = grid_mesh(8).diameter_estimate();
+        assert!(d2 > d1);
+        assert!(d1 >= 4);
+    }
+
+    #[test]
+    fn min_angle_of_structured_grid() {
+        let m = grid_mesh(4);
+        // Right isoceles triangles: min angle = 45 degrees.
+        assert!((m.min_angle() - std::f64::consts::FRAC_PI_4).abs() < 1e-10);
+        assert!(m.mean_edge_length() > 0.0);
+    }
+
+    #[test]
+    fn compact_removes_orphan_nodes() {
+        let mut m = square_mesh();
+        m.points.push(Point2::new(5.0, 5.0)); // orphan node
+        m.boundary.push(false);
+        let c = m.compact();
+        assert_eq!(c.num_nodes(), 4);
+        assert_eq!(c.num_triangles(), 2);
+        assert!((c.area() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn submesh_extraction() {
+        let m = grid_mesh(4);
+        // take the left half nodes (j <= 2 columns i arbitrary)... use first 15 nodes
+        let nodes: Vec<usize> = (0..15).collect();
+        let (sub, map) = m.submesh(&nodes);
+        assert_eq!(sub.num_nodes(), 15);
+        assert_eq!(map, nodes);
+        assert!(sub.num_triangles() > 0);
+        assert!(sub.num_triangles() < m.num_triangles());
+    }
+
+    #[test]
+    fn disconnected_mesh_detected() {
+        let points = vec![
+            Point2::new(0.0, 0.0),
+            Point2::new(1.0, 0.0),
+            Point2::new(0.0, 1.0),
+            Point2::new(5.0, 5.0),
+            Point2::new(6.0, 5.0),
+            Point2::new(5.0, 6.0),
+        ];
+        let triangles = vec![[0, 1, 2], [3, 4, 5]];
+        let m = Mesh::new(points, triangles);
+        assert!(!m.is_connected());
+    }
+}

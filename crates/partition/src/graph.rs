@@ -1,0 +1,151 @@
+//! Compact undirected graph used by the partitioner.
+
+use meshgen::Mesh;
+
+/// An undirected graph in CSR-like adjacency storage.
+#[derive(Debug, Clone)]
+pub struct Graph {
+    offsets: Vec<usize>,
+    neighbours: Vec<usize>,
+}
+
+impl Graph {
+    /// Build from explicit adjacency lists (they are sorted/deduplicated
+    /// internally; self-loops are dropped).
+    pub fn from_adjacency(adjacency: &[Vec<usize>]) -> Self {
+        let n = adjacency.len();
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut neighbours = Vec::new();
+        offsets.push(0);
+        for (v, list) in adjacency.iter().enumerate() {
+            let mut sorted: Vec<usize> = list.iter().copied().filter(|&u| u != v).collect();
+            sorted.sort_unstable();
+            sorted.dedup();
+            neighbours.extend_from_slice(&sorted);
+            offsets.push(neighbours.len());
+        }
+        Graph { offsets, neighbours }
+    }
+
+    /// Build the node graph of a mesh (nodes connected by mesh edges).
+    pub fn from_mesh(mesh: &Mesh) -> Self {
+        Self::from_adjacency(&mesh.node_adjacency())
+    }
+
+    /// Number of vertices.
+    pub fn num_vertices(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of undirected edges.
+    pub fn num_edges(&self) -> usize {
+        self.neighbours.len() / 2
+    }
+
+    /// Neighbours of vertex `v`.
+    pub fn neighbours(&self, v: usize) -> &[usize] {
+        &self.neighbours[self.offsets[v]..self.offsets[v + 1]]
+    }
+
+    /// Degree of vertex `v`.
+    pub fn degree(&self, v: usize) -> usize {
+        self.offsets[v + 1] - self.offsets[v]
+    }
+
+    /// Breadth-first distances from a source (usize::MAX for unreachable).
+    pub fn bfs_distances(&self, source: usize) -> Vec<usize> {
+        let mut dist = vec![usize::MAX; self.num_vertices()];
+        let mut queue = std::collections::VecDeque::new();
+        dist[source] = 0;
+        queue.push_back(source);
+        while let Some(v) = queue.pop_front() {
+            for &u in self.neighbours(v) {
+                if dist[u] == usize::MAX {
+                    dist[u] = dist[v] + 1;
+                    queue.push_back(u);
+                }
+            }
+        }
+        dist
+    }
+
+    /// Whether the graph is connected (true for the empty graph).
+    pub fn is_connected(&self) -> bool {
+        let n = self.num_vertices();
+        if n == 0 {
+            return true;
+        }
+        self.bfs_distances(0).iter().all(|&d| d != usize::MAX)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use meshgen::{generate_mesh, MeshingOptions, RectangleDomain};
+
+    fn path_graph(n: usize) -> Graph {
+        let adjacency: Vec<Vec<usize>> = (0..n)
+            .map(|i| {
+                let mut list = Vec::new();
+                if i > 0 {
+                    list.push(i - 1);
+                }
+                if i + 1 < n {
+                    list.push(i + 1);
+                }
+                list
+            })
+            .collect();
+        Graph::from_adjacency(&adjacency)
+    }
+
+    #[test]
+    fn construction_and_degrees() {
+        let g = path_graph(5);
+        assert_eq!(g.num_vertices(), 5);
+        assert_eq!(g.num_edges(), 4);
+        assert_eq!(g.degree(0), 1);
+        assert_eq!(g.degree(2), 2);
+        assert_eq!(g.neighbours(2), &[1, 3]);
+        assert!(g.is_connected());
+    }
+
+    #[test]
+    fn self_loops_and_duplicates_are_removed() {
+        let adjacency = vec![vec![0, 1, 1, 2], vec![0, 0], vec![0]];
+        let g = Graph::from_adjacency(&adjacency);
+        assert_eq!(g.neighbours(0), &[1, 2]);
+        assert_eq!(g.neighbours(1), &[0]);
+        assert_eq!(g.degree(0), 2);
+    }
+
+    #[test]
+    fn bfs_distances_on_path() {
+        let g = path_graph(6);
+        let d = g.bfs_distances(0);
+        assert_eq!(d, vec![0, 1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn disconnected_graph_detected() {
+        let adjacency = vec![vec![1], vec![0], vec![3], vec![2]];
+        let g = Graph::from_adjacency(&adjacency);
+        assert!(!g.is_connected());
+        let d = g.bfs_distances(0);
+        assert_eq!(d[2], usize::MAX);
+    }
+
+    #[test]
+    fn mesh_graph_matches_mesh_adjacency() {
+        let d = RectangleDomain::new(0.0, 0.0, 1.0, 1.0);
+        let mesh = generate_mesh(&d, &MeshingOptions::with_element_size(0.2));
+        let g = Graph::from_mesh(&mesh);
+        assert_eq!(g.num_vertices(), mesh.num_nodes());
+        assert!(g.is_connected());
+        let adj = mesh.node_adjacency();
+        for v in 0..mesh.num_nodes() {
+            assert_eq!(g.neighbours(v), &adj[v][..]);
+        }
+    }
+}

@@ -1,0 +1,347 @@
+//! Multi-seed greedy graph growing partitioner with balancing refinement.
+//!
+//! The algorithm follows the classic graph-growing heuristic METIS uses for
+//! its initial partitions:
+//!
+//! 1. pick `K` seeds by farthest-point sampling (BFS metric),
+//! 2. grow all parts simultaneously with a multi-source BFS, always expanding
+//!    the currently smallest part so sizes stay balanced,
+//! 3. assign any stragglers (nodes unreachable during growth) to the smallest
+//!    neighbouring part,
+//! 4. run a boundary-refinement pass that moves nodes from oversized parts to
+//!    adjacent undersized parts when doing so does not disconnect coverage.
+
+use rand::prelude::*;
+use rand_chacha::ChaCha8Rng;
+use std::collections::VecDeque;
+
+use crate::graph::Graph;
+use crate::Partition;
+
+/// Options for [`partition_graph`].
+#[derive(Debug, Clone)]
+pub struct PartitionOptions {
+    /// Number of parts to create.
+    pub num_parts: usize,
+    /// RNG seed used for seed-vertex selection tie breaking.
+    pub seed: u64,
+    /// Number of boundary refinement sweeps.
+    pub refinement_sweeps: usize,
+    /// Maximum tolerated imbalance (max part size / ideal size) targeted by
+    /// the refinement pass.
+    pub balance_tolerance: f64,
+}
+
+impl Default for PartitionOptions {
+    fn default() -> Self {
+        PartitionOptions {
+            num_parts: 2,
+            seed: 0,
+            refinement_sweeps: 4,
+            balance_tolerance: 1.10,
+        }
+    }
+}
+
+/// Partition the graph into `opts.num_parts` parts of roughly equal size.
+///
+/// Returns the part index of every vertex.  Panics if the graph is empty and
+/// more than zero parts are requested with `num_parts > num_vertices`
+/// degenerating gracefully (parts may end up empty only when there are fewer
+/// vertices than parts).
+pub fn partition_graph(graph: &Graph, opts: &PartitionOptions) -> Partition {
+    let n = graph.num_vertices();
+    let k = opts.num_parts.max(1);
+    if n == 0 {
+        return Vec::new();
+    }
+    if k == 1 {
+        return vec![0; n];
+    }
+    if k >= n {
+        // One vertex per part (extra parts stay empty).
+        return (0..n).collect();
+    }
+
+    let seeds = select_seeds(graph, k, opts.seed);
+
+    // Multi-source BFS growth, always expanding the smallest part.
+    let mut assignment = vec![usize::MAX; n];
+    let mut frontiers: Vec<VecDeque<usize>> = vec![VecDeque::new(); k];
+    let mut sizes = vec![0usize; k];
+    for (p, &s) in seeds.iter().enumerate() {
+        assignment[s] = p;
+        sizes[p] = 1;
+        frontiers[p].push_back(s);
+    }
+    let mut assigned = k;
+    while assigned < n {
+        // Pick the smallest part that still has a frontier.
+        let mut best_part = usize::MAX;
+        let mut best_size = usize::MAX;
+        for p in 0..k {
+            if !frontiers[p].is_empty() && sizes[p] < best_size {
+                best_size = sizes[p];
+                best_part = p;
+            }
+        }
+        if best_part == usize::MAX {
+            break; // all frontiers exhausted (disconnected leftovers remain)
+        }
+        let p = best_part;
+        // Expand one node from this part's frontier.
+        let mut grew = false;
+        while let Some(v) = frontiers[p].pop_front() {
+            let mut next_unassigned = None;
+            for &u in graph.neighbours(v) {
+                if assignment[u] == usize::MAX {
+                    next_unassigned = Some(u);
+                    break;
+                }
+            }
+            if let Some(u) = next_unassigned {
+                assignment[u] = p;
+                sizes[p] += 1;
+                assigned += 1;
+                frontiers[p].push_back(u);
+                // v may still have other unassigned neighbours.
+                frontiers[p].push_front(v);
+                grew = true;
+                break;
+            }
+            // v exhausted: drop it from the frontier.
+        }
+        if !grew && frontiers[p].is_empty() {
+            continue;
+        }
+    }
+
+    // Stragglers: nodes in components not reached by any seed.  Attach each to
+    // the smallest part among its neighbours, or the globally smallest part.
+    for v in 0..n {
+        if assignment[v] == usize::MAX {
+            let neighbour_part = graph
+                .neighbours(v)
+                .iter()
+                .filter(|&&u| assignment[u] != usize::MAX)
+                .map(|&u| assignment[u])
+                .min_by_key(|&p| sizes[p]);
+            let p = neighbour_part
+                .unwrap_or_else(|| (0..k).min_by_key(|&p| sizes[p]).unwrap());
+            assignment[v] = p;
+            sizes[p] += 1;
+        }
+    }
+
+    refine_balance(graph, &mut assignment, &mut sizes, opts);
+    assignment
+}
+
+/// Farthest-point sampling of `k` seed vertices.
+fn select_seeds(graph: &Graph, k: usize, seed: u64) -> Vec<usize> {
+    let n = graph.num_vertices();
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let first = rng.gen_range(0..n);
+    let mut seeds = vec![first];
+    // Track the distance of every vertex to its nearest selected seed.
+    let mut min_dist = graph.bfs_distances(first);
+    while seeds.len() < k {
+        // The next seed is the vertex farthest from all current seeds
+        // (ignoring unreachable vertices, which keep usize::MAX and win ties —
+        // that conveniently spreads seeds across disconnected components).
+        let next = (0..n)
+            .filter(|v| !seeds.contains(v))
+            .max_by_key(|&v| min_dist[v].min(usize::MAX - 1))
+            .unwrap_or(first);
+        seeds.push(next);
+        let d = graph.bfs_distances(next);
+        for v in 0..n {
+            min_dist[v] = min_dist[v].min(d[v]);
+        }
+    }
+    seeds
+}
+
+/// Boundary refinement: move nodes from oversized parts to adjacent
+/// undersized parts.
+fn refine_balance(
+    graph: &Graph,
+    assignment: &mut [usize],
+    sizes: &mut [usize],
+    opts: &PartitionOptions,
+) {
+    let n = graph.num_vertices();
+    let k = sizes.len();
+    if k < 2 {
+        return;
+    }
+    let ideal = n as f64 / k as f64;
+    let max_allowed = (ideal * opts.balance_tolerance).ceil() as usize;
+
+    for _ in 0..opts.refinement_sweeps {
+        let mut moved = 0usize;
+        for v in 0..n {
+            let p = assignment[v];
+            if sizes[p] <= max_allowed {
+                continue;
+            }
+            // Candidate target: the smallest adjacent part different from p.
+            let mut best: Option<usize> = None;
+            for &u in graph.neighbours(v) {
+                let q = assignment[u];
+                if q != p {
+                    best = match best {
+                        None => Some(q),
+                        Some(b) if sizes[q] < sizes[b] => Some(q),
+                        other => other,
+                    };
+                }
+            }
+            if let Some(q) = best {
+                if sizes[q] + 1 < sizes[p] {
+                    assignment[v] = q;
+                    sizes[p] -= 1;
+                    sizes[q] += 1;
+                    moved += 1;
+                }
+            }
+        }
+        if moved == 0 {
+            break;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::quality::{balance_factor, edge_cut};
+    use meshgen::{generate_mesh, MeshingOptions, RandomBlobDomain, RectangleDomain};
+
+    fn grid_graph(nx: usize, ny: usize) -> Graph {
+        let idx = |i: usize, j: usize| i * ny + j;
+        let mut adjacency = vec![Vec::new(); nx * ny];
+        for i in 0..nx {
+            for j in 0..ny {
+                let me = idx(i, j);
+                if i > 0 {
+                    adjacency[me].push(idx(i - 1, j));
+                }
+                if i + 1 < nx {
+                    adjacency[me].push(idx(i + 1, j));
+                }
+                if j > 0 {
+                    adjacency[me].push(idx(i, j - 1));
+                }
+                if j + 1 < ny {
+                    adjacency[me].push(idx(i, j + 1));
+                }
+            }
+        }
+        Graph::from_adjacency(&adjacency)
+    }
+
+    #[test]
+    fn trivial_cases() {
+        let g = grid_graph(4, 4);
+        let p1 = partition_graph(&g, &PartitionOptions { num_parts: 1, ..Default::default() });
+        assert!(p1.iter().all(|&p| p == 0));
+        let empty = Graph::from_adjacency(&[]);
+        assert!(partition_graph(&empty, &PartitionOptions::default()).is_empty());
+    }
+
+    #[test]
+    fn all_parts_are_nonempty_and_cover() {
+        let g = grid_graph(20, 20);
+        let opts = PartitionOptions { num_parts: 8, ..Default::default() };
+        let parts = partition_graph(&g, &opts);
+        assert_eq!(parts.len(), 400);
+        let mut counts = vec![0usize; 8];
+        for &p in &parts {
+            assert!(p < 8);
+            counts[p] += 1;
+        }
+        assert!(counts.iter().all(|&c| c > 0), "part sizes {counts:?}");
+    }
+
+    #[test]
+    fn partition_is_reasonably_balanced() {
+        let g = grid_graph(30, 30);
+        let opts = PartitionOptions { num_parts: 9, ..Default::default() };
+        let parts = partition_graph(&g, &opts);
+        let bf = balance_factor(&parts, 9);
+        assert!(bf < 1.35, "balance factor {bf}");
+    }
+
+    #[test]
+    fn edge_cut_is_much_smaller_than_total_edges() {
+        let g = grid_graph(30, 30);
+        let opts = PartitionOptions { num_parts: 4, ..Default::default() };
+        let parts = partition_graph(&g, &opts);
+        let cut = edge_cut(&g, &parts);
+        // A 30x30 grid has 1740 edges; a sane 4-way partition cuts a small fraction.
+        assert!(cut < 300, "edge cut {cut}");
+        assert!(cut > 0);
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let g = grid_graph(15, 15);
+        let opts = PartitionOptions { num_parts: 5, seed: 3, ..Default::default() };
+        let p1 = partition_graph(&g, &opts);
+        let p2 = partition_graph(&g, &opts);
+        assert_eq!(p1, p2);
+    }
+
+    #[test]
+    fn more_parts_than_vertices_degenerates_gracefully() {
+        let g = grid_graph(2, 2);
+        let opts = PartitionOptions { num_parts: 10, ..Default::default() };
+        let parts = partition_graph(&g, &opts);
+        assert_eq!(parts, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn disconnected_graph_is_fully_assigned() {
+        // Two disjoint paths.
+        let adjacency = vec![vec![1], vec![0, 2], vec![1], vec![4], vec![3, 5], vec![4]];
+        let g = Graph::from_adjacency(&adjacency);
+        let opts = PartitionOptions { num_parts: 2, ..Default::default() };
+        let parts = partition_graph(&g, &opts);
+        assert!(parts.iter().all(|&p| p < 2));
+    }
+
+    #[test]
+    fn mesh_partition_sizes_track_target() {
+        // The paper partitions ~7000-node meshes into sub-domains of ~1000.
+        let domain = RandomBlobDomain::generate(4, 20, 1.0);
+        let h = meshgen::generator::element_size_for_target_nodes(&domain, 2000);
+        let mesh = generate_mesh(&domain, &MeshingOptions::with_element_size(h));
+        let g = Graph::from_mesh(&mesh);
+        let k = (mesh.num_nodes() + 499) / 500;
+        let parts = partition_graph(&g, &PartitionOptions { num_parts: k, ..Default::default() });
+        let mut counts = vec![0usize; k];
+        for &p in &parts {
+            counts[p] += 1;
+        }
+        let ideal = mesh.num_nodes() as f64 / k as f64;
+        for &c in &counts {
+            assert!(
+                (c as f64) > 0.5 * ideal && (c as f64) < 1.6 * ideal,
+                "part size {c} vs ideal {ideal}"
+            );
+        }
+    }
+
+    #[test]
+    fn rectangle_mesh_partition_quality() {
+        let d = RectangleDomain::new(0.0, 0.0, 4.0, 1.0);
+        let mesh = generate_mesh(&d, &MeshingOptions::with_element_size(0.07));
+        let g = Graph::from_mesh(&mesh);
+        let parts = partition_graph(&g, &PartitionOptions { num_parts: 4, ..Default::default() });
+        let bf = balance_factor(&parts, 4);
+        assert!(bf < 1.3, "balance {bf}");
+        let cut = edge_cut(&g, &parts);
+        assert!((cut as f64) < 0.2 * g.num_edges() as f64, "cut {cut} of {}", g.num_edges());
+    }
+}

@@ -1,0 +1,510 @@
+//! Compressed Sparse Row matrix.
+//!
+//! CSR is the workhorse format of the whole workspace: the assembled global
+//! Poisson operator, every sub-domain operator `Rᵢ A Rᵢᵀ` and the graphs fed
+//! to the GNN are all stored as [`CsrMatrix`].  The implementation focuses on
+//! the operations the solvers actually need: parallel SpMV, principal
+//! sub-matrix extraction, transpose, symmetry checks and Galerkin triple
+//! products for the coarse space.
+
+use rayon::prelude::*;
+
+use crate::{Result, SparseError};
+
+/// A sparse matrix stored in compressed sparse row format.
+///
+/// Invariants (enforced by [`CsrMatrix::from_raw_parts`]):
+/// * `row_ptr.len() == nrows + 1`, `row_ptr[0] == 0`, non-decreasing,
+/// * `col_idx.len() == values.len() == row_ptr[nrows]`,
+/// * within each row, column indices are strictly increasing and `< ncols`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CsrMatrix {
+    nrows: usize,
+    ncols: usize,
+    row_ptr: Vec<usize>,
+    col_idx: Vec<usize>,
+    values: Vec<f64>,
+}
+
+impl CsrMatrix {
+    /// Build a CSR matrix from raw arrays, validating all invariants.
+    pub fn from_raw_parts(
+        nrows: usize,
+        ncols: usize,
+        row_ptr: Vec<usize>,
+        col_idx: Vec<usize>,
+        values: Vec<f64>,
+    ) -> Result<Self> {
+        if row_ptr.len() != nrows + 1 {
+            return Err(SparseError::InvalidArgument(format!(
+                "row_ptr length {} does not match nrows {} + 1",
+                row_ptr.len(),
+                nrows
+            )));
+        }
+        if row_ptr[0] != 0 {
+            return Err(SparseError::InvalidArgument("row_ptr[0] must be 0".into()));
+        }
+        if col_idx.len() != values.len() || col_idx.len() != *row_ptr.last().unwrap() {
+            return Err(SparseError::InvalidArgument(
+                "col_idx/values length must equal row_ptr[nrows]".into(),
+            ));
+        }
+        for r in 0..nrows {
+            if row_ptr[r] > row_ptr[r + 1] {
+                return Err(SparseError::InvalidArgument(format!(
+                    "row_ptr must be non-decreasing (row {r})"
+                )));
+            }
+            let mut last: Option<usize> = None;
+            for &c in &col_idx[row_ptr[r]..row_ptr[r + 1]] {
+                if c >= ncols {
+                    return Err(SparseError::IndexOutOfBounds { index: c, bound: ncols });
+                }
+                if let Some(prev) = last {
+                    if c <= prev {
+                        return Err(SparseError::InvalidArgument(format!(
+                            "column indices must be strictly increasing within row {r}"
+                        )));
+                    }
+                }
+                last = Some(c);
+            }
+        }
+        Ok(CsrMatrix { nrows, ncols, row_ptr, col_idx, values })
+    }
+
+    /// Identity matrix of size `n`.
+    pub fn identity(n: usize) -> Self {
+        CsrMatrix {
+            nrows: n,
+            ncols: n,
+            row_ptr: (0..=n).collect(),
+            col_idx: (0..n).collect(),
+            values: vec![1.0; n],
+        }
+    }
+
+    /// Build a CSR matrix from a dense row-major slice, keeping entries with
+    /// absolute value larger than `tol`.
+    pub fn from_dense(data: &[f64], nrows: usize, ncols: usize, tol: f64) -> Self {
+        assert_eq!(data.len(), nrows * ncols, "from_dense: data length mismatch");
+        let mut row_ptr = Vec::with_capacity(nrows + 1);
+        let mut col_idx = Vec::new();
+        let mut values = Vec::new();
+        row_ptr.push(0);
+        for r in 0..nrows {
+            for c in 0..ncols {
+                let v = data[r * ncols + c];
+                if v.abs() > tol {
+                    col_idx.push(c);
+                    values.push(v);
+                }
+            }
+            row_ptr.push(col_idx.len());
+        }
+        CsrMatrix { nrows, ncols, row_ptr, col_idx, values }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    /// Number of stored entries.
+    #[inline]
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Row pointer array (length `nrows + 1`).
+    #[inline]
+    pub fn row_ptr(&self) -> &[usize] {
+        &self.row_ptr
+    }
+
+    /// Column index array.
+    #[inline]
+    pub fn col_idx(&self) -> &[usize] {
+        &self.col_idx
+    }
+
+    /// Value array.
+    #[inline]
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Mutable access to the value array (pattern is immutable).
+    #[inline]
+    pub fn values_mut(&mut self) -> &mut [f64] {
+        &mut self.values
+    }
+
+    /// The column indices and values of row `r`.
+    #[inline]
+    pub fn row(&self, r: usize) -> (&[usize], &[f64]) {
+        let lo = self.row_ptr[r];
+        let hi = self.row_ptr[r + 1];
+        (&self.col_idx[lo..hi], &self.values[lo..hi])
+    }
+
+    /// Value at `(row, col)`, 0 when the entry is not stored.
+    pub fn get(&self, row: usize, col: usize) -> f64 {
+        let (cols, vals) = self.row(row);
+        match cols.binary_search(&col) {
+            Ok(k) => vals[k],
+            Err(_) => 0.0,
+        }
+    }
+
+    /// The diagonal as a dense vector (square or rectangular; missing entries
+    /// are zero).
+    pub fn diagonal(&self) -> Vec<f64> {
+        let n = self.nrows.min(self.ncols);
+        (0..n).map(|i| self.get(i, i)).collect()
+    }
+
+    /// Matrix–vector product `y = A x` into a preallocated output, parallel
+    /// over rows.
+    pub fn spmv_into(&self, x: &[f64], y: &mut [f64]) {
+        assert_eq!(x.len(), self.ncols, "spmv: x length mismatch");
+        assert_eq!(y.len(), self.nrows, "spmv: y length mismatch");
+        if self.nrows >= 4096 {
+            y.par_iter_mut().enumerate().for_each(|(r, yr)| {
+                let lo = self.row_ptr[r];
+                let hi = self.row_ptr[r + 1];
+                let mut acc = 0.0;
+                for k in lo..hi {
+                    acc += self.values[k] * x[self.col_idx[k]];
+                }
+                *yr = acc;
+            });
+        } else {
+            for r in 0..self.nrows {
+                let lo = self.row_ptr[r];
+                let hi = self.row_ptr[r + 1];
+                let mut acc = 0.0;
+                for k in lo..hi {
+                    acc += self.values[k] * x[self.col_idx[k]];
+                }
+                y[r] = acc;
+            }
+        }
+    }
+
+    /// Matrix–vector product returning a freshly allocated vector.
+    pub fn spmv(&self, x: &[f64]) -> Vec<f64> {
+        let mut y = vec![0.0; self.nrows];
+        self.spmv_into(x, &mut y);
+        y
+    }
+
+    /// Transposed matrix–vector product `y = Aᵀ x`.
+    pub fn spmv_transpose(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.nrows, "spmv_transpose: x length mismatch");
+        let mut y = vec![0.0; self.ncols];
+        for r in 0..self.nrows {
+            let xr = x[r];
+            if xr == 0.0 {
+                continue;
+            }
+            let lo = self.row_ptr[r];
+            let hi = self.row_ptr[r + 1];
+            for k in lo..hi {
+                y[self.col_idx[k]] += self.values[k] * xr;
+            }
+        }
+        y
+    }
+
+    /// Residual `r = b - A x` into a preallocated buffer.
+    pub fn residual_into(&self, b: &[f64], x: &[f64], r: &mut [f64]) {
+        self.spmv_into(x, r);
+        for i in 0..r.len() {
+            r[i] = b[i] - r[i];
+        }
+    }
+
+    /// Explicit transpose.
+    pub fn transpose(&self) -> CsrMatrix {
+        let mut counts = vec![0usize; self.ncols + 1];
+        for &c in &self.col_idx {
+            counts[c + 1] += 1;
+        }
+        for i in 0..self.ncols {
+            counts[i + 1] += counts[i];
+        }
+        let mut row_ptr = counts.clone();
+        let mut col_idx = vec![0usize; self.nnz()];
+        let mut values = vec![0.0; self.nnz()];
+        let mut cursor = counts;
+        for r in 0..self.nrows {
+            for k in self.row_ptr[r]..self.row_ptr[r + 1] {
+                let c = self.col_idx[k];
+                let pos = cursor[c];
+                col_idx[pos] = r;
+                values[pos] = self.values[k];
+                cursor[c] += 1;
+            }
+        }
+        row_ptr.truncate(self.ncols + 1);
+        CsrMatrix {
+            nrows: self.ncols,
+            ncols: self.nrows,
+            row_ptr,
+            col_idx,
+            values,
+        }
+    }
+
+    /// Check numerical symmetry up to absolute tolerance `tol`.
+    pub fn is_symmetric(&self, tol: f64) -> bool {
+        if self.nrows != self.ncols {
+            return false;
+        }
+        for r in 0..self.nrows {
+            let (cols, vals) = self.row(r);
+            for (&c, &v) in cols.iter().zip(vals.iter()) {
+                if (v - self.get(c, r)).abs() > tol {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Extract the principal sub-matrix `A[idx, idx]`.
+    ///
+    /// `idx` lists global indices (need not be sorted, must be unique).  The
+    /// result is a `idx.len() × idx.len()` CSR matrix whose local ordering
+    /// follows `idx`.  This is exactly the `Rᵢ A Rᵢᵀ` operator of the Schwarz
+    /// method when `idx` enumerates the nodes of sub-domain `i`.
+    pub fn principal_submatrix(&self, idx: &[usize]) -> CsrMatrix {
+        let n = idx.len();
+        // Global → local map, usize::MAX marks "not in the sub-domain".
+        let mut glob_to_loc = vec![usize::MAX; self.ncols];
+        for (loc, &g) in idx.iter().enumerate() {
+            debug_assert!(g < self.nrows, "principal_submatrix: index out of bounds");
+            glob_to_loc[g] = loc;
+        }
+        let mut row_ptr = Vec::with_capacity(n + 1);
+        let mut col_idx = Vec::new();
+        let mut values = Vec::new();
+        row_ptr.push(0);
+        let mut scratch: Vec<(usize, f64)> = Vec::new();
+        for &g in idx {
+            scratch.clear();
+            let (cols, vals) = self.row(g);
+            for (&c, &v) in cols.iter().zip(vals.iter()) {
+                let loc = glob_to_loc[c];
+                if loc != usize::MAX {
+                    scratch.push((loc, v));
+                }
+            }
+            scratch.sort_unstable_by_key(|&(c, _)| c);
+            for &(c, v) in &scratch {
+                col_idx.push(c);
+                values.push(v);
+            }
+            row_ptr.push(col_idx.len());
+        }
+        CsrMatrix { nrows: n, ncols: n, row_ptr, col_idx, values }
+    }
+
+    /// Galerkin triple product `R A Rᵀ` where `R` is a dense `k × n` matrix
+    /// given row-wise as `k` dense vectors.  Returns a dense row-major `k × k`
+    /// array.  Used for the Nicolaides coarse operator (small `k`).
+    pub fn galerkin_product(&self, r_rows: &[Vec<f64>]) -> Vec<f64> {
+        let k = r_rows.len();
+        let n = self.nrows;
+        for row in r_rows {
+            assert_eq!(row.len(), n, "galerkin_product: R row length mismatch");
+        }
+        // tmp_j = A * R_jᵀ  (n-vector per coarse dof)
+        let tmp: Vec<Vec<f64>> = r_rows.par_iter().map(|rj| self.spmv(rj)).collect();
+        let mut out = vec![0.0; k * k];
+        for i in 0..k {
+            for j in 0..k {
+                out[i * k + j] = crate::vector::dot(&r_rows[i], &tmp[j]);
+            }
+        }
+        out
+    }
+
+    /// Frobenius norm.
+    pub fn frobenius_norm(&self) -> f64 {
+        self.values.iter().map(|v| v * v).sum::<f64>().sqrt()
+    }
+
+    /// Scale all stored values by `alpha`.
+    pub fn scale(&mut self, alpha: f64) {
+        for v in &mut self.values {
+            *v *= alpha;
+        }
+    }
+
+    /// Convert to a dense row-major vector (for small matrices / testing).
+    pub fn to_dense(&self) -> Vec<f64> {
+        let mut out = vec![0.0; self.nrows * self.ncols];
+        for r in 0..self.nrows {
+            let (cols, vals) = self.row(r);
+            for (&c, &v) in cols.iter().zip(vals.iter()) {
+                out[r * self.ncols + c] = v;
+            }
+        }
+        out
+    }
+
+    /// Number of stored entries in the strictly lower triangle.
+    pub fn lower_nnz(&self) -> usize {
+        let mut count = 0;
+        for r in 0..self.nrows {
+            let (cols, _) = self.row(r);
+            count += cols.iter().filter(|&&c| c < r).count();
+        }
+        count
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CooMatrix;
+
+    fn sample_matrix() -> CsrMatrix {
+        // [ 4 -1  0]
+        // [-1  4 -1]
+        // [ 0 -1  4]
+        let mut coo = CooMatrix::new(3, 3);
+        for i in 0..3 {
+            coo.push(i, i, 4.0).unwrap();
+        }
+        coo.push(0, 1, -1.0).unwrap();
+        coo.push(1, 0, -1.0).unwrap();
+        coo.push(1, 2, -1.0).unwrap();
+        coo.push(2, 1, -1.0).unwrap();
+        coo.to_csr()
+    }
+
+    #[test]
+    fn from_raw_parts_validation() {
+        assert!(CsrMatrix::from_raw_parts(2, 2, vec![0, 1, 2], vec![0, 1], vec![1.0, 1.0]).is_ok());
+        // bad row_ptr length
+        assert!(CsrMatrix::from_raw_parts(2, 2, vec![0, 1], vec![0], vec![1.0]).is_err());
+        // column out of bounds
+        assert!(CsrMatrix::from_raw_parts(1, 1, vec![0, 1], vec![3], vec![1.0]).is_err());
+        // unsorted columns
+        assert!(
+            CsrMatrix::from_raw_parts(1, 3, vec![0, 2], vec![2, 0], vec![1.0, 1.0]).is_err()
+        );
+        // decreasing row_ptr
+        assert!(CsrMatrix::from_raw_parts(2, 2, vec![0, 2, 1], vec![0, 1], vec![1.0, 1.0]).is_err());
+    }
+
+    #[test]
+    fn spmv_and_residual() {
+        let a = sample_matrix();
+        let x = vec![1.0, 2.0, 3.0];
+        let y = a.spmv(&x);
+        assert_eq!(y, vec![2.0, 4.0, 10.0]);
+        let mut r = vec![0.0; 3];
+        a.residual_into(&[2.0, 4.0, 10.0], &x, &mut r);
+        assert_eq!(r, vec![0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn identity_and_get() {
+        let id = CsrMatrix::identity(4);
+        assert_eq!(id.nnz(), 4);
+        let x = vec![1.0, -2.0, 3.0, 0.5];
+        assert_eq!(id.spmv(&x), x);
+        assert_eq!(id.get(2, 2), 1.0);
+        assert_eq!(id.get(2, 3), 0.0);
+    }
+
+    #[test]
+    fn transpose_roundtrip() {
+        let mut coo = CooMatrix::new(2, 3);
+        coo.push(0, 0, 1.0).unwrap();
+        coo.push(0, 2, 2.0).unwrap();
+        coo.push(1, 1, 3.0).unwrap();
+        let a = coo.to_csr();
+        let at = a.transpose();
+        assert_eq!(at.nrows(), 3);
+        assert_eq!(at.ncols(), 2);
+        assert_eq!(at.get(2, 0), 2.0);
+        let att = at.transpose();
+        assert_eq!(att, a);
+    }
+
+    #[test]
+    fn spmv_transpose_matches_explicit_transpose() {
+        let a = sample_matrix();
+        let x = vec![1.0, -1.0, 2.0];
+        assert_eq!(a.spmv_transpose(&x), a.transpose().spmv(&x));
+    }
+
+    #[test]
+    fn symmetry_check() {
+        let a = sample_matrix();
+        assert!(a.is_symmetric(1e-14));
+        let mut coo = CooMatrix::new(2, 2);
+        coo.push(0, 1, 1.0).unwrap();
+        assert!(!coo.to_csr().is_symmetric(1e-14));
+    }
+
+    #[test]
+    fn principal_submatrix_extraction() {
+        let a = sample_matrix();
+        let sub = a.principal_submatrix(&[2, 1]);
+        // local ordering follows idx: local 0 = global 2, local 1 = global 1
+        assert_eq!(sub.nrows(), 2);
+        assert_eq!(sub.get(0, 0), 4.0);
+        assert_eq!(sub.get(0, 1), -1.0);
+        assert_eq!(sub.get(1, 0), -1.0);
+        assert_eq!(sub.get(1, 1), 4.0);
+    }
+
+    #[test]
+    fn galerkin_product_small() {
+        let a = sample_matrix();
+        // R = [1 1 0; 0 0 1]
+        let r = vec![vec![1.0, 1.0, 0.0], vec![0.0, 0.0, 1.0]];
+        let g = a.galerkin_product(&r);
+        // R A Rᵀ = [[6, -1], [-1, 4]]
+        assert_eq!(g, vec![6.0, -1.0, -1.0, 4.0]);
+    }
+
+    #[test]
+    fn dense_roundtrip_and_norm() {
+        let a = sample_matrix();
+        let d = a.to_dense();
+        let b = CsrMatrix::from_dense(&d, 3, 3, 0.0);
+        assert_eq!(a, b);
+        assert!((a.frobenius_norm() - (3.0 * 16.0 + 4.0_f64).sqrt()).abs() < 1e-12);
+        assert_eq!(a.lower_nnz(), 2);
+    }
+
+    #[test]
+    fn scale_and_values_mut() {
+        let mut a = sample_matrix();
+        a.scale(2.0);
+        assert_eq!(a.get(0, 0), 8.0);
+        a.values_mut()[0] = 1.0;
+        assert_eq!(a.values()[0], 1.0);
+    }
+
+    #[test]
+    fn diagonal_extraction() {
+        let a = sample_matrix();
+        assert_eq!(a.diagonal(), vec![4.0, 4.0, 4.0]);
+    }
+}

@@ -1,0 +1,114 @@
+//! Error type shared by all linear-algebra operations in this crate.
+
+use std::fmt;
+
+/// Errors produced by matrix construction, factorisation and solves.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SparseError {
+    /// Two operands have incompatible dimensions.
+    DimensionMismatch {
+        /// Human readable description of the operation that failed.
+        op: &'static str,
+        /// Dimensions that were expected.
+        expected: (usize, usize),
+        /// Dimensions that were found.
+        found: (usize, usize),
+    },
+    /// A triplet or index refers to a row/column outside the matrix.
+    IndexOutOfBounds {
+        /// The offending index.
+        index: usize,
+        /// The exclusive bound it must stay below.
+        bound: usize,
+    },
+    /// A factorisation encountered a (numerically) singular pivot.
+    SingularMatrix {
+        /// Pivot position at which the breakdown happened.
+        pivot: usize,
+        /// Value of the offending pivot.
+        value: f64,
+    },
+    /// A factorisation requiring symmetric positive definiteness found a
+    /// non-positive diagonal entry.
+    NotPositiveDefinite {
+        /// Row at which the breakdown happened.
+        row: usize,
+        /// The non-positive value encountered.
+        value: f64,
+    },
+    /// The input matrix was expected to be square.
+    NotSquare {
+        /// Number of rows found.
+        rows: usize,
+        /// Number of columns found.
+        cols: usize,
+    },
+    /// Generic invalid-argument error with a description.
+    InvalidArgument(String),
+}
+
+impl fmt::Display for SparseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SparseError::DimensionMismatch { op, expected, found } => write!(
+                f,
+                "dimension mismatch in {op}: expected {}x{}, found {}x{}",
+                expected.0, expected.1, found.0, found.1
+            ),
+            SparseError::IndexOutOfBounds { index, bound } => {
+                write!(f, "index {index} out of bounds (must be < {bound})")
+            }
+            SparseError::SingularMatrix { pivot, value } => {
+                write!(f, "singular matrix: pivot {pivot} has value {value:e}")
+            }
+            SparseError::NotPositiveDefinite { row, value } => {
+                write!(f, "matrix not positive definite: diagonal {row} -> {value:e}")
+            }
+            SparseError::NotSquare { rows, cols } => {
+                write!(f, "matrix must be square, found {rows}x{cols}")
+            }
+            SparseError::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SparseError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_dimension_mismatch() {
+        let err = SparseError::DimensionMismatch {
+            op: "spmv",
+            expected: (3, 4),
+            found: (2, 2),
+        };
+        let text = err.to_string();
+        assert!(text.contains("spmv"));
+        assert!(text.contains("3x4"));
+        assert!(text.contains("2x2"));
+    }
+
+    #[test]
+    fn display_singular() {
+        let err = SparseError::SingularMatrix { pivot: 5, value: 0.0 };
+        assert!(err.to_string().contains("pivot 5"));
+    }
+
+    #[test]
+    fn display_not_positive_definite() {
+        let err = SparseError::NotPositiveDefinite { row: 2, value: -1.0 };
+        assert!(err.to_string().contains("positive definite"));
+    }
+
+    #[test]
+    fn display_out_of_bounds_and_square() {
+        assert!(SparseError::IndexOutOfBounds { index: 9, bound: 3 }
+            .to_string()
+            .contains("9"));
+        assert!(SparseError::NotSquare { rows: 2, cols: 3 }.to_string().contains("2x3"));
+        assert!(SparseError::InvalidArgument("bad".into()).to_string().contains("bad"));
+    }
+}

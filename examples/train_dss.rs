@@ -1,0 +1,106 @@
+//! Train a Deep Statistical Solver on locally extracted sub-domain problems
+//! and verify that the resulting DDM-GNN preconditioner accelerates PCG.
+//!
+//! Run with:
+//!
+//! ```bash
+//! cargo run --release --example train_dss
+//! ```
+//!
+//! Environment variables scale the run up towards the paper's configuration:
+//! `DSS_BLOCKS` (k̄), `DSS_LATENT` (d), `DSS_EPOCHS`, `DSS_SAMPLES`,
+//! `DSS_SUBDOMAIN` (local problem size) and `DSS_MODEL_OUT` (path to save the
+//! trained model for reuse by the other examples and the benchmark harness).
+
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use ddm_gnn::{generate_problem, solve_cg, solve_ddm_gnn, solve_ddm_lu, PipelineConfig};
+use gnn::{AdamConfig, DatasetConfig, DssConfig, TrainingConfig};
+use krylov::SolverOptions;
+use partition::partition_mesh_with_overlap;
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+}
+
+fn main() {
+    let blocks = env_usize("DSS_BLOCKS", 10);
+    let latent = env_usize("DSS_LATENT", 10);
+    let epochs = env_usize("DSS_EPOCHS", 60);
+    let samples = env_usize("DSS_SAMPLES", 150);
+    let subdomain = env_usize("DSS_SUBDOMAIN", 300);
+
+    println!("=== DDM-GNN: training a Deep Statistical Solver ===");
+    println!("architecture: k̄ = {blocks}, d = {latent}");
+
+    let config = PipelineConfig {
+        dss: DssConfig { num_blocks: blocks, latent_dim: latent, alpha: 1.0 / blocks as f64 },
+        dataset: DatasetConfig {
+            num_global_problems: 4,
+            target_nodes: subdomain * 4,
+            subdomain_size: subdomain,
+            overlap: 2,
+            max_iterations_per_problem: 15,
+            max_samples: Some(samples),
+            seed: 1,
+            ..Default::default()
+        },
+        training: TrainingConfig {
+            epochs,
+            batch_size: 16,
+            adam: AdamConfig { learning_rate: 5e-3, clip_norm: Some(1.0), ..Default::default() },
+            validation_fraction: 0.15,
+            lr_patience: 8,
+            lr_factor: 0.3,
+            seed: 2,
+            log_every: 10,
+        },
+        model_seed: 3,
+    };
+
+    let start = std::time::Instant::now();
+    let trained = ddm_gnn::train_model(&config);
+    println!(
+        "trained on {} samples in {:.1}s — {} weights",
+        trained.num_samples,
+        start.elapsed().as_secs_f64(),
+        trained.model.num_params()
+    );
+    println!(
+        "evaluation: residual = {:.4} ± {:.4}, relative error = {:.3} ± {:.3}",
+        trained.metrics.residual_mean,
+        trained.metrics.residual_std,
+        trained.metrics.relative_error_mean,
+        trained.metrics.relative_error_std
+    );
+
+    // Verify the preconditioner on a fresh, unseen global problem.
+    let problem = generate_problem(99, subdomain * 5);
+    let subdomains = partition_mesh_with_overlap(&problem.mesh, subdomain, 2, 0);
+    println!(
+        "\nvalidation problem: N = {}, K = {} sub-domains",
+        problem.num_unknowns(),
+        subdomains.len()
+    );
+    let opts = SolverOptions::with_tolerance(1e-6).max_iterations(3000);
+    let cg = solve_cg(&problem, &opts);
+    let lu = solve_ddm_lu(&problem, subdomains.clone(), true, &opts).expect("DDM-LU setup");
+    let gnn = solve_ddm_gnn(&problem, subdomains, Arc::new(trained.model.clone()), true, &opts)
+        .expect("DDM-GNN setup");
+    println!("  CG      : {:>4} iterations, {:.3}s", cg.stats.iterations, cg.total_seconds);
+    println!(
+        "  DDM-LU  : {:>4} iterations, {:.3}s (T_lu  = {:.3}s)",
+        lu.stats.iterations, lu.total_seconds, lu.preconditioner_seconds
+    );
+    println!(
+        "  DDM-GNN : {:>4} iterations, {:.3}s (T_gnn = {:.3}s)",
+        gnn.stats.iterations, gnn.total_seconds, gnn.preconditioner_seconds
+    );
+
+    if let Ok(path) = std::env::var("DSS_MODEL_OUT") {
+        let path = PathBuf::from(path);
+        gnn::io::save_model(&path, &trained.model).expect("saving the model");
+        println!("\nmodel saved to {}", path.display());
+    }
+}

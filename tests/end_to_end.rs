@@ -1,0 +1,181 @@
+//! Integration tests spanning the whole workspace: mesh generation → FEM
+//! assembly → partitioning → Schwarz decomposition → GNN preconditioning →
+//! hybrid PCG solve.
+
+use std::sync::Arc;
+
+use ddm_gnn_suite::*;
+
+use ddm::{AdditiveSchwarz, AsmLevel};
+use fem::PoissonProblem;
+use krylov::{preconditioned_conjugate_gradient, SolverOptions};
+use meshgen::{generate_mesh, FormulaOneDomain, MeshingOptions, RandomBlobDomain};
+use partition::partition_mesh_with_overlap;
+
+/// The full numerical pipeline without any learned component: mesh a random
+/// domain, assemble, partition, precondition with two-level ASM and solve.
+#[test]
+fn full_pipeline_with_exact_local_solvers() {
+    let domain = RandomBlobDomain::generate(3, 20, 1.0);
+    let h = meshgen::generator::element_size_for_target_nodes(&domain, 1500);
+    let mesh = generate_mesh(&domain, &MeshingOptions::with_element_size(h).seed(3));
+    assert!(mesh.is_connected());
+    let problem = PoissonProblem::with_random_data(mesh, 1);
+    let subdomains = partition_mesh_with_overlap(&problem.mesh, 300, 2, 0);
+    assert!(subdomains.len() >= 3);
+
+    let asm =
+        AdditiveSchwarz::new(&problem.matrix, subdomains, AsmLevel::TwoLevel).expect("ASM setup");
+    let opts = SolverOptions::with_tolerance(1e-8);
+    let result = preconditioned_conjugate_gradient(
+        &problem.matrix,
+        &problem.rhs,
+        None,
+        &asm,
+        &opts,
+    );
+    assert!(result.stats.converged());
+    assert!(krylov::true_relative_residual(&problem.matrix, &result.x, &problem.rhs) < 1e-7);
+
+    // Cross-check against a direct solve.
+    let chol = sparse::SkylineCholesky::factor(&problem.matrix).expect("SPD matrix");
+    let exact = chol.solve(&problem.rhs).unwrap();
+    assert!(sparse::vector::relative_error(&result.x, &exact) < 1e-5);
+}
+
+/// The hybrid solver with the shipped (or fallback) GNN model converges on a
+/// freshly generated problem it has never seen, and the solution matches the
+/// exact-preconditioner run.
+#[test]
+fn hybrid_solver_end_to_end_on_unseen_problem() {
+    let problem = ddm_gnn::generate_problem(12345, 1800);
+    let model = ddm_gnn::load_pretrained().unwrap_or_else(|| {
+        ddm_gnn::train_model(&ddm_gnn::PipelineConfig::default()).model
+    });
+    let solver = ddm_gnn::HybridSolver::new(
+        model,
+        ddm_gnn::HybridSolverConfig {
+            subdomain_size: 200,
+            overlap: 2,
+            tolerance: 1e-6,
+            ..Default::default()
+        },
+    );
+    let gnn = solver.solve(&problem).expect("DDM-GNN solve");
+    let lu = solver.solve_with_exact_local_solver(&problem).expect("DDM-LU solve");
+    assert!(gnn.stats.converged(), "hybrid solver must converge on unseen problems");
+    assert!(lu.stats.converged());
+    assert!(sparse::vector::relative_error(&gnn.x, &lu.x) < 1e-3);
+    // The exact preconditioner is at least as good in iteration count.
+    assert!(lu.stats.iterations <= gnn.stats.iterations);
+}
+
+/// Out-of-distribution geometry: the hybrid pipeline handles a domain with
+/// holes (the Fig. 5 scenario at a reduced size).
+#[test]
+fn formula_one_domain_with_holes_is_solvable() {
+    let domain = FormulaOneDomain::new(1.0);
+    let h = meshgen::generator::element_size_for_target_nodes(&domain, 2500);
+    let mesh = generate_mesh(&domain, &MeshingOptions::with_element_size(h).seed(2));
+    assert!(mesh.num_boundary_nodes() > 100, "holes must contribute boundary nodes");
+    let problem = PoissonProblem::with_random_data(mesh, 9);
+    let subdomains = partition_mesh_with_overlap(&problem.mesh, 250, 2, 0);
+    let asm = AdditiveSchwarz::new(&problem.matrix, subdomains, AsmLevel::TwoLevel).unwrap();
+    let result = preconditioned_conjugate_gradient(
+        &problem.matrix,
+        &problem.rhs,
+        None,
+        &asm,
+        &SolverOptions::with_tolerance(1e-9),
+    );
+    assert!(result.stats.converged());
+}
+
+/// Out-of-distribution sub-domain sizes (the Table I ablation): the same
+/// trained model is reused with smaller and larger sub-domains and the hybrid
+/// solver still converges.
+#[test]
+fn gnn_preconditioner_generalises_across_subdomain_sizes() {
+    let model = Arc::new(ddm_gnn::load_pretrained().unwrap_or_else(|| {
+        ddm_gnn::train_model(&ddm_gnn::PipelineConfig::default()).model
+    }));
+    let problem = ddm_gnn::generate_problem(777, 1500);
+    let opts = SolverOptions::with_tolerance(1e-6).max_iterations(20_000);
+    let cg = ddm_gnn::solve_cg(&problem, &opts);
+    for subdomain_size in [120usize, 200, 350] {
+        let subdomains =
+            partition_mesh_with_overlap(&problem.mesh, subdomain_size, 2, 0);
+        let outcome = ddm_gnn::solve_ddm_gnn(
+            &problem,
+            subdomains,
+            Arc::clone(&model),
+            true,
+            &opts,
+        )
+        .expect("DDM-GNN solve");
+        assert!(
+            outcome.stats.converged(),
+            "must converge with sub-domain size {subdomain_size}"
+        );
+        assert!(
+            outcome.stats.iterations < cg.stats.iterations,
+            "DDM-GNN ({}) should beat plain CG ({}) at sub-domain size {subdomain_size}",
+            outcome.stats.iterations,
+            cg.stats.iterations
+        );
+    }
+}
+
+/// Larger overlap must not hurt the exact Schwarz preconditioner (Table I's
+/// overlap ablation).
+#[test]
+fn larger_overlap_does_not_degrade_ddm_lu() {
+    let problem = ddm_gnn::generate_problem(55, 1500);
+    let opts = SolverOptions::with_tolerance(1e-6);
+    let sd2 = partition_mesh_with_overlap(&problem.mesh, 250, 2, 0);
+    let sd4 = partition_mesh_with_overlap(&problem.mesh, 250, 4, 0);
+    let r2 = ddm_gnn::solve_ddm_lu(&problem, sd2, true, &opts).unwrap();
+    let r4 = ddm_gnn::solve_ddm_lu(&problem, sd4, true, &opts).unwrap();
+    assert!(r2.stats.converged() && r4.stats.converged());
+    assert!(r4.stats.iterations <= r2.stats.iterations + 1);
+}
+
+/// The dataset → training → preconditioning loop is exercised end to end with
+/// a tiny configuration (independent of the shipped pre-trained weights).
+#[test]
+fn small_training_pipeline_produces_working_preconditioner() {
+    let config = ddm_gnn::PipelineConfig {
+        dss: gnn::DssConfig { num_blocks: 4, latent_dim: 6, alpha: 0.25 },
+        dataset: gnn::DatasetConfig {
+            num_global_problems: 1,
+            target_nodes: 500,
+            subdomain_size: 150,
+            overlap: 2,
+            max_iterations_per_problem: 8,
+            max_samples: Some(40),
+            seed: 21,
+            ..Default::default()
+        },
+        training: gnn::TrainingConfig {
+            epochs: 10,
+            batch_size: 10,
+            seed: 22,
+            ..Default::default()
+        },
+        model_seed: 23,
+    };
+    let trained = ddm_gnn::train_model(&config);
+    let problem = ddm_gnn::generate_problem(404, 700);
+    let subdomains = partition_mesh_with_overlap(&problem.mesh, 150, 2, 0);
+    let outcome = ddm_gnn::solve_ddm_gnn(
+        &problem,
+        subdomains,
+        Arc::new(trained.model),
+        true,
+        &SolverOptions::with_tolerance(1e-6).max_iterations(20_000),
+    )
+    .unwrap();
+    // Even a lightly trained model must preserve the convergence guarantee of
+    // the outer Krylov method (the central claim of the hybrid approach).
+    assert!(outcome.stats.converged());
+}

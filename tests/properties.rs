@@ -1,0 +1,130 @@
+//! Property-based tests on the core numerical invariants, spanning crates.
+
+use ddm_gnn_suite::*;
+
+use proptest::prelude::*;
+use sparse::{CooMatrix, CsrMatrix};
+
+/// Build a random sparse SPD matrix of size `n`: diagonally dominant with
+/// random symmetric off-diagonal couplings.
+fn random_spd(n: usize, entries: &[(usize, usize, f64)]) -> CsrMatrix {
+    let mut coo = CooMatrix::new(n, n);
+    let mut diag = vec![1.0; n];
+    for &(i, j, v) in entries {
+        let (i, j) = (i % n, j % n);
+        if i == j {
+            continue;
+        }
+        coo.push(i, j, -v.abs()).unwrap();
+        coo.push(j, i, -v.abs()).unwrap();
+        diag[i] += v.abs();
+        diag[j] += v.abs();
+    }
+    for (i, &d) in diag.iter().enumerate() {
+        coo.push(i, i, d).unwrap();
+    }
+    coo.to_csr()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// CG solves every diagonally dominant SPD system to the requested
+    /// tolerance.
+    #[test]
+    fn cg_solves_random_spd_systems(
+        entries in proptest::collection::vec((0usize..30, 0usize..30, 0.1f64..2.0), 10..60),
+        rhs_seed in 0u64..1000,
+    ) {
+        let n = 30;
+        let a = random_spd(n, &entries);
+        let b: Vec<f64> = (0..n).map(|i| (((i as u64 + rhs_seed) * 37 % 23) as f64) - 11.0).collect();
+        let result = krylov::conjugate_gradient(&a, &b, None, &krylov::SolverOptions::with_tolerance(1e-10));
+        prop_assert!(result.stats.converged());
+        prop_assert!(krylov::true_relative_residual(&a, &result.x, &b) < 1e-8);
+    }
+
+    /// The sparse Cholesky factorisation agrees with dense LU on random SPD
+    /// systems.
+    #[test]
+    fn cholesky_matches_lu(
+        entries in proptest::collection::vec((0usize..25, 0usize..25, 0.1f64..2.0), 10..50),
+    ) {
+        let n = 25;
+        let a = random_spd(n, &entries);
+        let b: Vec<f64> = (0..n).map(|i| (i as f64 * 0.37).sin()).collect();
+        let chol = sparse::SkylineCholesky::factor(&a).unwrap();
+        let lu = sparse::LuFactor::factor_csr(&a).unwrap();
+        let x1 = chol.solve(&b).unwrap();
+        let x2 = lu.solve(&b).unwrap();
+        prop_assert!(sparse::vector::relative_error(&x1, &x2) < 1e-8);
+    }
+
+    /// Restriction/extension round trips: extending a local vector and
+    /// restricting it back is the identity on the sub-domain.
+    #[test]
+    fn restriction_extension_roundtrip(
+        raw_indices in proptest::collection::btree_set(0usize..50, 1..20),
+        values in proptest::collection::vec(-10.0f64..10.0, 20),
+    ) {
+        let indices: Vec<usize> = raw_indices.into_iter().collect();
+        let r = ddm::Restriction::new(indices.clone(), 50);
+        let local: Vec<f64> = values.iter().take(indices.len()).copied().collect();
+        let mut global = vec![0.0; 50];
+        r.extend_add(&local, &mut global);
+        let back = r.restrict(&global);
+        prop_assert_eq!(back, local);
+    }
+
+    /// The physics-informed loss is zero exactly at the solution and positive
+    /// elsewhere, for every random SPD local system.
+    #[test]
+    fn residual_loss_separates_solutions(
+        entries in proptest::collection::vec((0usize..15, 0usize..15, 0.1f64..2.0), 5..30),
+        perturbation in 0.05f64..5.0,
+    ) {
+        let n = 15;
+        let a = random_spd(n, &entries);
+        let b: Vec<f64> = (0..n).map(|i| ((i * 7 % 5) as f64) - 2.0).collect();
+        let lu = sparse::LuFactor::factor_csr(&a).unwrap();
+        let exact = lu.solve(&b).unwrap();
+        prop_assert!(gnn::loss::residual_loss(&a, &b, &exact) < 1e-18);
+        let off: Vec<f64> = exact.iter().enumerate().map(|(i, v)| v + if i == 0 { perturbation } else { 0.0 }).collect();
+        prop_assert!(gnn::loss::residual_loss(&a, &b, &off) > 1e-12);
+    }
+
+    /// Partitions always cover every node, use every part index at most once
+    /// per node and produce sub-domains whose union is the whole graph after
+    /// overlap growth.
+    #[test]
+    fn partition_covers_mesh(seed in 0u64..50, target in 80usize..220) {
+        let domain = meshgen::RandomBlobDomain::generate(seed, 12, 1.0);
+        let h = meshgen::generator::element_size_for_target_nodes(&domain, 600);
+        let mesh = meshgen::generate_mesh(&domain, &meshgen::MeshingOptions::with_element_size(h).seed(seed));
+        let subdomains = partition::partition_mesh_with_overlap(&mesh, target, 2, seed);
+        let mut covered = vec![false; mesh.num_nodes()];
+        for sd in &subdomains {
+            for &v in sd {
+                prop_assert!(v < mesh.num_nodes());
+                covered[v] = true;
+            }
+        }
+        prop_assert!(covered.into_iter().all(|c| c));
+    }
+
+    /// FEM assembly always yields a symmetric positive definite matrix with
+    /// identity rows at Dirichlet nodes, for random domains and data.
+    #[test]
+    fn assembled_poisson_matrix_is_spd(seed in 0u64..40) {
+        let problem = ddm_gnn::generate_problem(seed, 400);
+        prop_assert!(problem.matrix.is_symmetric(1e-9));
+        prop_assert!(sparse::SkylineCholesky::factor(&problem.matrix).is_ok());
+        for i in 0..problem.num_unknowns() {
+            if problem.dirichlet[i] {
+                let (cols, vals) = problem.matrix.row(i);
+                prop_assert_eq!(cols, &[i]);
+                prop_assert_eq!(vals, &[1.0]);
+            }
+        }
+    }
+}
