@@ -33,8 +33,9 @@ fn bench_preconditioner_apply(c: &mut Criterion) {
 
     // An untrained model has the same computational cost as a trained one, so
     // the benchmark does not depend on the shipped weights.
-    let model = ddm_gnn::load_pretrained()
-        .unwrap_or_else(|| DssModel::new(DssConfig { num_blocks: 16, latent_dim: 10, alpha: 1e-3 }, 0));
+    let model = ddm_gnn::load_pretrained().unwrap_or_else(|| {
+        DssModel::new(DssConfig { num_blocks: 16, latent_dim: 10, alpha: 1e-3 }, 0)
+    });
     let gnn_precond =
         DdmGnnPreconditioner::new(&problem, subdomains.clone(), Arc::new(model), true).unwrap();
     group.bench_function(format!("ddm_gnn_k{}", subdomains.len()), |b| {
@@ -58,7 +59,8 @@ fn bench_preconditioner_setup(c: &mut Criterion) {
             AdditiveSchwarz::new(&problem.matrix, subdomains.clone(), AsmLevel::TwoLevel).unwrap()
         })
     });
-    let model = Arc::new(DssModel::new(DssConfig { num_blocks: 10, latent_dim: 10, alpha: 1e-3 }, 0));
+    let model =
+        Arc::new(DssModel::new(DssConfig { num_blocks: 10, latent_dim: 10, alpha: 1e-3 }, 0));
     group.bench_function("ddm_gnn_setup", |b| {
         b.iter(|| {
             DdmGnnPreconditioner::new(&problem, subdomains.clone(), Arc::clone(&model), true)

@@ -61,7 +61,9 @@ fn main() {
         ..Default::default()
     });
 
-    println!("\nFIG. 6 — performance vs architecture (evaluation problems of ~{target_nodes} nodes)");
+    println!(
+        "\nFIG. 6 — performance vs architecture (evaluation problems of ~{target_nodes} nodes)"
+    );
     println!(
         "{:>4} {:>4} | {:>10} {:>16} {:>14} {:>12}",
         "k̄", "d", "weights", "T_gnn/solve [s]", "total T [s]", "iterations"

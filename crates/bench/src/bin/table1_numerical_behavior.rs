@@ -59,8 +59,7 @@ fn main() {
                 let seed = 1000 + p as u64 + target_n as u64;
                 let problem = generate_problem(seed, target_n);
                 actual_n.push(problem.num_unknowns() as f64);
-                let subdomains =
-                    partition_mesh_with_overlap(&problem.mesh, ns, overlap, seed);
+                let subdomains = partition_mesh_with_overlap(&problem.mesh, ns, overlap, seed);
                 ks.push(subdomains.len() as f64);
                 let gnn =
                     solve_ddm_gnn(&problem, subdomains.clone(), Arc::clone(&model), true, &opts)

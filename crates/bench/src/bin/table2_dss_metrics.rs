@@ -62,8 +62,10 @@ fn main() {
     );
     let mut csv_rows = Vec::new();
     for (kbar, d) in grid {
-        let mut model =
-            DssModel::new(DssConfig { num_blocks: kbar, latent_dim: d, alpha: 1.0 / kbar as f64 }, 3);
+        let mut model = DssModel::new(
+            DssConfig { num_blocks: kbar, latent_dim: d, alpha: 1.0 / kbar as f64 },
+            3,
+        );
         let config = TrainingConfig {
             epochs,
             batch_size: 16,

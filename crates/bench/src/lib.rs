@@ -59,7 +59,9 @@ pub fn load_or_train_model() -> DssModel {
             model
         }
         None => {
-            println!("no pre-trained model found — training a small model first (see train_dss example)");
+            println!(
+                "no pre-trained model found — training a small model first (see train_dss example)"
+            );
             ddm_gnn::train_model(&ddm_gnn::PipelineConfig::default()).model
         }
     }
@@ -71,8 +73,7 @@ pub fn mean_std(values: &[f64]) -> (f64, f64) {
         return (f64::NAN, f64::NAN);
     }
     let mean = values.iter().sum::<f64>() / values.len() as f64;
-    let var =
-        values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / values.len() as f64;
+    let var = values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / values.len() as f64;
     (mean, var.sqrt())
 }
 

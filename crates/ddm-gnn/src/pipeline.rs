@@ -7,8 +7,8 @@
 
 use fem::PoissonProblem;
 use gnn::{
-    extract_local_problems, train, DatasetConfig, DssConfig, DssModel, EvalMetrics,
-    TrainingConfig, TrainingReport,
+    extract_local_problems, train, DatasetConfig, DssConfig, DssModel, EvalMetrics, TrainingConfig,
+    TrainingReport,
 };
 use meshgen::{generate_mesh, Domain, MeshingOptions, RandomBlobDomain};
 
@@ -21,11 +21,7 @@ pub fn generate_problem(seed: u64, target_nodes: usize) -> PoissonProblem {
 }
 
 /// Generate a Poisson problem with random data on an arbitrary domain.
-pub fn generate_problem_on(
-    domain: &dyn Domain,
-    seed: u64,
-    target_nodes: usize,
-) -> PoissonProblem {
+pub fn generate_problem_on(domain: &dyn Domain, seed: u64, target_nodes: usize) -> PoissonProblem {
     let h = meshgen::generator::element_size_for_target_nodes(domain, target_nodes);
     let mesh = generate_mesh(domain, &MeshingOptions::with_element_size(h).seed(seed));
     PoissonProblem::with_random_data(mesh, seed.wrapping_mul(31).wrapping_add(7))
@@ -62,12 +58,7 @@ impl Default for PipelineConfig {
                 seed: 1,
                 ..Default::default()
             },
-            training: TrainingConfig {
-                epochs: 40,
-                batch_size: 16,
-                seed: 2,
-                ..Default::default()
-            },
+            training: TrainingConfig { epochs: 40, batch_size: 16, seed: 2, ..Default::default() },
             model_seed: 3,
         }
     }
@@ -117,6 +108,55 @@ pub fn load_pretrained() -> Option<DssModel> {
 /// Run the full pipeline: extract a dataset, train a DSS model, evaluate it.
 pub fn train_model(config: &PipelineConfig) -> TrainedModel {
     let samples = extract_local_problems(&config.dataset);
+    train_model_on_samples(config, samples)
+}
+
+/// Run the pipeline on a multi-size dataset: one extraction pass per
+/// sub-domain size in `subdomain_sizes` (each with a distinct seed), then a
+/// single training run over the merged samples.
+///
+/// The preconditioner is routinely applied to sub-domains whose size differs
+/// from the training distribution (Table I varies 120–2000 nodes); mixing
+/// sizes in the dataset is the paper's recipe for making one model serve all
+/// of them.
+pub fn train_model_multi_size(config: &PipelineConfig, subdomain_sizes: &[usize]) -> TrainedModel {
+    assert!(!subdomain_sizes.is_empty(), "need at least one sub-domain size");
+    let per_size: Vec<Vec<gnn::TrainingSample>> = subdomain_sizes
+        .iter()
+        .enumerate()
+        .map(|(i, &size)| {
+            let dataset = gnn::DatasetConfig {
+                subdomain_size: size,
+                target_nodes: config.dataset.target_nodes.max(size * 3),
+                seed: config.dataset.seed.wrapping_add(1000 * i as u64),
+                ..config.dataset.clone()
+            };
+            extract_local_problems(&dataset)
+        })
+        .collect();
+    // Round-robin interleave across sizes so the evaluation tail held back by
+    // [`train_model_on_samples`] (and any truncation) spans every size rather
+    // than only the last one.
+    let total: usize = per_size.iter().map(Vec::len).sum();
+    let mut queues: Vec<std::vec::IntoIter<gnn::TrainingSample>> =
+        per_size.into_iter().map(Vec::into_iter).collect();
+    let mut samples = Vec::with_capacity(total);
+    while samples.len() < total {
+        for queue in &mut queues {
+            if let Some(sample) = queue.next() {
+                samples.push(sample);
+            }
+        }
+    }
+    train_model_on_samples(config, samples)
+}
+
+/// Train and evaluate on an already-extracted dataset (~20% held back for
+/// evaluation).
+pub fn train_model_on_samples(
+    config: &PipelineConfig,
+    samples: Vec<gnn::TrainingSample>,
+) -> TrainedModel {
     assert!(!samples.is_empty(), "dataset extraction produced no samples");
     // Hold back ~20% of the samples for evaluation.
     let split = (samples.len() * 4) / 5;
@@ -145,6 +185,28 @@ mod tests {
     }
 
     #[test]
+    fn multi_size_dataset_interleaves_sizes() {
+        let config = PipelineConfig {
+            dss: DssConfig { num_blocks: 2, latent_dim: 4, alpha: 0.1 },
+            dataset: DatasetConfig {
+                num_global_problems: 1,
+                target_nodes: 400,
+                subdomain_size: 100,
+                overlap: 1,
+                max_iterations_per_problem: 4,
+                max_samples: Some(10),
+                seed: 31,
+                ..Default::default()
+            },
+            training: TrainingConfig { epochs: 2, batch_size: 8, seed: 32, ..Default::default() },
+            model_seed: 33,
+        };
+        let trained = train_model_multi_size(&config, &[100, 180]);
+        assert!(trained.num_samples > 10, "both sizes must contribute samples");
+        assert!(trained.metrics.residual_mean.is_finite());
+    }
+
+    #[test]
     fn pipeline_trains_a_useful_model() {
         let config = PipelineConfig {
             dss: DssConfig { num_blocks: 4, latent_dim: 6, alpha: 1e-2 },
@@ -169,6 +231,9 @@ mod tests {
             "training must reduce the loss"
         );
         assert!(trained.metrics.residual_mean.is_finite());
-        assert!(trained.metrics.residual_mean < 1.0, "residual should drop below the trivial level");
+        assert!(
+            trained.metrics.residual_mean < 1.0,
+            "residual should drop below the trivial level"
+        );
     }
 }

@@ -225,8 +225,14 @@ mod tests {
             &precond,
             &opts,
         );
-        assert!(result.stats.converged(), "hybrid solver must converge: {:?}", result.stats.stop_reason);
-        assert!(krylov::true_relative_residual(&fx.problem.matrix, &result.x, &fx.problem.rhs) < 1e-5);
+        assert!(
+            result.stats.converged(),
+            "hybrid solver must converge: {:?}",
+            result.stats.stop_reason
+        );
+        assert!(
+            krylov::true_relative_residual(&fx.problem.matrix, &result.x, &fx.problem.rhs) < 1e-5
+        );
     }
 
     #[test]

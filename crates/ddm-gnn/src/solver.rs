@@ -180,9 +180,8 @@ pub fn solve_ddm_gnn(
 ) -> sparse::Result<SolveOutcome> {
     let num_subdomains = subdomains.len();
     let setup_start = Instant::now();
-    let precond = TimedPreconditioner::new(DdmGnnPreconditioner::new(
-        problem, subdomains, model, two_level,
-    )?);
+    let precond =
+        TimedPreconditioner::new(DdmGnnPreconditioner::new(problem, subdomains, model, two_level)?);
     let setup_seconds = setup_start.elapsed().as_secs_f64();
     let start = Instant::now();
     let result =

@@ -61,12 +61,7 @@ impl AdditiveSchwarz {
             AsmLevel::OneLevel => None,
             AsmLevel::TwoLevel => Some(NicolaidesCoarseSpace::new(matrix, &restrictions)?),
         };
-        Ok(AdditiveSchwarz {
-            restrictions,
-            local_solvers,
-            coarse,
-            num_global: matrix.nrows(),
-        })
+        Ok(AdditiveSchwarz { restrictions, local_solvers, coarse, num_global: matrix.nrows() })
     }
 
     /// Number of sub-domains.
@@ -132,12 +127,9 @@ mod tests {
         let fx = fixture(1500, 400, 2);
         let opts = SolverOptions::with_tolerance(1e-6);
         let plain = conjugate_gradient(&fx.problem.matrix, &fx.problem.rhs, None, &opts);
-        let asm = AdditiveSchwarz::new(
-            &fx.problem.matrix,
-            fx.subdomains.clone(),
-            AsmLevel::TwoLevel,
-        )
-        .unwrap();
+        let asm =
+            AdditiveSchwarz::new(&fx.problem.matrix, fx.subdomains.clone(), AsmLevel::TwoLevel)
+                .unwrap();
         let pcg = preconditioned_conjugate_gradient(
             &fx.problem.matrix,
             &fx.problem.rhs,
@@ -163,18 +155,12 @@ mod tests {
         // coarse correction pays off (the effect is weak for small K).
         let fx = fixture(2500, 150, 2);
         let opts = SolverOptions::with_tolerance(1e-6);
-        let one = AdditiveSchwarz::new(
-            &fx.problem.matrix,
-            fx.subdomains.clone(),
-            AsmLevel::OneLevel,
-        )
-        .unwrap();
-        let two = AdditiveSchwarz::new(
-            &fx.problem.matrix,
-            fx.subdomains.clone(),
-            AsmLevel::TwoLevel,
-        )
-        .unwrap();
+        let one =
+            AdditiveSchwarz::new(&fx.problem.matrix, fx.subdomains.clone(), AsmLevel::OneLevel)
+                .unwrap();
+        let two =
+            AdditiveSchwarz::new(&fx.problem.matrix, fx.subdomains.clone(), AsmLevel::TwoLevel)
+                .unwrap();
         assert!(!one.has_coarse_space());
         assert!(two.has_coarse_space());
         let r1 = preconditioned_conjugate_gradient(
@@ -205,12 +191,9 @@ mod tests {
         // The ASM operator with exact local solves is symmetric; PCG theory
         // relies on it.
         let fx = fixture(700, 250, 2);
-        let asm = AdditiveSchwarz::new(
-            &fx.problem.matrix,
-            fx.subdomains.clone(),
-            AsmLevel::TwoLevel,
-        )
-        .unwrap();
+        let asm =
+            AdditiveSchwarz::new(&fx.problem.matrix, fx.subdomains.clone(), AsmLevel::TwoLevel)
+                .unwrap();
         let n = fx.problem.num_unknowns();
         let y: Vec<f64> = (0..n).map(|i| ((i * 3 % 13) as f64) - 6.0).collect();
         let w: Vec<f64> = (0..n).map(|i| ((i * 7 % 11) as f64) * 0.4).collect();

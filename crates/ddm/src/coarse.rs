@@ -58,10 +58,8 @@ impl NicolaidesCoarseSpace {
         for (i, row) in self.rows.iter().enumerate() {
             coarse_rhs[i] = sparse::vector::dot(row, r);
         }
-        let coarse_sol = self
-            .factor
-            .solve(&coarse_rhs)
-            .expect("coarse solve dimension mismatch cannot happen");
+        let coarse_sol =
+            self.factor.solve(&coarse_rhs).expect("coarse solve dimension mismatch cannot happen");
         // out += R0ᵀ coarse_sol
         for (i, row) in self.rows.iter().enumerate() {
             let alpha = coarse_sol[i];

@@ -52,10 +52,8 @@ impl Decomposition {
         let n = matrix.nrows();
         let restrictions: Vec<Restriction> =
             subdomains.iter().map(|sd| Restriction::new(sd.clone(), n)).collect();
-        let local_matrices: Vec<CsrMatrix> = subdomains
-            .iter()
-            .map(|sd| matrix.principal_submatrix(sd))
-            .collect();
+        let local_matrices: Vec<CsrMatrix> =
+            subdomains.iter().map(|sd| matrix.principal_submatrix(sd)).collect();
         Decomposition { subdomains, restrictions, local_matrices }
     }
 

@@ -67,10 +67,7 @@ pub fn factor_all_cholesky(
     local_matrices: &[CsrMatrix],
 ) -> sparse::Result<Vec<CholeskyLocalSolver>> {
     use rayon::prelude::*;
-    local_matrices
-        .par_iter()
-        .map(CholeskyLocalSolver::new)
-        .collect::<Result<Vec<_>, _>>()
+    local_matrices.par_iter().map(CholeskyLocalSolver::new).collect::<Result<Vec<_>, _>>()
 }
 
 #[cfg(test)]
@@ -114,8 +111,7 @@ mod tests {
         for (solver, mat) in solvers.iter().zip(mats.iter()) {
             let rhs = vec![1.0; mat.nrows()];
             let x = solver.solve(&rhs);
-            let r: Vec<f64> =
-                mat.spmv(&x).iter().zip(rhs.iter()).map(|(ax, b)| b - ax).collect();
+            let r: Vec<f64> = mat.spmv(&x).iter().zip(rhs.iter()).map(|(ax, b)| b - ax).collect();
             assert!(sparse::vector::norm2(&r) < 1e-9);
         }
     }

@@ -161,8 +161,7 @@ mod tests {
         for &h in &[0.2, 0.1] {
             let mesh = unit_square_mesh(h);
             let n = mesh.num_nodes();
-            let exact: Vec<f64> =
-                mesh.points.iter().map(|p| p.x * p.x + p.y * p.y).collect();
+            let exact: Vec<f64> = mesh.points.iter().map(|p| p.x * p.x + p.y * p.y).collect();
             let f = vec![-4.0; n];
             let sys = assemble_poisson(&mesh, &f, &exact);
             let lu = sparse::LuFactor::factor_csr(&sys.matrix).unwrap();

@@ -40,20 +40,22 @@ pub fn local_stiffness(p0: &Point2, p1: &Point2, p2: &Point2) -> Option<([f64; 9
 /// of area `area`, using the exact integration of the linear interpolant.
 pub fn local_load(f: &[f64; 3], area: f64) -> [f64; 3] {
     let c = area / 12.0;
-    [
-        c * (2.0 * f[0] + f[1] + f[2]),
-        c * (f[0] + 2.0 * f[1] + f[2]),
-        c * (f[0] + f[1] + 2.0 * f[2]),
-    ]
+    [c * (2.0 * f[0] + f[1] + f[2]), c * (f[0] + 2.0 * f[1] + f[2]), c * (f[0] + f[1] + 2.0 * f[2])]
 }
 
 /// Local mass matrix (consistent), useful for L² norms in tests.
 pub fn local_mass(area: f64) -> [f64; 9] {
     let c = area / 12.0;
     [
-        2.0 * c, c, c, //
-        c, 2.0 * c, c, //
-        c, c, 2.0 * c,
+        2.0 * c,
+        c,
+        c, //
+        c,
+        2.0 * c,
+        c, //
+        c,
+        c,
+        2.0 * c,
     ]
 }
 

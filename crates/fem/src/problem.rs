@@ -69,14 +69,8 @@ impl SourceTerm {
         let mut r = || rng.gen_range(-10.0..10.0) * scale;
         let (r1, r2, r3) = (r(), r(), r());
         // f(x,y) = r1 (x-1)^2 + r2 y^2 + r3 = r1 x² + r2 y² - 2 r1 x + (r1 + r3)
-        let forcing = QuadraticPolynomial {
-            a: r1,
-            b: r2,
-            c: 0.0,
-            d: -2.0 * r1,
-            e: 0.0,
-            f: r1 + r3,
-        };
+        let forcing =
+            QuadraticPolynomial { a: r1, b: r2, c: 0.0, d: -2.0 * r1, e: 0.0, f: r1 + r3 };
         let boundary = QuadraticPolynomial { a: r(), b: r(), c: r(), d: r(), e: r(), f: r() };
         SourceTerm { forcing, boundary }
     }
@@ -179,7 +173,9 @@ mod tests {
         // diff = r2 * 4 — must not depend on r1 (a-coefficient)
         assert!((diff - 4.0 * s.forcing.b).abs() < 1e-12);
         // Coefficients live in [-10, 10].
-        for c in [s.boundary.a, s.boundary.b, s.boundary.c, s.boundary.d, s.boundary.e, s.boundary.f] {
+        for c in
+            [s.boundary.a, s.boundary.b, s.boundary.c, s.boundary.d, s.boundary.e, s.boundary.f]
+        {
             assert!(c.abs() <= 10.0);
         }
     }

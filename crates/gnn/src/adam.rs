@@ -183,10 +183,7 @@ mod tests {
 
     #[test]
     fn plateau_scheduler_respects_min_lr() {
-        let mut adam = Adam::new(
-            AdamConfig { learning_rate: 1e-5, ..Default::default() },
-            1,
-        );
+        let mut adam = Adam::new(AdamConfig { learning_rate: 1e-5, ..Default::default() }, 1);
         let mut sched = PlateauScheduler::new(1, 0.1, 1e-5);
         sched.observe(1.0, &mut adam);
         let reduced = sched.observe(1.0, &mut adam);

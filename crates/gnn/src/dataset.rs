@@ -112,14 +112,9 @@ pub fn extract_local_problems(config: &DatasetConfig) -> Vec<TrainingSample> {
         let problem_seed = config.seed.wrapping_add(p as u64 * 1013);
         let domain = RandomBlobDomain::generate(problem_seed, 20, 1.0);
         let h = meshgen::generator::element_size_for_target_nodes(&domain, config.target_nodes);
-        let mesh =
-            generate_mesh(&domain, &MeshingOptions::with_element_size(h).seed(problem_seed));
-        let subdomains = partition_mesh_with_overlap(
-            &mesh,
-            config.subdomain_size,
-            config.overlap,
-            problem_seed,
-        );
+        let mesh = generate_mesh(&domain, &MeshingOptions::with_element_size(h).seed(problem_seed));
+        let subdomains =
+            partition_mesh_with_overlap(&mesh, config.subdomain_size, config.overlap, problem_seed);
         let problem = PoissonProblem::with_random_data(mesh, problem_seed.wrapping_add(7));
         let decomposition = Decomposition::new(&problem.matrix, subdomains);
         let templates = build_local_graphs(&problem, &decomposition);
@@ -237,7 +232,7 @@ mod tests {
         // recorded, matching the paper's construction.
         let config = tiny_config();
         let samples = extract_local_problems(&config);
-        let k_estimate = (config.target_nodes + config.subdomain_size - 1) / config.subdomain_size;
+        let k_estimate = config.target_nodes.div_ceil(config.subdomain_size);
         assert!(
             samples.len() > k_estimate,
             "expected more than {k_estimate} samples, got {}",

@@ -70,11 +70,8 @@ impl LocalGraph {
         assert_eq!(boundary.len(), n, "boundary mask length mismatch");
 
         let rhs_norm = sparse::vector::norm2(rhs);
-        let input: Vec<f64> = if rhs_norm > 0.0 {
-            rhs.iter().map(|v| v / rhs_norm).collect()
-        } else {
-            vec![0.0; n]
-        };
+        let input: Vec<f64> =
+            if rhs_norm > 0.0 { rhs.iter().map(|v| v / rhs_norm).collect() } else { vec![0.0; n] };
 
         // Directed edges from the sparsity pattern of the operator (both
         // directions of every coupling).
@@ -85,10 +82,8 @@ impl LocalGraph {
                 if src == dst {
                     continue;
                 }
-                let delta = [
-                    positions[src].x - positions[dst].x,
-                    positions[src].y - positions[dst].y,
-                ];
+                let delta =
+                    [positions[src].x - positions[dst].x, positions[src].y - positions[dst].y];
                 let dist = (delta[0] * delta[0] + delta[1] * delta[1]).sqrt();
                 edges.push(Edge { dst, src, delta, dist });
             }
@@ -208,7 +203,7 @@ mod tests {
         let lu = sparse::LuFactor::factor_csr(&g.matrix).unwrap();
         let u = lu.solve(&g.input).unwrap();
         assert!(g.residual_loss(&u) < 1e-20);
-        assert!(g.residual_loss(&vec![0.0; 8]) > 0.0);
+        assert!(g.residual_loss(&[0.0; 8]) > 0.0);
     }
 
     #[test]

@@ -52,18 +52,12 @@ pub fn load_model(path: &Path) -> io::Result<DssModel> {
         ));
     }
     let parse_err = |what: &str| io::Error::new(io::ErrorKind::InvalidData, what.to_string());
-    let num_blocks: usize = fields
-        .next()
-        .and_then(|s| s.parse().ok())
-        .ok_or_else(|| parse_err("bad num_blocks"))?;
-    let latent_dim: usize = fields
-        .next()
-        .and_then(|s| s.parse().ok())
-        .ok_or_else(|| parse_err("bad latent_dim"))?;
-    let alpha: f64 = fields
-        .next()
-        .and_then(|s| s.parse().ok())
-        .ok_or_else(|| parse_err("bad alpha"))?;
+    let num_blocks: usize =
+        fields.next().and_then(|s| s.parse().ok()).ok_or_else(|| parse_err("bad num_blocks"))?;
+    let latent_dim: usize =
+        fields.next().and_then(|s| s.parse().ok()).ok_or_else(|| parse_err("bad latent_dim"))?;
+    let alpha: f64 =
+        fields.next().and_then(|s| s.parse().ok()).ok_or_else(|| parse_err("bad alpha"))?;
     let mut model = DssModel::new(DssConfig { num_blocks, latent_dim, alpha }, 0);
     let mut params = Vec::with_capacity(model.num_params());
     for line in lines {
@@ -106,7 +100,12 @@ mod tests {
             }
         }
         let positions = (0..n).map(|i| Point2::new(i as f64, 0.0)).collect();
-        LocalGraph::new(coo.to_csr(), positions, &[1.0, 2.0, 3.0, 4.0], vec![true, false, false, true])
+        LocalGraph::new(
+            coo.to_csr(),
+            positions,
+            &[1.0, 2.0, 3.0, 4.0],
+            vec![true, false, false, true],
+        )
     }
 
     #[test]

@@ -255,7 +255,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(1);
         let layer = Linear::xavier(3, 2, &mut rng);
         let x: Vec<f64> = (0..6).map(|i| (i as f64) * 0.3 - 0.5).collect(); // 2 rows
-        // Scalar loss: sum of squares of outputs.
+                                                                            // Scalar loss: sum of squares of outputs.
         let loss_for = |params: &[f64]| {
             let mut l = layer.clone();
             let mut off = 0;
@@ -309,8 +309,7 @@ mod tests {
         let mut params = Vec::new();
         mlp.append_params(&mut params);
         let (y, cache) = mlp.forward_cached(&x, 2);
-        let dy: Vec<f64> =
-            y.iter().enumerate().map(|(i, v)| 2.0 * (i as f64 + 1.0) * v).collect();
+        let dy: Vec<f64> = y.iter().enumerate().map(|(i, v)| 2.0 * (i as f64 + 1.0) * v).collect();
         let mut grad = Mlp::zeros_like(&mlp);
         let dx = mlp.backward(&x, &cache, &dy, 2, &mut grad);
         let mut analytic = Vec::new();

@@ -174,12 +174,7 @@ impl DssModel {
     }
 
     /// Compute the two aggregated message fields for a block.
-    fn messages(
-        &self,
-        block: &Block,
-        graph: &LocalGraph,
-        h: &[f64],
-    ) -> (Vec<f64>, Vec<f64>) {
+    fn messages(&self, block: &Block, graph: &LocalGraph, h: &[f64]) -> (Vec<f64>, Vec<f64>) {
         let d = self.config.latent_dim;
         let n = graph.num_nodes();
         let e = graph.num_edges();
@@ -280,7 +275,8 @@ impl DssModel {
             let (decoded, dec_cache) = block.decoder.forward_cached(h_next, n);
             let (lk, dldr) = residual_loss_and_grad(&graph.matrix, &graph.input, &decoded);
             total_loss += lk;
-            let d_dec_in = block.decoder.backward(h_next, &dec_cache, &dldr, n, &mut gblock.decoder);
+            let d_dec_in =
+                block.decoder.backward(h_next, &dec_cache, &dldr, n, &mut gblock.decoder);
             for i in 0..n * d {
                 grad_h_next[i] += d_dec_in[i];
             }
@@ -301,8 +297,7 @@ impl DssModel {
             let (_update, psi_cache) = block.psi.forward_cached(&psi_in, n);
 
             // h^{k+1} = h^k + α Ψ(psi_in): gradient through Ψ.
-            let d_psi_out: Vec<f64> =
-                grad_h_next.iter().map(|&g| g * self.config.alpha).collect();
+            let d_psi_out: Vec<f64> = grad_h_next.iter().map(|&g| g * self.config.alpha).collect();
             let d_psi_in = block.psi.backward(&psi_in, &psi_cache, &d_psi_out, n, &mut gblock.psi);
 
             // Gradient with respect to h^k: identity path + Ψ's h input.
@@ -333,8 +328,10 @@ impl DssModel {
                     d_m_bwd[ei * d + kk] = d_msg_bwd[edge.dst * d + kk];
                 }
             }
-            let d_x_fwd = block.phi_fwd.backward(&x_fwd, &fwd_cache, &d_m_fwd, e, &mut gblock.phi_fwd);
-            let d_x_bwd = block.phi_bwd.backward(&x_bwd, &bwd_cache, &d_m_bwd, e, &mut gblock.phi_bwd);
+            let d_x_fwd =
+                block.phi_fwd.backward(&x_fwd, &fwd_cache, &d_m_fwd, e, &mut gblock.phi_fwd);
+            let d_x_bwd =
+                block.phi_bwd.backward(&x_bwd, &bwd_cache, &d_m_bwd, e, &mut gblock.phi_bwd);
             let edge_cols = 2 * d + 3;
             for (ei, edge) in graph.edges.iter().enumerate() {
                 for kk in 0..d {
@@ -457,11 +454,7 @@ mod tests {
         ];
         for (kbar, d, weights) in expected {
             let model = DssModel::new(DssConfig::new(kbar, d), 0);
-            assert_eq!(
-                model.num_params(),
-                weights,
-                "weight count mismatch for k̄={kbar}, d={d}"
-            );
+            assert_eq!(model.num_params(), weights, "weight count mismatch for k̄={kbar}, d={d}");
         }
     }
 
@@ -568,7 +561,10 @@ mod tests {
         let graph = tiny_graph();
         let model = DssModel::new(DssConfig { num_blocks: 3, latent_dim: 8, alpha: 1e-2 }, 7);
         let stored = model.infer(&graph);
-        assert!(stored.iter().any(|&v| v != 0.0), "untrained output should not be identically zero");
+        assert!(
+            stored.iter().any(|&v| v != 0.0),
+            "untrained output should not be identically zero"
+        );
         let same = model.infer_with_input(&graph, &graph.input.clone());
         assert_eq!(stored, same);
         let different_input: Vec<f64> = graph.input.iter().map(|c| c * -0.5 + 0.1).collect();

@@ -168,11 +168,7 @@ pub fn train(
         }
     }
 
-    TrainingReport {
-        train_losses,
-        validation_losses,
-        final_learning_rate: adam.learning_rate(),
-    }
+    TrainingReport { train_losses, validation_losses, final_learning_rate: adam.learning_rate() }
 }
 
 /// Evaluate the model: residual norms and relative errors against exact local
@@ -185,8 +181,7 @@ pub fn evaluate(model: &DssModel, samples: &[LocalGraph]) -> EvalMetrics {
             let prediction = model.infer(graph);
             // Residual norm of the normalised system.
             let au = graph.matrix.spmv(&prediction);
-            let res: Vec<f64> =
-                au.iter().zip(graph.input.iter()).map(|(a, c)| c - a).collect();
+            let res: Vec<f64> = au.iter().zip(graph.input.iter()).map(|(a, c)| c - a).collect();
             let residual_norm = sparse::vector::norm2(&res);
             // Relative error against the exact local solution.
             let relative_error = match sparse::SkylineCholesky::factor(&graph.matrix) {
@@ -201,8 +196,7 @@ pub fn evaluate(model: &DssModel, samples: &[LocalGraph]) -> EvalMetrics {
         .collect();
 
     let residuals: Vec<f64> = per_sample.iter().map(|&(r, _)| r).collect();
-    let errors: Vec<f64> =
-        per_sample.iter().map(|&(_, e)| e).filter(|e| e.is_finite()).collect();
+    let errors: Vec<f64> = per_sample.iter().map(|&(_, e)| e).filter(|e| e.is_finite()).collect();
     let (residual_mean, residual_std) = mean_std(&residuals);
     let (relative_error_mean, relative_error_std) = mean_std(&errors);
     EvalMetrics { residual_mean, residual_std, relative_error_mean, relative_error_std }
@@ -213,8 +207,7 @@ fn mean_std(values: &[f64]) -> (f64, f64) {
         return (f64::NAN, f64::NAN);
     }
     let mean = values.iter().sum::<f64>() / values.len() as f64;
-    let var =
-        values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / values.len() as f64;
+    let var = values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / values.len() as f64;
     (mean, var.sqrt())
 }
 
@@ -281,12 +274,7 @@ mod tests {
     #[test]
     fn training_is_deterministic_for_fixed_seeds() {
         let samples = tiny_samples();
-        let config = TrainingConfig {
-            epochs: 3,
-            batch_size: 6,
-            seed: 4,
-            ..Default::default()
-        };
+        let config = TrainingConfig { epochs: 3, batch_size: 6, seed: 4, ..Default::default() };
         let mut m1 = DssModel::new(DssConfig { num_blocks: 2, latent_dim: 3, alpha: 1e-2 }, 2);
         let mut m2 = DssModel::new(DssConfig { num_blocks: 2, latent_dim: 3, alpha: 1e-2 }, 2);
         let r1 = train(&mut m1, &samples, &config);

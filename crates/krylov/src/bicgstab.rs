@@ -204,7 +204,7 @@ mod tests {
     fn zero_rhs_immediate_convergence() {
         let a = laplacian_2d(4, 4);
         let id = IdentityPreconditioner::new(16);
-        let result = bicgstab(&a, &vec![0.0; 16], None, &id, &SolverOptions::default());
+        let result = bicgstab(&a, &[0.0; 16], None, &id, &SolverOptions::default());
         assert_eq!(result.stats.iterations, 0);
         assert!(result.stats.converged());
     }

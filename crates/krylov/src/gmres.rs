@@ -238,7 +238,7 @@ mod tests {
     fn zero_rhs_converges_immediately() {
         let a = laplacian_2d(4, 4);
         let id = IdentityPreconditioner::new(16);
-        let result = gmres(&a, &vec![0.0; 16], None, &id, 10, &SolverOptions::default());
+        let result = gmres(&a, &[0.0; 16], None, &id, 10, &SolverOptions::default());
         assert_eq!(result.stats.iterations, 0);
         assert!(result.stats.converged());
     }

@@ -39,9 +39,7 @@ impl ConvergenceHistory {
     /// Relative norms with respect to the first recorded entry.
     pub fn relative(&self) -> Vec<f64> {
         match self.residual_norms.first() {
-            Some(&first) if first > 0.0 => {
-                self.residual_norms.iter().map(|&r| r / first).collect()
-            }
+            Some(&first) if first > 0.0 => self.residual_norms.iter().map(|&r| r / first).collect(),
             _ => self.residual_norms.clone(),
         }
     }

@@ -23,7 +23,9 @@ pub use cg::conjugate_gradient;
 pub use gmres::gmres;
 pub use history::{ConvergenceHistory, SolveStats, StopReason};
 pub use pcg::preconditioned_conjugate_gradient;
-pub use preconditioner::{Ic0Preconditioner, IdentityPreconditioner, JacobiPreconditioner, Preconditioner};
+pub use preconditioner::{
+    Ic0Preconditioner, IdentityPreconditioner, JacobiPreconditioner, Preconditioner,
+};
 
 use sparse::CsrMatrix;
 

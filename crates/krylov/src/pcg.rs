@@ -4,6 +4,20 @@
 //! applied to the residual at every iteration (the step highlighted in red in
 //! Algorithm 1), and convergence is declared on the recurrence residual norm
 //! `‖rᵢ₊₁‖ < tol`.
+//!
+//! The update for the search direction uses the *flexible* (Polak–Ribière)
+//! form `β = zᵢ₊₁·(rᵢ₊₁ - rᵢ) / zᵢ·rᵢ` instead of the classical
+//! Fletcher–Reeves `β = zᵢ₊₁·rᵢ₊₁ / zᵢ·rᵢ`.  For a fixed SPD preconditioner
+//! the two are identical in exact arithmetic, but the flexible form stays
+//! convergent when the preconditioner varies between iterations — which the
+//! DDM-GNN operator does, since DSS inference is a nonlinear map of the
+//! residual (Notay, *Flexible Conjugate Gradients*, SIAM J. Sci. Comput.
+//! 2000).  Two safeguards keep the iteration well-defined for arbitrary
+//! learned preconditioners: a non-positive curvature `z·r ≤ 0` falls back to
+//! the unpreconditioned residual direction for that step, and a negative `β`
+//! is clamped to zero (a steepest-descent restart).  With these, the outer
+//! Krylov method retains its convergence guarantee no matter how badly the
+//! GNN is trained — the central robustness claim of the hybrid solver.
 
 use sparse::vector::{axpby, axpy, dot, norm2};
 use sparse::CsrMatrix;
@@ -64,9 +78,17 @@ pub fn preconditioned_conjugate_gradient(
 
     let mut z = vec![0.0; n];
     preconditioner.apply(&r, &mut z);
+    // Safeguard: a learned preconditioner may return a direction with
+    // non-positive alignment z·r; fall back to the residual itself so the
+    // step is still a descent direction for the SPD system.
+    let mut rho = dot(&r, &z);
+    if rho <= 0.0 || !rho.is_finite() {
+        z.copy_from_slice(&r);
+        rho = rnorm * rnorm;
+    }
     let mut p = z.clone();
     let mut q = vec![0.0; n];
-    let mut rho = dot(&r, &z);
+    let mut r_prev = r.clone();
 
     let mut stop = StopReason::MaxIterations;
     let mut iterations = opts.max_iterations;
@@ -74,12 +96,13 @@ pub fn preconditioned_conjugate_gradient(
     for iter in 0..opts.max_iterations {
         a.spmv_into(&p, &mut q);
         let pq = dot(&p, &q);
-        if pq == 0.0 || !pq.is_finite() {
+        if pq <= 0.0 || !pq.is_finite() {
             stop = StopReason::Breakdown;
             iterations = iter;
             break;
         }
         let alpha = rho / pq;
+        r_prev.copy_from_slice(&r);
         axpy(alpha, &p, &mut x);
         axpy(-alpha, &q, &mut r);
         rnorm = norm2(&r);
@@ -97,14 +120,21 @@ pub fn preconditioned_conjugate_gradient(
             break;
         }
         preconditioner.apply(&r, &mut z);
-        let rho_new = dot(&r, &z);
-        if rho_new == 0.0 || !rho_new.is_finite() {
+        let mut rho_new = dot(&r, &z);
+        if rho_new <= 0.0 || !rho_new.is_finite() {
+            // Safeguarded fallback: unpreconditioned residual direction.
+            z.copy_from_slice(&r);
+            rho_new = rnorm * rnorm;
+        }
+        // Flexible (Polak–Ribière) β; for a constant SPD preconditioner
+        // z·r_prev vanishes and this equals the classical update.
+        let beta = ((rho_new - dot(&z, &r_prev)) / rho).max(0.0);
+        rho = rho_new;
+        if rho == 0.0 {
             stop = StopReason::Breakdown;
             iterations = iter + 1;
             break;
         }
-        let beta = rho_new / rho;
-        rho = rho_new;
         // p = z + beta p
         axpby(1.0, &z, beta, &mut p);
     }

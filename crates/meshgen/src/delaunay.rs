@@ -422,8 +422,7 @@ mod tests {
         let tris = triangulate(&pts);
         // All triangles positively oriented and no degenerate areas.
         for t in &tris {
-            let area =
-                crate::geometry::triangle_area(&pts[t[0]], &pts[t[1]], &pts[t[2]]);
+            let area = crate::geometry::triangle_area(&pts[t[0]], &pts[t[1]], &pts[t[2]]);
             assert!(area > 0.0);
         }
         // Total area approaches the bounding rectangle area (70) from below.

@@ -276,9 +276,7 @@ impl FormulaOneDomain {
             (-0.1, 0.3),
             (-0.05, 0.1),
         ];
-        raw.iter()
-            .map(|&(x, y)| Point2::new(x * self.scale, y * self.scale))
-            .collect()
+        raw.iter().map(|&(x, y)| Point2::new(x * self.scale, y * self.scale)).collect()
     }
 
     fn cockpit_hole(&self) -> Vec<Point2> {
@@ -383,11 +381,7 @@ mod tests {
     fn different_seeds_give_different_domains() {
         let d1 = RandomBlobDomain::generate(1, 20, 1.0);
         let d2 = RandomBlobDomain::generate(2, 20, 1.0);
-        let same = d1
-            .polygon()
-            .iter()
-            .zip(d2.polygon().iter())
-            .all(|(a, b)| a.distance(b) < 1e-12);
+        let same = d1.polygon().iter().zip(d2.polygon().iter()).all(|(a, b)| a.distance(b) < 1e-12);
         assert!(!same);
     }
 

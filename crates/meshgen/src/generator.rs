@@ -76,7 +76,7 @@ pub fn generate_mesh(domain: &dyn Domain, options: &MeshingOptions) -> Mesh {
     let mut row = 0usize;
     let mut y = min.y + 0.5 * h;
     while y < max.y {
-        let offset = if row % 2 == 0 { 0.0 } else { 0.5 * h };
+        let offset = if row.is_multiple_of(2) { 0.0 } else { 0.5 * h };
         let mut x = min.x + 0.5 * h + offset;
         while x < max.x {
             let jx = rng.gen_range(-options.jitter..options.jitter) * h;
@@ -106,8 +106,7 @@ pub fn generate_mesh(domain: &dyn Domain, options: &MeshingOptions) -> Mesh {
             if triangle_area(a, b, c) < area_floor {
                 return false;
             }
-            let centroid =
-                Point2::new((a.x + b.x + c.x) / 3.0, (a.y + b.y + c.y) / 3.0);
+            let centroid = Point2::new((a.x + b.x + c.x) / 3.0, (a.y + b.y + c.y) / 3.0);
             domain.contains(&centroid)
         })
         .collect();
@@ -168,10 +167,7 @@ mod tests {
         let h = element_size_for_target_nodes(&d, 1500);
         let mesh = generate_mesh(&d, &MeshingOptions::with_element_size(h));
         let n = mesh.num_nodes();
-        assert!(
-            n > 900 && n < 2400,
-            "expected roughly 1500 nodes, got {n} (h = {h})"
-        );
+        assert!(n > 900 && n < 2400, "expected roughly 1500 nodes, got {n} (h = {h})");
         assert!(mesh.is_connected());
     }
 

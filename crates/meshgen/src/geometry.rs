@@ -78,8 +78,8 @@ pub fn in_circumcircle(a: &Point2, b: &Point2, c: &Point2, d: &Point2) -> bool {
     let bd = bdx * bdx + bdy * bdy;
     let cd = cdx * cdx + cdy * cdy;
 
-    let det = adx * (bdy * cd - bd * cdy) - ady * (bdx * cd - bd * cdx)
-        + ad * (bdx * cdy - bdy * cdx);
+    let det =
+        adx * (bdy * cd - bd * cdy) - ady * (bdx * cd - bd * cdx) + ad * (bdx * cdy - bdy * cdx);
     det > 0.0
 }
 

@@ -24,7 +24,9 @@ pub mod generator;
 pub mod geometry;
 pub mod mesh;
 
-pub use domain::{CircleDomain, Domain, FormulaOneDomain, PolygonDomain, RandomBlobDomain, RectangleDomain};
+pub use domain::{
+    CircleDomain, Domain, FormulaOneDomain, PolygonDomain, RandomBlobDomain, RectangleDomain,
+};
 pub use generator::{generate_mesh, MeshingOptions};
 pub use geometry::Point2;
 pub use mesh::Mesh;

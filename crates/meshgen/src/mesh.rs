@@ -153,11 +153,8 @@ impl Mesh {
                 points.push(self.points[i]);
             }
         }
-        let triangles: Vec<[usize; 3]> = self
-            .triangles
-            .iter()
-            .map(|t| [remap[t[0]], remap[t[1]], remap[t[2]]])
-            .collect();
+        let triangles: Vec<[usize; 3]> =
+            self.triangles.iter().map(|t| [remap[t[0]], remap[t[1]], remap[t[2]]]).collect();
         Mesh::new(points, triangles)
     }
 

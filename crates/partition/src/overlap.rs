@@ -74,10 +74,7 @@ pub fn overlap_sizes(subdomains: &[Vec<usize>], num_nodes: usize) -> Vec<usize> 
             multiplicity[v] += 1;
         }
     }
-    subdomains
-        .iter()
-        .map(|sd| sd.iter().filter(|&&v| multiplicity[v] > 1).count())
-        .collect()
+    subdomains.iter().map(|sd| sd.iter().filter(|&&v| multiplicity[v] > 1).count()).collect()
 }
 
 #[cfg(test)]
@@ -153,8 +150,7 @@ mod tests {
         let sds = grow_overlap(&g, &parts, 3, overlap);
         for (p, sd) in sds.iter().enumerate() {
             // BFS from the core of part p.
-            let core: Vec<usize> =
-                (0..144).filter(|&v| parts[v] == p).collect();
+            let core: Vec<usize> = (0..144).filter(|&v| parts[v] == p).collect();
             let mut dist = vec![usize::MAX; 144];
             let mut queue = std::collections::VecDeque::new();
             for &v in &core {

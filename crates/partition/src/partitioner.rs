@@ -34,12 +34,7 @@ pub struct PartitionOptions {
 
 impl Default for PartitionOptions {
     fn default() -> Self {
-        PartitionOptions {
-            num_parts: 2,
-            seed: 0,
-            refinement_sweeps: 4,
-            balance_tolerance: 1.10,
-        }
+        PartitionOptions { num_parts: 2, seed: 0, refinement_sweeps: 4, balance_tolerance: 1.10 }
     }
 }
 
@@ -126,8 +121,7 @@ pub fn partition_graph(graph: &Graph, opts: &PartitionOptions) -> Partition {
                 .filter(|&&u| assignment[u] != usize::MAX)
                 .map(|&u| assignment[u])
                 .min_by_key(|&p| sizes[p]);
-            let p = neighbour_part
-                .unwrap_or_else(|| (0..k).min_by_key(|&p| sizes[p]).unwrap());
+            let p = neighbour_part.unwrap_or_else(|| (0..k).min_by_key(|&p| sizes[p]).unwrap());
             assignment[v] = p;
             sizes[p] += 1;
         }
@@ -318,7 +312,7 @@ mod tests {
         let h = meshgen::generator::element_size_for_target_nodes(&domain, 2000);
         let mesh = generate_mesh(&domain, &MeshingOptions::with_element_size(h));
         let g = Graph::from_mesh(&mesh);
-        let k = (mesh.num_nodes() + 499) / 500;
+        let k = mesh.num_nodes().div_ceil(500);
         let parts = partition_graph(&g, &PartitionOptions { num_parts: k, ..Default::default() });
         let mut counts = vec![0usize; k];
         for &p in &parts {

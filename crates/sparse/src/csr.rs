@@ -256,13 +256,7 @@ impl CsrMatrix {
             }
         }
         row_ptr.truncate(self.ncols + 1);
-        CsrMatrix {
-            nrows: self.ncols,
-            ncols: self.nrows,
-            row_ptr,
-            col_idx,
-            values,
-        }
+        CsrMatrix { nrows: self.ncols, ncols: self.nrows, row_ptr, col_idx, values }
     }
 
     /// Check numerical symmetry up to absolute tolerance `tol`.
@@ -402,9 +396,7 @@ mod tests {
         // column out of bounds
         assert!(CsrMatrix::from_raw_parts(1, 1, vec![0, 1], vec![3], vec![1.0]).is_err());
         // unsorted columns
-        assert!(
-            CsrMatrix::from_raw_parts(1, 3, vec![0, 2], vec![2, 0], vec![1.0, 1.0]).is_err()
-        );
+        assert!(CsrMatrix::from_raw_parts(1, 3, vec![0, 2], vec![2, 0], vec![1.0, 1.0]).is_err());
         // decreasing row_ptr
         assert!(CsrMatrix::from_raw_parts(2, 2, vec![0, 2, 1], vec![0, 1], vec![1.0, 1.0]).is_err());
     }

@@ -220,8 +220,7 @@ mod tests {
     #[test]
     fn matmul_known_product() {
         let a = DenseMatrix::from_row_major(2, 3, vec![1.0, 0.0, 2.0, -1.0, 3.0, 1.0]).unwrap();
-        let b =
-            DenseMatrix::from_row_major(3, 2, vec![3.0, 1.0, 2.0, 1.0, 1.0, 0.0]).unwrap();
+        let b = DenseMatrix::from_row_major(3, 2, vec![3.0, 1.0, 2.0, 1.0, 1.0, 0.0]).unwrap();
         let c = a.matmul(&b).unwrap();
         assert_eq!(c.data(), &[5.0, 1.0, 4.0, 2.0]);
     }

@@ -80,11 +80,7 @@ mod tests {
 
     #[test]
     fn display_dimension_mismatch() {
-        let err = SparseError::DimensionMismatch {
-            op: "spmv",
-            expected: (3, 4),
-            found: (2, 2),
-        };
+        let err = SparseError::DimensionMismatch { op: "spmv", expected: (3, 4), found: (2, 2) };
         let text = err.to_string();
         assert!(text.contains("spmv"));
         assert!(text.contains("3x4"));
@@ -105,9 +101,7 @@ mod tests {
 
     #[test]
     fn display_out_of_bounds_and_square() {
-        assert!(SparseError::IndexOutOfBounds { index: 9, bound: 3 }
-            .to_string()
-            .contains("9"));
+        assert!(SparseError::IndexOutOfBounds { index: 9, bound: 3 }.to_string().contains("9"));
         assert!(SparseError::NotSquare { rows: 2, cols: 3 }.to_string().contains("2x3"));
         assert!(SparseError::InvalidArgument("bad".into()).to_string().contains("bad"));
     }

@@ -37,9 +37,7 @@ impl IncompleteCholesky {
                 Err(e) => return Err(e),
             }
         }
-        Err(SparseError::InvalidArgument(
-            "IC(0) failed even with large diagonal shift".into(),
-        ))
+        Err(SparseError::InvalidArgument("IC(0) failed even with large diagonal shift".into()))
     }
 
     fn factor_with_shift(a: &CsrMatrix, shift: f64) -> Result<Self> {
@@ -286,8 +284,9 @@ mod tests {
         let a = coo.to_csr();
         let ic = IncompleteCholesky::factor(&a).unwrap();
         for seed in 0..5u64 {
-            let r: Vec<f64> =
-                (0..n).map(|i| ((i as u64 * 2654435761 + seed) % 1000) as f64 / 500.0 - 1.0).collect();
+            let r: Vec<f64> = (0..n)
+                .map(|i| ((i as u64 * 2654435761 + seed) % 1000) as f64 / 500.0 - 1.0)
+                .collect();
             let z = ic.apply(&r).unwrap();
             assert!(crate::vector::dot(&z, &r) > 0.0, "IC(0) application must stay SPD");
         }

@@ -156,10 +156,7 @@ mod tests {
     #[test]
     fn singular_matrix_is_rejected() {
         let a = DenseMatrix::from_row_major(2, 2, vec![1.0, 2.0, 2.0, 4.0]).unwrap();
-        assert!(matches!(
-            LuFactor::factor_dense(&a),
-            Err(SparseError::SingularMatrix { .. })
-        ));
+        assert!(matches!(LuFactor::factor_dense(&a), Err(SparseError::SingularMatrix { .. })));
         let rect = DenseMatrix::zeros(2, 3);
         assert!(matches!(LuFactor::factor_dense(&rect), Err(SparseError::NotSquare { .. })));
     }
@@ -199,8 +196,7 @@ mod tests {
         let lu = LuFactor::factor_csr(&a).unwrap();
         let b = vec![1.0, 2.0, 3.0];
         let x = lu.solve(&b).unwrap();
-        let r: Vec<f64> =
-            a.spmv(&x).iter().zip(b.iter()).map(|(ax, bi)| bi - ax).collect();
+        let r: Vec<f64> = a.spmv(&x).iter().zip(b.iter()).map(|(ax, bi)| bi - ax).collect();
         assert!(crate::vector::norm2(&r) < 1e-12);
         let mut out = vec![0.0; 3];
         lu.solve_into(&b, &mut out).unwrap();

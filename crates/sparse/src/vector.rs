@@ -68,9 +68,7 @@ pub fn axpy(a: f64, x: &[f64], y: &mut [f64]) {
 pub fn axpby(a: f64, x: &[f64], b: f64, y: &mut [f64]) {
     assert_eq!(x.len(), y.len(), "axpby: length mismatch");
     if x.len() >= PAR_THRESHOLD {
-        y.par_iter_mut()
-            .zip(x.par_iter())
-            .for_each(|(yi, xi)| *yi = a * xi + b * *yi);
+        y.par_iter_mut().zip(x.par_iter()).for_each(|(yi, xi)| *yi = a * xi + b * *yi);
     } else {
         for (yi, xi) in y.iter_mut().zip(x.iter()) {
             *yi = a * xi + b * *yi;

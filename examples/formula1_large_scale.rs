@@ -21,10 +21,8 @@ use meshgen::{generate_mesh, FormulaOneDomain, MeshingOptions};
 use partition::partition_mesh_with_overlap;
 
 fn main() {
-    let target_nodes: usize = std::env::var("F1_TARGET_NODES")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(12_000);
+    let target_nodes: usize =
+        std::env::var("F1_TARGET_NODES").ok().and_then(|v| v.parse().ok()).unwrap_or(12_000);
 
     let domain = FormulaOneDomain::new(1.0);
     let h = meshgen::generator::element_size_for_target_nodes(&domain, target_nodes);

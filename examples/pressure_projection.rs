@@ -68,10 +68,7 @@ fn main() {
         );
         let elapsed = start.elapsed().as_secs_f64();
         let rel = krylov::true_relative_residual(&problem.matrix, &result.x, &problem.rhs);
-        println!(
-            "{:<6} {:>12} {:>14.3e} {:>12.4}",
-            step, result.stats.iterations, rel, elapsed
-        );
+        println!("{:<6} {:>12} {:>14.3e} {:>12.4}", step, result.stats.iterations, rel, elapsed);
         total_iterations += result.stats.iterations;
         previous_solution = result.x;
     }

@@ -42,7 +42,12 @@ fn main() {
     // 3. The hybrid solver: two-level DDM-GNN preconditioned CG.
     let solver = HybridSolver::new(
         model,
-        HybridSolverConfig { subdomain_size: 200, overlap: 2, tolerance: 1e-6, ..Default::default() },
+        HybridSolverConfig {
+            subdomain_size: 200,
+            overlap: 2,
+            tolerance: 1e-6,
+            ..Default::default()
+        },
     );
     let gnn = solver.solve(&problem).expect("DDM-GNN solve");
     let lu = solver.solve_with_exact_local_solver(&problem).expect("DDM-LU solve");

@@ -8,9 +8,11 @@
 //! ```
 //!
 //! Environment variables scale the run up towards the paper's configuration:
-//! `DSS_BLOCKS` (k̄), `DSS_LATENT` (d), `DSS_EPOCHS`, `DSS_SAMPLES`,
-//! `DSS_SUBDOMAIN` (local problem size) and `DSS_MODEL_OUT` (path to save the
-//! trained model for reuse by the other examples and the benchmark harness).
+//! `DSS_BLOCKS` (k̄), `DSS_LATENT` (d), `DSS_EPOCHS`, `DSS_SAMPLES` (per
+//! sub-domain size), `DSS_SUBDOMAINS` (comma-separated local problem sizes —
+//! mixing sizes makes one model generalise across decompositions) and
+//! `DSS_MODEL_OUT` (path to save the trained model for reuse by the other
+//! examples and the benchmark harness).
 
 use std::path::PathBuf;
 use std::sync::Arc;
@@ -29,10 +31,25 @@ fn main() {
     let latent = env_usize("DSS_LATENT", 10);
     let epochs = env_usize("DSS_EPOCHS", 60);
     let samples = env_usize("DSS_SAMPLES", 150);
-    let subdomain = env_usize("DSS_SUBDOMAIN", 300);
+    let raw_sizes = std::env::var("DSS_SUBDOMAINS").unwrap_or_else(|_| "300".to_string());
+    let subdomain_sizes: Vec<usize> = match raw_sizes
+        .split(',')
+        .map(|v| v.trim().parse::<usize>())
+        .collect::<Result<Vec<_>, _>>()
+    {
+        Ok(sizes) if !sizes.is_empty() && sizes.iter().all(|&s| s > 0) => sizes,
+        _ => {
+            eprintln!(
+                "DSS_SUBDOMAINS must be a comma-separated list of positive sizes \
+                 (e.g. 150,250,400), got {raw_sizes:?}"
+            );
+            std::process::exit(2);
+        }
+    };
+    let subdomain = *subdomain_sizes.last().unwrap();
 
     println!("=== DDM-GNN: training a Deep Statistical Solver ===");
-    println!("architecture: k̄ = {blocks}, d = {latent}");
+    println!("architecture: k̄ = {blocks}, d = {latent}; sub-domain sizes {subdomain_sizes:?}");
 
     let config = PipelineConfig {
         dss: DssConfig { num_blocks: blocks, latent_dim: latent, alpha: 1.0 / blocks as f64 },
@@ -60,7 +77,7 @@ fn main() {
     };
 
     let start = std::time::Instant::now();
-    let trained = ddm_gnn::train_model(&config);
+    let trained = ddm_gnn::train_model_multi_size(&config, &subdomain_sizes);
     println!(
         "trained on {} samples in {:.1}s — {} weights",
         trained.num_samples,

@@ -1,0 +1,266 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Provides the API surface this workspace's benches use — `Criterion`,
+//! `benchmark_group`, `bench_function`, `bench_with_input`, `BenchmarkId`,
+//! `black_box` and the `criterion_group!` / `criterion_main!` macros — backed
+//! by a simple wall-clock harness: each benchmark is warmed up, then timed
+//! over enough iterations to fill a short measurement window, and the
+//! median/mean per-iteration time is printed.  No statistics, plots or
+//! baselines; swap in the real criterion when the registry is reachable.
+
+use std::fmt::Display;
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Opaque-to-the-optimizer identity function.
+#[inline]
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// Identifier for one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId { id: format!("{}/{}", function_name.into(), parameter) }
+    }
+
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Passed to the benchmark closure; `iter` runs and times the payload.
+pub struct Bencher<'a> {
+    samples: &'a mut Vec<Duration>,
+    measurement_time: Duration,
+    sample_count: usize,
+}
+
+impl Bencher<'_> {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut payload: F) {
+        // Warm-up and per-iteration cost estimate.
+        let warmup_start = Instant::now();
+        black_box(payload());
+        let mut per_iter = warmup_start.elapsed().max(Duration::from_nanos(1));
+
+        // Aim each sample at measurement_time / sample_count.
+        let per_sample = self.measurement_time / self.sample_count as u32;
+        for _ in 0..self.sample_count {
+            let iters = (per_sample.as_nanos() / per_iter.as_nanos()).clamp(1, 1 << 24) as u64;
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(payload());
+            }
+            let elapsed = start.elapsed();
+            per_iter = (elapsed / iters as u32).max(Duration::from_nanos(1));
+            self.samples.push(per_iter);
+        }
+    }
+}
+
+fn format_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{} ns", ns)
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2} s", ns as f64 / 1e9)
+    }
+}
+
+fn run_one(
+    full_id: &str,
+    measurement_time: Duration,
+    sample_count: usize,
+    f: &mut dyn FnMut(&mut Bencher),
+) {
+    let mut samples = Vec::with_capacity(sample_count);
+    let mut bencher = Bencher { samples: &mut samples, measurement_time, sample_count };
+    f(&mut bencher);
+    if samples.is_empty() {
+        println!("{full_id:<40} (no samples)");
+        return;
+    }
+    samples.sort_unstable();
+    let median = samples[samples.len() / 2];
+    let mean = samples.iter().sum::<Duration>() / samples.len() as u32;
+    println!(
+        "{full_id:<40} median {:>12}   mean {:>12}   ({} samples)",
+        format_duration(median),
+        format_duration(mean),
+        samples.len()
+    );
+}
+
+/// Group of related benchmarks sharing a name prefix and settings.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_count: usize,
+    measurement_time: Duration,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_count = n.max(2);
+        self
+    }
+
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id);
+        run_one(&full, self.measurement_time, self.sample_count, &mut f);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id);
+        run_one(&full, self.measurement_time, self.sample_count, &mut |b| f(b, input));
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// The harness entry point.
+pub struct Criterion {
+    measurement_time: Duration,
+    sample_count: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { measurement_time: Duration::from_millis(500), sample_count: 10 }
+    }
+}
+
+impl Criterion {
+    pub fn configure_from_args(self) -> Self {
+        // `cargo bench -- <filter>` filtering is not implemented in the shim.
+        self
+    }
+
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_count = n.max(2);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("\n== group: {name} ==");
+        BenchmarkGroup {
+            name,
+            sample_count: self.sample_count,
+            measurement_time: self.measurement_time,
+            _criterion: self,
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&id.to_string(), self.measurement_time, self.sample_count, &mut f);
+        self
+    }
+
+    pub fn final_summary(&self) {}
+}
+
+/// Mirrors `criterion::criterion_group!`: both the simple and the
+/// `name/config/targets` forms.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default().configure_from_args();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Mirrors `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_records_samples() {
+        let mut c = Criterion::default().measurement_time(Duration::from_millis(20)).sample_size(3);
+        let mut group = c.benchmark_group("shim_selftest");
+        group.sample_size(3);
+        let mut calls = 0u64;
+        group.bench_function("count", |b| {
+            b.iter(|| {
+                calls += 1;
+                black_box(calls)
+            })
+        });
+        group.finish();
+        assert!(calls > 0, "payload was never executed");
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::from_parameter(42).to_string(), "42");
+        assert_eq!(BenchmarkId::new("spmv", 8).to_string(), "spmv/8");
+    }
+
+    #[test]
+    fn format_duration_scales() {
+        assert_eq!(format_duration(Duration::from_nanos(12)), "12 ns");
+        assert!(format_duration(Duration::from_micros(12)).ends_with("µs"));
+        assert!(format_duration(Duration::from_millis(12)).ends_with("ms"));
+        assert!(format_duration(Duration::from_secs(2)).ends_with(" s"));
+    }
+}

@@ -1,0 +1,353 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Supports the subset of the proptest API used by this workspace's
+//! property tests: the [`proptest!`] macro, `ProptestConfig::with_cases`,
+//! range and tuple strategies, `collection::vec` / `collection::btree_set`,
+//! and the `prop_assert!` / `prop_assert_eq!` assertion macros.
+//!
+//! Sampling is **deterministic**: every test function derives its RNG seed
+//! from a fixed workspace constant combined with an FNV-1a hash of the test
+//! name, so `cargo test` is reproducible run to run and machine to machine.
+//! Set `PROPTEST_SEED=<u64>` to explore a different deterministic stream.
+//! There is no shrinking — on failure the macro panics with the case number,
+//! the seed and the debug-printed inputs, which is enough to reproduce.
+
+use std::ops::Range;
+
+#[doc(hidden)]
+pub use rand as __rand;
+
+pub mod test_runner {
+    /// Configuration for a `proptest!` block.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of random cases to run per test function.
+        pub cases: u32,
+        /// Base RNG seed; combined with the test name hash.
+        pub rng_seed: u64,
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 64, rng_seed: super::default_seed() }
+        }
+    }
+
+    impl ProptestConfig {
+        /// Run `cases` random cases per test (the only knob our tests use).
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases, ..Default::default() }
+        }
+    }
+}
+
+/// Fixed workspace-wide base seed, overridable with `PROPTEST_SEED`.
+pub fn default_seed() -> u64 {
+    std::env::var("PROPTEST_SEED")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0xDD11_61A1_5EED_2024)
+}
+
+/// FNV-1a hash of the test name, mixed into the seed so distinct tests see
+/// distinct (but fixed) streams.
+pub fn seed_for_test(base: u64, name: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    base ^ h
+}
+
+pub mod strategy {
+    use super::Range;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    /// A value generator (radically simplified from upstream: no shrink tree).
+    pub trait Strategy {
+        type Value;
+        fn generate(&self, rng: &mut StdRng) -> Self::Value;
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut StdRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+
+    impl_range_strategy!(usize, u64, u32, i64, i32, f64, f32);
+
+    /// A strategy producing one constant value (upstream `Just`).
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut StdRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    macro_rules! impl_tuple_strategy {
+        ($(($($name:ident, $idx:tt);+))*) => {$(
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        )*};
+    }
+
+    impl_tuple_strategy! {
+        (A, 0)
+        (A, 0; B, 1)
+        (A, 0; B, 1; C, 2)
+        (A, 0; B, 1; C, 2; D, 3)
+        (A, 0; B, 1; C, 2; D, 3; E, 4)
+    }
+}
+
+pub mod collection {
+    use super::strategy::Strategy;
+    use super::Range;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+    use std::collections::BTreeSet;
+
+    /// Size specification: a fixed length or a half-open range of lengths.
+    #[derive(Debug, Clone)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize, // exclusive
+    }
+
+    impl SizeRange {
+        fn sample(&self, rng: &mut StdRng) -> usize {
+            if self.lo + 1 >= self.hi {
+                self.lo
+            } else {
+                rng.gen_range(self.lo..self.hi)
+            }
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n + 1 }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            SizeRange { lo: r.start, hi: r.end.max(r.start + 1) }
+        }
+    }
+
+    /// Strategy for `Vec<S::Value>` with length drawn from `size`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut StdRng) -> Self::Value {
+            let len = self.size.sample(rng);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { element, size: size.into() }
+    }
+
+    /// Strategy for `BTreeSet<S::Value>` with target size drawn from `size`.
+    ///
+    /// Like upstream, the resulting set may be smaller than the sampled
+    /// target when the element strategy produces duplicates, but it is
+    /// never empty when the minimum size is ≥ 1.
+    pub struct BTreeSetStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for BTreeSetStrategy<S>
+    where
+        S::Value: Ord,
+    {
+        type Value = BTreeSet<S::Value>;
+        fn generate(&self, rng: &mut StdRng) -> Self::Value {
+            let target = self.size.sample(rng).max(self.size.lo);
+            let mut out = BTreeSet::new();
+            let mut attempts = 0usize;
+            while out.len() < target && attempts < target * 20 + 50 {
+                out.insert(self.element.generate(rng));
+                attempts += 1;
+            }
+            if out.is_empty() && self.size.lo > 0 {
+                out.insert(self.element.generate(rng));
+            }
+            out
+        }
+    }
+
+    pub fn btree_set<S: Strategy>(element: S, size: impl Into<SizeRange>) -> BTreeSetStrategy<S> {
+        BTreeSetStrategy { element, size: size.into() }
+    }
+}
+
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// The workhorse macro: expands each `fn name(pat in strategy, ...) { body }`
+/// item into a `#[test]` that runs `config.cases` deterministic cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    ( ($config:expr) ) => {};
+    ( ($config:expr)
+      $(#[$meta:meta])*
+      fn $name:ident ( $($arg:pat in $strat:expr),+ $(,)? ) $body:block
+      $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            use $crate::strategy::Strategy as _;
+            let __config = $config;
+            let __seed = $crate::seed_for_test(__config.rng_seed, concat!(module_path!(), "::", stringify!($name)));
+            let mut __rng =
+                <$crate::__rand::rngs::StdRng as $crate::__rand::SeedableRng>::seed_from_u64(__seed);
+            for __case in 0..__config.cases {
+                let __inputs = ( $( ($strat).generate(&mut __rng), )+ );
+                let __debug = format!("{:?}", __inputs);
+                let ( $($arg,)+ ) = __inputs;
+                let __result: ::std::result::Result<(), ::std::string::String> =
+                    (|| { $body ::std::result::Result::Ok(()) })();
+                if let ::std::result::Result::Err(__msg) = __result {
+                    panic!(
+                        "proptest case {}/{} failed (seed {:#x}): {}\n  inputs: {}",
+                        __case + 1, __config.cases, __seed, __msg, __debug
+                    );
+                }
+            }
+        }
+        $crate::__proptest_items! { ($config) $($rest)* }
+    };
+}
+
+/// Assert inside a `proptest!` body; reports the failing inputs on failure.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err(format!($($fmt)*));
+        }
+    };
+}
+
+/// Assert equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        match (&$left, &$right) {
+            (__l, __r) => {
+                if !(*__l == *__r) {
+                    return ::std::result::Result::Err(format!(
+                        "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+                        stringify!($left),
+                        stringify!($right),
+                        __l,
+                        __r
+                    ));
+                }
+            }
+        }
+    }};
+}
+
+/// Assert inequality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => {{
+        match (&$left, &$right) {
+            (__l, __r) => {
+                if *__l == *__r {
+                    return ::std::result::Result::Err(format!(
+                        "assertion failed: `{} != {}`\n  both: {:?}",
+                        stringify!($left),
+                        stringify!($right),
+                        __l
+                    ));
+                }
+            }
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn seeds_are_stable_and_name_dependent() {
+        let a = crate::seed_for_test(1, "mod::test_a");
+        let b = crate::seed_for_test(1, "mod::test_b");
+        assert_ne!(a, b);
+        assert_eq!(a, crate::seed_for_test(1, "mod::test_a"));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 3usize..10, y in -2.0f64..2.0) {
+            prop_assert!((3..10).contains(&x));
+            prop_assert!((-2.0..2.0).contains(&y));
+        }
+
+        #[test]
+        fn vec_strategy_obeys_size(v in collection::vec((0usize..5, 0.0f64..1.0), 2..7)) {
+            prop_assert!(v.len() >= 2 && v.len() < 7);
+            for (i, f) in &v {
+                prop_assert!(*i < 5);
+                prop_assert!((0.0..1.0).contains(f));
+            }
+        }
+
+        #[test]
+        fn btree_set_is_nonempty(s in collection::btree_set(0usize..50, 1..20)) {
+            prop_assert!(!s.is_empty() && s.len() < 20);
+            prop_assert!(s.iter().all(|&v| v < 50));
+        }
+
+        #[test]
+        fn fixed_len_vec(v in collection::vec(-1.0f64..1.0, 20)) {
+            prop_assert_eq!(v.len(), 20);
+        }
+    }
+}

@@ -1,0 +1,107 @@
+//! Offline stand-in for the `rayon` crate.
+//!
+//! The build environment has no network access, so this workspace vendors a
+//! minimal, API-compatible subset of rayon that executes everything
+//! **sequentially**.  `par_iter()` / `par_iter_mut()` simply return the
+//! standard library iterators, which support the same adapter chains
+//! (`map`, `zip`, `filter_map`, `sum`, `collect`, `for_each`, ...) used in
+//! this workspace.  Swapping in the real rayon later is a one-line
+//! `Cargo.toml` change per crate; no source edits are needed.
+
+pub mod prelude {
+    /// Sequential replacement for `rayon::iter::IntoParallelRefIterator`.
+    pub trait IntoParallelRefIterator<'a> {
+        type Item;
+        type Iter: Iterator<Item = Self::Item>;
+        fn par_iter(&'a self) -> Self::Iter;
+    }
+
+    /// Sequential replacement for `rayon::iter::IntoParallelRefMutIterator`.
+    pub trait IntoParallelRefMutIterator<'a> {
+        type Item;
+        type Iter: Iterator<Item = Self::Item>;
+        fn par_iter_mut(&'a mut self) -> Self::Iter;
+    }
+
+    /// Sequential replacement for `rayon::iter::IntoParallelIterator`.
+    pub trait IntoParallelIterator {
+        type Item;
+        type Iter: Iterator<Item = Self::Item>;
+        fn into_par_iter(self) -> Self::Iter;
+    }
+
+    impl<'a, T: 'a, C: ?Sized + 'a> IntoParallelRefIterator<'a> for C
+    where
+        &'a C: IntoIterator<Item = &'a T>,
+    {
+        type Item = &'a T;
+        type Iter = <&'a C as IntoIterator>::IntoIter;
+        fn par_iter(&'a self) -> Self::Iter {
+            self.into_iter()
+        }
+    }
+
+    impl<'a, T: 'a, C: ?Sized + 'a> IntoParallelRefMutIterator<'a> for C
+    where
+        &'a mut C: IntoIterator<Item = &'a mut T>,
+    {
+        type Item = &'a mut T;
+        type Iter = <&'a mut C as IntoIterator>::IntoIter;
+        fn par_iter_mut(&'a mut self) -> Self::Iter {
+            self.into_iter()
+        }
+    }
+
+    impl<C: IntoIterator> IntoParallelIterator for C {
+        type Item = C::Item;
+        type Iter = C::IntoIter;
+        fn into_par_iter(self) -> Self::Iter {
+            self.into_iter()
+        }
+    }
+}
+
+/// Sequential replacement for `rayon::join`: runs both closures in order.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA,
+    B: FnOnce() -> RB,
+{
+    (a(), b())
+}
+
+/// Number of "threads" in the sequential pool (always 1).
+pub fn current_num_threads() -> usize {
+    1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn par_iter_matches_iter() {
+        let v = vec![1, 2, 3, 4];
+        let s: i32 = v.par_iter().map(|x| x * 2).sum();
+        assert_eq!(s, 20);
+    }
+
+    #[test]
+    fn par_iter_mut_mutates() {
+        let mut v = vec![1.0, 2.0];
+        v.par_iter_mut().for_each(|x| *x += 1.0);
+        assert_eq!(v, vec![2.0, 3.0]);
+    }
+
+    #[test]
+    fn into_par_iter_consumes() {
+        let v: Vec<usize> = (0..4).into_par_iter().collect();
+        assert_eq!(v, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn join_runs_both() {
+        let (a, b) = super::join(|| 1, || 2);
+        assert_eq!((a, b), (1, 2));
+    }
+}

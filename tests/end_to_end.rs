@@ -15,6 +15,10 @@ use partition::partition_mesh_with_overlap;
 /// The full numerical pipeline without any learned component: mesh a random
 /// domain, assemble, partition, precondition with two-level ASM and solve.
 #[test]
+#[cfg_attr(
+    debug_assertions,
+    ignore = "heavy end-to-end test: opt in with `cargo test --release -- --include-ignored`"
+)]
 fn full_pipeline_with_exact_local_solvers() {
     let domain = RandomBlobDomain::generate(3, 20, 1.0);
     let h = meshgen::generator::element_size_for_target_nodes(&domain, 1500);
@@ -27,13 +31,8 @@ fn full_pipeline_with_exact_local_solvers() {
     let asm =
         AdditiveSchwarz::new(&problem.matrix, subdomains, AsmLevel::TwoLevel).expect("ASM setup");
     let opts = SolverOptions::with_tolerance(1e-8);
-    let result = preconditioned_conjugate_gradient(
-        &problem.matrix,
-        &problem.rhs,
-        None,
-        &asm,
-        &opts,
-    );
+    let result =
+        preconditioned_conjugate_gradient(&problem.matrix, &problem.rhs, None, &asm, &opts);
     assert!(result.stats.converged());
     assert!(krylov::true_relative_residual(&problem.matrix, &result.x, &problem.rhs) < 1e-7);
 
@@ -47,11 +46,14 @@ fn full_pipeline_with_exact_local_solvers() {
 /// freshly generated problem it has never seen, and the solution matches the
 /// exact-preconditioner run.
 #[test]
+#[cfg_attr(
+    debug_assertions,
+    ignore = "heavy end-to-end test: opt in with `cargo test --release -- --include-ignored`"
+)]
 fn hybrid_solver_end_to_end_on_unseen_problem() {
     let problem = ddm_gnn::generate_problem(12345, 1800);
-    let model = ddm_gnn::load_pretrained().unwrap_or_else(|| {
-        ddm_gnn::train_model(&ddm_gnn::PipelineConfig::default()).model
-    });
+    let model = ddm_gnn::load_pretrained()
+        .unwrap_or_else(|| ddm_gnn::train_model(&ddm_gnn::PipelineConfig::default()).model);
     let solver = ddm_gnn::HybridSolver::new(
         model,
         ddm_gnn::HybridSolverConfig {
@@ -73,6 +75,10 @@ fn hybrid_solver_end_to_end_on_unseen_problem() {
 /// Out-of-distribution geometry: the hybrid pipeline handles a domain with
 /// holes (the Fig. 5 scenario at a reduced size).
 #[test]
+#[cfg_attr(
+    debug_assertions,
+    ignore = "heavy end-to-end test: opt in with `cargo test --release -- --include-ignored`"
+)]
 fn formula_one_domain_with_holes_is_solvable() {
     let domain = FormulaOneDomain::new(1.0);
     let h = meshgen::generator::element_size_for_target_nodes(&domain, 2500);
@@ -95,28 +101,23 @@ fn formula_one_domain_with_holes_is_solvable() {
 /// trained model is reused with smaller and larger sub-domains and the hybrid
 /// solver still converges.
 #[test]
+#[cfg_attr(
+    debug_assertions,
+    ignore = "heavy end-to-end test: opt in with `cargo test --release -- --include-ignored`"
+)]
 fn gnn_preconditioner_generalises_across_subdomain_sizes() {
-    let model = Arc::new(ddm_gnn::load_pretrained().unwrap_or_else(|| {
-        ddm_gnn::train_model(&ddm_gnn::PipelineConfig::default()).model
-    }));
+    let model = Arc::new(
+        ddm_gnn::load_pretrained()
+            .unwrap_or_else(|| ddm_gnn::train_model(&ddm_gnn::PipelineConfig::default()).model),
+    );
     let problem = ddm_gnn::generate_problem(777, 1500);
     let opts = SolverOptions::with_tolerance(1e-6).max_iterations(20_000);
     let cg = ddm_gnn::solve_cg(&problem, &opts);
     for subdomain_size in [120usize, 200, 350] {
-        let subdomains =
-            partition_mesh_with_overlap(&problem.mesh, subdomain_size, 2, 0);
-        let outcome = ddm_gnn::solve_ddm_gnn(
-            &problem,
-            subdomains,
-            Arc::clone(&model),
-            true,
-            &opts,
-        )
-        .expect("DDM-GNN solve");
-        assert!(
-            outcome.stats.converged(),
-            "must converge with sub-domain size {subdomain_size}"
-        );
+        let subdomains = partition_mesh_with_overlap(&problem.mesh, subdomain_size, 2, 0);
+        let outcome = ddm_gnn::solve_ddm_gnn(&problem, subdomains, Arc::clone(&model), true, &opts)
+            .expect("DDM-GNN solve");
+        assert!(outcome.stats.converged(), "must converge with sub-domain size {subdomain_size}");
         assert!(
             outcome.stats.iterations < cg.stats.iterations,
             "DDM-GNN ({}) should beat plain CG ({}) at sub-domain size {subdomain_size}",
@@ -129,6 +130,10 @@ fn gnn_preconditioner_generalises_across_subdomain_sizes() {
 /// Larger overlap must not hurt the exact Schwarz preconditioner (Table I's
 /// overlap ablation).
 #[test]
+#[cfg_attr(
+    debug_assertions,
+    ignore = "heavy end-to-end test: opt in with `cargo test --release -- --include-ignored`"
+)]
 fn larger_overlap_does_not_degrade_ddm_lu() {
     let problem = ddm_gnn::generate_problem(55, 1500);
     let opts = SolverOptions::with_tolerance(1e-6);
@@ -143,6 +148,10 @@ fn larger_overlap_does_not_degrade_ddm_lu() {
 /// The dataset → training → preconditioning loop is exercised end to end with
 /// a tiny configuration (independent of the shipped pre-trained weights).
 #[test]
+#[cfg_attr(
+    debug_assertions,
+    ignore = "heavy end-to-end test: opt in with `cargo test --release -- --include-ignored`"
+)]
 fn small_training_pipeline_produces_working_preconditioner() {
     let config = ddm_gnn::PipelineConfig {
         dss: gnn::DssConfig { num_blocks: 4, latent_dim: 6, alpha: 0.25 },
@@ -177,5 +186,55 @@ fn small_training_pipeline_produces_working_preconditioner() {
     .unwrap();
     // Even a lightly trained model must preserve the convergence guarantee of
     // the outer Krylov method (the central claim of the hybrid approach).
+    assert!(outcome.stats.converged());
+}
+
+/// A fast, always-on smoke test of the exact-solver pipeline: small mesh,
+/// partition, two-level ASM, PCG.  Keeps end-to-end coverage in the debug
+/// suite while the heavy tests above are `#[ignore]`d; the heavy variants
+/// run under `cargo test --release -- --include-ignored` (see CI).
+#[test]
+fn small_pipeline_smoke() {
+    let domain = RandomBlobDomain::generate(8, 16, 1.0);
+    let h = meshgen::generator::element_size_for_target_nodes(&domain, 400);
+    let mesh = generate_mesh(&domain, &MeshingOptions::with_element_size(h).seed(8));
+    assert!(mesh.is_connected());
+    let problem = PoissonProblem::with_random_data(mesh, 4);
+    let subdomains = partition_mesh_with_overlap(&problem.mesh, 150, 2, 0);
+    assert!(!subdomains.is_empty());
+
+    let asm =
+        AdditiveSchwarz::new(&problem.matrix, subdomains, AsmLevel::TwoLevel).expect("ASM setup");
+    let result = preconditioned_conjugate_gradient(
+        &problem.matrix,
+        &problem.rhs,
+        None,
+        &asm,
+        &SolverOptions::with_tolerance(1e-8),
+    );
+    assert!(result.stats.converged());
+    assert!(krylov::true_relative_residual(&problem.matrix, &result.x, &problem.rhs) < 1e-7);
+}
+
+/// The hybrid GNN-preconditioned solve at smoke-test size, exercised with the
+/// shipped pre-trained model when present (skipped-by-fallback otherwise: an
+/// untrained fallback would make this test slow, which is the heavy tests'
+/// job).
+#[test]
+fn small_gnn_smoke_with_pretrained_model() {
+    let Some(model) = ddm_gnn::load_pretrained() else {
+        eprintln!("no pretrained model shipped; covered by the release-only heavy tests");
+        return;
+    };
+    let problem = ddm_gnn::generate_problem(42, 500);
+    let subdomains = partition_mesh_with_overlap(&problem.mesh, 150, 2, 0);
+    let outcome = ddm_gnn::solve_ddm_gnn(
+        &problem,
+        subdomains,
+        Arc::new(model),
+        true,
+        &SolverOptions::with_tolerance(1e-6).max_iterations(5_000),
+    )
+    .expect("DDM-GNN solve");
     assert!(outcome.stats.converged());
 }

@@ -1,4 +1,11 @@
 //! Property-based tests on the core numerical invariants, spanning crates.
+//!
+//! The suite is deterministic and CI-bounded by construction: every test runs
+//! a fixed small number of cases (`with_cases(24)` below) on sub-50-unknown
+//! systems, and the vendored proptest shim derives each test's RNG stream
+//! from a fixed workspace seed plus the test name, so runs are reproducible
+//! machine to machine (no `proptest-regressions/` churn).  Set
+//! `PROPTEST_SEED=<u64>` to explore a different deterministic stream.
 
 use ddm_gnn_suite::*;
 
