@@ -13,11 +13,33 @@
 
 use ddm::{Decomposition, NicolaidesCoarseSpace, Restriction};
 use fem::PoissonProblem;
-use gnn::{dataset::build_local_graphs, DssModel, LocalGraph};
+use gnn::{dataset::build_local_graphs, DssModel, InferScratch, LocalGraph};
 use krylov::Preconditioner;
 use rayon::prelude::*;
 use sparse::CsrMatrix;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
+
+/// Reusable per-sub-domain buffers for one preconditioner application: the
+/// restricted (then normalised in place) residual, the DSS output, the norm
+/// used to undo the normalisation at gluing time, and the full GNN inference
+/// scratch.  Pre-sizing these makes `apply` allocation-free per iteration.
+struct SubdomainScratch {
+    local_r: Vec<f64>,
+    correction: Vec<f64>,
+    norm: f64,
+    infer: InferScratch,
+}
+
+impl SubdomainScratch {
+    fn new(dim: usize) -> Mutex<Self> {
+        Mutex::new(SubdomainScratch {
+            local_r: vec![0.0; dim],
+            correction: vec![0.0; dim],
+            norm: 0.0,
+            infer: InferScratch::new(),
+        })
+    }
+}
 
 /// The multi-level GNN preconditioner.
 pub struct DdmGnnPreconditioner {
@@ -25,6 +47,11 @@ pub struct DdmGnnPreconditioner {
     graphs: Vec<LocalGraph>,
     coarse: Option<NicolaidesCoarseSpace>,
     model: Arc<DssModel>,
+    scratch: Vec<Mutex<SubdomainScratch>>,
+    /// Serialises whole `apply` calls: the scratch buffers span the parallel
+    /// inference and the sequential gluing, so two concurrent `apply`s on the
+    /// same preconditioner would otherwise interleave and corrupt each other.
+    apply_guard: Mutex<()>,
     num_global: usize,
 }
 
@@ -63,11 +90,18 @@ impl DdmGnnPreconditioner {
         } else {
             None
         };
+        let scratch = decomposition
+            .restrictions
+            .iter()
+            .map(|r| SubdomainScratch::new(r.num_local()))
+            .collect();
         Ok(DdmGnnPreconditioner {
             restrictions: decomposition.restrictions,
             graphs,
             coarse,
             model,
+            scratch,
+            apply_guard: Mutex::new(()),
             num_global: matrix.nrows(),
         })
     }
@@ -92,32 +126,37 @@ impl Preconditioner for DdmGnnPreconditioner {
     fn apply(&self, r: &[f64], z: &mut [f64]) {
         debug_assert_eq!(r.len(), self.num_global);
         debug_assert_eq!(z.len(), self.num_global);
+        let _exclusive = self.apply_guard.lock().unwrap();
 
         // Local problems: restrict, normalise, infer — all sub-domains in
-        // parallel (the batched GPU inference of Eq. 14 mapped onto rayon).
-        let locals: Vec<(Vec<f64>, f64)> = self
-            .restrictions
-            .par_iter()
-            .zip(self.graphs.par_iter())
-            .map(|(restriction, graph)| {
-                let local_r = restriction.restrict(r);
-                let norm = sparse::vector::norm2(&local_r);
-                if norm <= f64::MIN_POSITIVE {
-                    return (vec![0.0; local_r.len()], 0.0);
-                }
-                let input: Vec<f64> = local_r.iter().map(|v| v / norm).collect();
-                let correction = self.model.infer_with_input(graph, &input);
-                (correction, norm)
-            })
-            .collect();
+        // parallel (the batched GPU inference of Eq. 14 mapped onto rayon),
+        // each writing into its own pre-sized scratch so the steady state
+        // allocates nothing.
+        (0..self.restrictions.len()).into_par_iter().for_each(|i| {
+            let mut guard = self.scratch[i].lock().unwrap();
+            let SubdomainScratch { local_r, correction, norm, infer } = &mut *guard;
+            self.restrictions[i].restrict_into(r, local_r);
+            *norm = sparse::vector::norm2(local_r);
+            if *norm <= f64::MIN_POSITIVE {
+                *norm = 0.0;
+                return;
+            }
+            for v in local_r.iter_mut() {
+                *v /= *norm;
+            }
+            self.model.infer_with_input_into(&self.graphs[i], local_r, infer, correction);
+        });
 
-        // Gluing (Eq. 16): z = Σ Rᵢᵀ ‖Rᵢ r‖ r̃ᵢ  (+ coarse correction).
+        // Gluing (Eq. 16): z = Σ Rᵢᵀ ‖Rᵢ r‖ r̃ᵢ  (+ coarse correction),
+        // accumulated sequentially in sub-domain order so the result does not
+        // depend on the thread count.
         for zi in z.iter_mut() {
             *zi = 0.0;
         }
-        for (restriction, (correction, norm)) in self.restrictions.iter().zip(locals.iter()) {
-            if *norm > 0.0 {
-                restriction.extend_add_scaled(*norm, correction, z);
+        for (restriction, scratch) in self.restrictions.iter().zip(self.scratch.iter()) {
+            let guard = scratch.lock().unwrap();
+            if guard.norm > 0.0 {
+                restriction.extend_add_scaled(guard.norm, &guard.correction, z);
             }
         }
         if let Some(coarse) = &self.coarse {

@@ -9,6 +9,15 @@
 //!
 //! The local solves are independent and run in parallel with rayon — the CPU
 //! analogue of the paper's batched GPU inference.
+//!
+//! `apply` is allocation-free: every sub-domain owns a pre-sized scratch
+//! buffer set (restricted residual, local solution, solver work vector)
+//! behind an uncontended `Mutex`, so the per-Krylov-iteration path performs
+//! no heap allocation at all.  The gather/solve phase runs in parallel; the
+//! scatter (`Σ Rᵢᵀ vᵢ`) accumulates sequentially in sub-domain order so the
+//! result is bit-identical at every thread count.
+
+use std::sync::Mutex;
 
 use krylov::Preconditioner;
 use rayon::prelude::*;
@@ -18,6 +27,22 @@ use crate::coarse::NicolaidesCoarseSpace;
 use crate::local::{factor_all_cholesky, CholeskyLocalSolver, LocalSolver};
 use crate::restriction::Restriction;
 use crate::Decomposition;
+
+/// Reusable per-sub-domain buffers for one preconditioner application.
+struct LocalScratch {
+    /// Restricted residual `Rᵢ r`.
+    rhs: Vec<f64>,
+    /// Local solution `(Rᵢ A Rᵢᵀ)⁻¹ Rᵢ r`.
+    sol: Vec<f64>,
+    /// Solver-internal work vector (permuted intermediate).
+    work: Vec<f64>,
+}
+
+impl LocalScratch {
+    fn new(dim: usize) -> Mutex<Self> {
+        Mutex::new(LocalScratch { rhs: vec![0.0; dim], sol: vec![0.0; dim], work: Vec::new() })
+    }
+}
 
 /// Whether the preconditioner includes the coarse-space correction.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -33,6 +58,11 @@ pub struct AdditiveSchwarz {
     restrictions: Vec<Restriction>,
     local_solvers: Vec<CholeskyLocalSolver>,
     coarse: Option<NicolaidesCoarseSpace>,
+    scratch: Vec<Mutex<LocalScratch>>,
+    /// Serialises whole `apply` calls: the scratch buffers span the parallel
+    /// fill and the sequential glue, so two concurrent `apply`s on the same
+    /// preconditioner would otherwise interleave and corrupt each other.
+    apply_guard: Mutex<()>,
     num_global: usize,
 }
 
@@ -61,7 +91,15 @@ impl AdditiveSchwarz {
             AsmLevel::OneLevel => None,
             AsmLevel::TwoLevel => Some(NicolaidesCoarseSpace::new(matrix, &restrictions)?),
         };
-        Ok(AdditiveSchwarz { restrictions, local_solvers, coarse, num_global: matrix.nrows() })
+        let scratch = restrictions.iter().map(|r| LocalScratch::new(r.num_local())).collect();
+        Ok(AdditiveSchwarz {
+            restrictions,
+            local_solvers,
+            coarse,
+            scratch,
+            apply_guard: Mutex::new(()),
+            num_global: matrix.nrows(),
+        })
     }
 
     /// Number of sub-domains.
@@ -79,24 +117,25 @@ impl Preconditioner for AdditiveSchwarz {
     fn apply(&self, r: &[f64], z: &mut [f64]) {
         debug_assert_eq!(r.len(), self.num_global);
         debug_assert_eq!(z.len(), self.num_global);
+        let _exclusive = self.apply_guard.lock().unwrap();
 
-        // Local corrections, computed in parallel.
-        let locals: Vec<Vec<f64>> = self
-            .restrictions
-            .par_iter()
-            .zip(self.local_solvers.par_iter())
-            .map(|(restriction, solver)| {
-                let local_rhs = restriction.restrict(r);
-                solver.solve(&local_rhs)
-            })
-            .collect();
+        // Local corrections, computed in parallel into per-sub-domain scratch
+        // buffers (never contended: each index is touched by exactly one
+        // chunk, the Mutex only satisfies `&self`).
+        (0..self.restrictions.len()).into_par_iter().for_each(|i| {
+            let mut guard = self.scratch[i].lock().unwrap();
+            let LocalScratch { rhs, sol, work } = &mut *guard;
+            self.restrictions[i].restrict_into(r, rhs);
+            self.local_solvers[i].solve_into(rhs, work, sol);
+        });
 
-        // Accumulate: z = Σ Rᵢᵀ vᵢ (+ coarse correction).
+        // Accumulate: z = Σ Rᵢᵀ vᵢ (+ coarse correction), sequentially in
+        // sub-domain order for thread-count-independent rounding.
         for zi in z.iter_mut() {
             *zi = 0.0;
         }
-        for (restriction, local) in self.restrictions.iter().zip(locals.iter()) {
-            restriction.extend_add(local, z);
+        for (restriction, scratch) in self.restrictions.iter().zip(self.scratch.iter()) {
+            restriction.extend_add(&scratch.lock().unwrap().sol, z);
         }
         if let Some(coarse) = &self.coarse {
             coarse.apply_into(r, z);

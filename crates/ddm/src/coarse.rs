@@ -4,20 +4,37 @@
 //! vectors are the partition-of-unity weighted indicator vectors of the
 //! sub-domains: node `v` contributes `1 / multiplicity(v)` to every
 //! sub-domain that contains it, so the basis sums to the constant vector —
-//! the kernel direction the one-level method struggles with.  The coarse
-//! operator `A₀ = R₀ A R₀ᵀ` is a small `K × K` dense matrix factored with LU
-//! once per solve.
+//! the kernel direction the one-level method struggles with.
+//!
+//! `R₀` is stored as a sparse `K × N` CSR matrix (each row has one entry per
+//! sub-domain node, not `N`), so the restriction `R₀ r` is a sparse SpMV and
+//! the prolongation `R₀ᵀ v` a transposed scatter via
+//! [`CsrMatrix::spmv_transpose_add_into`] — no dense basis vectors and no
+//! temporaries.  The coarse operator `A₀ = R₀ A R₀ᵀ` is a small `K × K` dense
+//! matrix assembled with the sparse Galerkin row-merge kernel and factored
+//! with LU once per setup; `apply_into` reuses pre-sized scratch vectors so
+//! the per-Krylov-iteration path is allocation-free.
+
+use std::sync::Mutex;
 
 use sparse::{CsrMatrix, DenseMatrix, LuFactor};
 
 use crate::restriction::{node_multiplicity, Restriction};
 
-/// The assembled Nicolaides coarse space: basis vectors, coarse operator LU.
+/// Reusable coarse-solve buffers (`K`-sized, tiny).
+struct CoarseScratch {
+    rhs: Vec<f64>,
+    sol: Vec<f64>,
+}
+
+/// The assembled Nicolaides coarse space: sparse basis, coarse operator LU.
 pub struct NicolaidesCoarseSpace {
-    /// `R₀` rows: one dense global vector per sub-domain.
-    rows: Vec<Vec<f64>>,
+    /// `R₀` as a sparse `K × N` matrix of partition-of-unity weights.
+    r0: CsrMatrix,
     /// LU factorisation of `R₀ A R₀ᵀ`.
     factor: LuFactor,
+    /// Pre-sized buffers for `apply_into`.
+    scratch: Mutex<CoarseScratch>,
 }
 
 impl NicolaidesCoarseSpace {
@@ -28,48 +45,48 @@ impl NicolaidesCoarseSpace {
         let k = restrictions.len();
         assert!(k > 0, "coarse space needs at least one sub-domain");
         let mult = node_multiplicity(restrictions, n);
-        let mut rows = Vec::with_capacity(k);
+        // Restriction indices are sorted and unique, so the rows can be
+        // emitted directly in CSR order.
+        let mut row_ptr = Vec::with_capacity(k + 1);
+        let mut col_idx = Vec::new();
+        let mut values = Vec::new();
+        row_ptr.push(0);
         for r in restrictions {
-            let mut row = vec![0.0; n];
             for &g in r.indices() {
-                // Partition-of-unity weight.
-                row[g] = 1.0 / mult[g].max(1) as f64;
+                col_idx.push(g);
+                values.push(1.0 / mult[g].max(1) as f64);
             }
-            rows.push(row);
+            row_ptr.push(col_idx.len());
         }
+        let r0 = CsrMatrix::from_raw_parts(k, n, row_ptr, col_idx, values)?;
         // Coarse operator A0 = R0 A R0ᵀ (dense K × K).
-        let a0 = matrix.galerkin_product(&rows);
+        let a0 = matrix.galerkin_product_csr(&r0);
         let dense = DenseMatrix::from_row_major(k, k, a0)?;
         let factor = LuFactor::factor_dense(&dense)?;
-        Ok(NicolaidesCoarseSpace { rows, factor })
+        let scratch = Mutex::new(CoarseScratch { rhs: vec![0.0; k], sol: vec![0.0; k] });
+        Ok(NicolaidesCoarseSpace { r0, factor, scratch })
     }
 
     /// Number of coarse degrees of freedom (= number of sub-domains).
     pub fn dim(&self) -> usize {
-        self.rows.len()
+        self.r0.nrows()
+    }
+
+    /// The sparse restriction matrix `R₀`.
+    pub fn restriction_matrix(&self) -> &CsrMatrix {
+        &self.r0
     }
 
     /// Apply the coarse correction `z_c = R₀ᵀ (R₀ A R₀ᵀ)⁻¹ R₀ r`, accumulating
     /// the result into `out`.
     pub fn apply_into(&self, r: &[f64], out: &mut [f64]) {
-        let k = self.rows.len();
-        // coarse rhs = R0 r
-        let mut coarse_rhs = vec![0.0; k];
-        for (i, row) in self.rows.iter().enumerate() {
-            coarse_rhs[i] = sparse::vector::dot(row, r);
-        }
-        let coarse_sol =
-            self.factor.solve(&coarse_rhs).expect("coarse solve dimension mismatch cannot happen");
-        // out += R0ᵀ coarse_sol
-        for (i, row) in self.rows.iter().enumerate() {
-            let alpha = coarse_sol[i];
-            if alpha == 0.0 {
-                continue;
-            }
-            for (o, &w) in out.iter_mut().zip(row.iter()) {
-                *o += alpha * w;
-            }
-        }
+        let mut guard = self.scratch.lock().unwrap();
+        let CoarseScratch { rhs, sol } = &mut *guard;
+        // coarse rhs = R0 r (sparse restriction)
+        self.r0.spmv_into(r, rhs);
+        self.factor.solve_into(rhs, sol).expect("coarse solve dimension mismatch cannot happen");
+        // out += R0ᵀ coarse_sol (sparse prolongation)
+        self.r0.spmv_transpose_add_into(sol, out);
     }
 
     /// Apply the coarse correction returning a fresh vector.
@@ -94,10 +111,12 @@ mod tests {
         let coarse = NicolaidesCoarseSpace::new(&fx.problem.matrix, &decomp.restrictions).unwrap();
         assert_eq!(coarse.dim(), decomp.num_subdomains());
         // Sum of basis rows = 1 everywhere (partition of unity).
+        let r0 = coarse.restriction_matrix();
         let mut sum = vec![0.0; n];
-        for row in &coarse.rows {
-            for (s, &v) in sum.iter_mut().zip(row.iter()) {
-                *s += v;
+        for i in 0..r0.nrows() {
+            let (cols, vals) = r0.row(i);
+            for (&c, &v) in cols.iter().zip(vals.iter()) {
+                sum[c] += v;
             }
         }
         for &s in &sum {
@@ -137,9 +156,28 @@ mod tests {
         // coarse residual of the recovered vector vanishes.
         let diff: Vec<f64> = recovered.iter().zip(ones.iter()).map(|(r, o)| r - o).collect();
         let a_diff = fx.problem.matrix.spmv(&diff);
-        for row in &coarse.rows {
-            let proj = sparse::vector::dot(row, &a_diff);
+        let coarse_residual = coarse.restriction_matrix().spmv(&a_diff);
+        for proj in coarse_residual {
             assert!(proj.abs() < 1e-6, "coarse residual component {proj}");
+        }
+    }
+
+    #[test]
+    fn apply_into_is_repeatable_and_accumulates() {
+        // Scratch reuse must not change results, and apply_into must add to
+        // (not overwrite) the output vector.
+        let fx = fixture(500, 180, 2);
+        let decomp = Decomposition::new(&fx.problem.matrix, fx.subdomains.clone());
+        let coarse = NicolaidesCoarseSpace::new(&fx.problem.matrix, &decomp.restrictions).unwrap();
+        let n = fx.problem.num_unknowns();
+        let r: Vec<f64> = (0..n).map(|i| ((i * 5 % 17) as f64) * 0.3 - 2.0).collect();
+        let first = coarse.apply(&r);
+        let second = coarse.apply(&r);
+        assert_eq!(first, second, "scratch reuse changed the result");
+        let mut acc = first.clone();
+        coarse.apply_into(&r, &mut acc);
+        for (a, f) in acc.iter().zip(first.iter()) {
+            assert!((a - 2.0 * f).abs() < 1e-12);
         }
     }
 }

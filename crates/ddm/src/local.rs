@@ -14,6 +14,14 @@ pub trait LocalSolver: Send + Sync {
     /// Solve for one right-hand side.
     fn solve(&self, rhs: &[f64]) -> Vec<f64>;
 
+    /// Allocation-free solve: `work` is a caller-owned scratch buffer that is
+    /// resized on first use and reused across calls, `out` receives the
+    /// solution.  The default implementation falls back to [`Self::solve`].
+    fn solve_into(&self, rhs: &[f64], work: &mut Vec<f64>, out: &mut [f64]) {
+        let _ = work;
+        out.copy_from_slice(&self.solve(rhs));
+    }
+
     /// Dimension of the local problem.
     fn dim(&self) -> usize;
 }
@@ -33,6 +41,12 @@ impl CholeskyLocalSolver {
 impl LocalSolver for CholeskyLocalSolver {
     fn solve(&self, rhs: &[f64]) -> Vec<f64> {
         self.factor.solve(rhs).expect("local Cholesky solve with mismatched rhs length")
+    }
+
+    fn solve_into(&self, rhs: &[f64], work: &mut Vec<f64>, out: &mut [f64]) {
+        self.factor
+            .solve_scratch(rhs, work, out)
+            .expect("local Cholesky solve with mismatched rhs length");
     }
 
     fn dim(&self) -> usize {
@@ -85,6 +99,21 @@ mod tests {
             }
         }
         coo.to_csr()
+    }
+
+    #[test]
+    fn solve_into_matches_solve_for_both_solvers() {
+        let a = small_spd(30);
+        let rhs: Vec<f64> = (0..30).map(|i| ((i * 11) % 7) as f64 - 3.0).collect();
+        let chol = CholeskyLocalSolver::new(&a).unwrap();
+        let lu = DenseLuLocalSolver::new(&a).unwrap();
+        let mut work = Vec::new();
+        let mut out = vec![0.0; 30];
+        chol.solve_into(&rhs, &mut work, &mut out);
+        assert_eq!(out, chol.solve(&rhs));
+        // The default trait implementation (dense LU) also matches.
+        lu.solve_into(&rhs, &mut work, &mut out);
+        assert_eq!(out, lu.solve(&rhs));
     }
 
     #[test]

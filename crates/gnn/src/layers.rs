@@ -44,8 +44,15 @@ impl Linear {
 
     /// Forward pass on a batch of `n` rows.
     pub fn forward(&self, x: &[f64], n: usize) -> Vec<f64> {
-        debug_assert_eq!(x.len(), n * self.in_dim);
         let mut y = vec![0.0; n * self.out_dim];
+        self.forward_into(x, n, &mut y);
+        y
+    }
+
+    /// Forward pass writing into a preallocated output of `n * out_dim`.
+    pub fn forward_into(&self, x: &[f64], n: usize, y: &mut [f64]) {
+        debug_assert_eq!(x.len(), n * self.in_dim);
+        debug_assert_eq!(y.len(), n * self.out_dim);
         for r in 0..n {
             let xin = &x[r * self.in_dim..(r + 1) * self.in_dim];
             let yout = &mut y[r * self.out_dim..(r + 1) * self.out_dim];
@@ -58,7 +65,6 @@ impl Linear {
                 yout[o] = acc;
             }
         }
-        y
     }
 
     /// Backward pass: given the forward input `x` and `dL/dy`, accumulate
@@ -165,6 +171,21 @@ impl Mlp {
         let hidden_pre = self.l1.forward(x, n);
         let hidden = relu(&hidden_pre);
         self.l2.forward(&hidden, n)
+    }
+
+    /// Allocation-free forward pass: `hidden` is a caller-owned scratch that
+    /// is resized to `n * hidden_dim` on first use and reused across calls,
+    /// `y` receives the `n * out_dim` output.
+    ///
+    /// The hidden activation is computed in place (affine, then ReLU applied
+    /// destructively), which yields bit-identical results to [`Mlp::forward`].
+    pub fn forward_into(&self, x: &[f64], n: usize, hidden: &mut Vec<f64>, y: &mut [f64]) {
+        hidden.resize(n * self.l1.out_dim, 0.0);
+        self.l1.forward_into(x, n, hidden);
+        for h in hidden.iter_mut() {
+            *h = h.max(0.0);
+        }
+        self.l2.forward_into(hidden, n, y);
     }
 
     /// Forward pass that also returns the cache needed for backprop.
@@ -322,6 +343,21 @@ mod tests {
             y.iter().enumerate().map(|(i, v)| (i as f64 + 1.0) * v * v).sum::<f64>()
         };
         finite_difference_check(&loss_for_x, &x, &dx, 1e-6, 1e-4);
+    }
+
+    #[test]
+    fn forward_into_matches_forward_bit_for_bit() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mlp = Mlp::xavier(5, 4, 3, &mut rng);
+        let mut hidden = Vec::new();
+        let mut out = [0.0; 3 * 3];
+        // Reuse the same scratch across calls with different batch sizes.
+        for n in [3usize, 1, 2] {
+            let x: Vec<f64> = (0..n * 5).map(|i| ((i * 3 % 11) as f64) * 0.2 - 1.0).collect();
+            let expected = mlp.forward(&x, n);
+            mlp.forward_into(&x, n, &mut hidden, &mut out[..n * 3]);
+            assert_eq!(&out[..n * 3], expected.as_slice());
+        }
     }
 
     #[test]

@@ -37,5 +37,5 @@ pub mod trainer;
 pub use adam::{Adam, AdamConfig};
 pub use dataset::{extract_local_problems, DatasetConfig, TrainingSample};
 pub use graph::LocalGraph;
-pub use model::{DssConfig, DssModel};
+pub use model::{DssConfig, DssModel, InferScratch};
 pub use trainer::{evaluate, train, EvalMetrics, TrainingConfig, TrainingReport};

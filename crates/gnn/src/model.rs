@@ -89,6 +89,43 @@ impl Block {
     }
 }
 
+/// Reusable buffers for [`DssModel::infer_with_input_into`].
+///
+/// Create once (cheap, everything starts empty), pass to every inference
+/// call; buffers are sized lazily to the largest graph seen and reused
+/// afterwards.  Holding one scratch per sub-domain keeps the preconditioner's
+/// hot path allocation-free without any sharing between threads.
+#[derive(Debug, Default)]
+pub struct InferScratch {
+    /// Latent state `H` (`n × d`).
+    h: Vec<f64>,
+    /// Forward edge input batch (`e × (2d + 3)`).
+    x_fwd: Vec<f64>,
+    /// Backward edge input batch.
+    x_bwd: Vec<f64>,
+    /// Per-edge forward messages (`e × d`).
+    m_fwd: Vec<f64>,
+    /// Per-edge backward messages.
+    m_bwd: Vec<f64>,
+    /// Aggregated forward message field (`n × d`).
+    msg_fwd: Vec<f64>,
+    /// Aggregated backward message field.
+    msg_bwd: Vec<f64>,
+    /// Ψ input batch (`n × (3d + 1)`).
+    psi_in: Vec<f64>,
+    /// Ψ output (`n × d`).
+    update: Vec<f64>,
+    /// Shared MLP hidden-activation buffer (`max(e, n) × d`).
+    hidden: Vec<f64>,
+}
+
+impl InferScratch {
+    /// Empty scratch; buffers are allocated on first use.
+    pub fn new() -> Self {
+        InferScratch::default()
+    }
+}
+
 /// The Deep Statistical Solver.
 #[derive(Debug, Clone)]
 pub struct DssModel {
@@ -203,16 +240,84 @@ impl DssModel {
     /// preconditioner: the sub-domain graphs are built once per solve and only
     /// the (normalised) residual changes between PCG iterations.
     pub fn infer_with_input(&self, graph: &LocalGraph, input: &[f64]) -> Vec<f64> {
-        assert_eq!(input.len(), graph.num_nodes(), "input length mismatch");
+        let mut scratch = InferScratch::new();
+        let mut out = vec![0.0; graph.num_nodes()];
+        self.infer_with_input_into(graph, input, &mut scratch, &mut out);
+        out
+    }
+
+    /// Allocation-free inference: all message-passing intermediates (edge
+    /// input batches, per-edge messages, aggregated message fields, the Ψ
+    /// input batch, the latent state and the MLP hidden activations) live in
+    /// `scratch`, which is sized on first use and reused across calls — the
+    /// DDM-GNN preconditioner calls this once per sub-domain per Krylov
+    /// iteration with a per-sub-domain scratch, so the steady state performs
+    /// zero heap allocation.
+    ///
+    /// Only the final block's decoder runs (earlier decodes are training-time
+    /// artefacts that do not influence the latent state), which also makes
+    /// this `k̄ - 1` decoder applications cheaper than the naive loop.  The
+    /// result written to `out` is bit-identical to [`DssModel::infer`].
+    pub fn infer_with_input_into(
+        &self,
+        graph: &LocalGraph,
+        input: &[f64],
+        scratch: &mut InferScratch,
+        out: &mut [f64],
+    ) {
         let d = self.config.latent_dim;
         let n = graph.num_nodes();
-        let mut h = vec![0.0; n * d];
-        let mut last = vec![0.0; n];
+        let e = graph.num_edges();
+        assert_eq!(input.len(), n, "input length mismatch");
+        assert_eq!(out.len(), n, "output length mismatch");
+        let edge_cols = 2 * d + 3;
+        let psi_cols = 3 * d + 1;
+        let InferScratch {
+            h,
+            x_fwd,
+            x_bwd,
+            m_fwd,
+            m_bwd,
+            msg_fwd,
+            msg_bwd,
+            psi_in,
+            update,
+            hidden,
+        } = scratch;
+        h.clear();
+        h.resize(n * d, 0.0);
+        x_fwd.resize(e * edge_cols, 0.0);
+        x_bwd.resize(e * edge_cols, 0.0);
+        m_fwd.resize(e * d, 0.0);
+        m_bwd.resize(e * d, 0.0);
+        msg_fwd.resize(n * d, 0.0);
+        msg_bwd.resize(n * d, 0.0);
+        psi_in.resize(n * psi_cols, 0.0);
+        update.resize(n * d, 0.0);
+
         for block in &self.blocks {
-            h = self.block_forward_with_input(block, graph, &h, input);
-            last = block.decoder.forward(&h, n);
+            build_edge_inputs_into(graph, h, d, x_fwd, x_bwd);
+            block.phi_fwd.forward_into(x_fwd, e, hidden, m_fwd);
+            block.phi_bwd.forward_into(x_bwd, e, hidden, m_bwd);
+            msg_fwd.iter_mut().for_each(|v| *v = 0.0);
+            msg_bwd.iter_mut().for_each(|v| *v = 0.0);
+            for (ei, edge) in graph.edges.iter().enumerate() {
+                let dst = edge.dst;
+                for k in 0..d {
+                    msg_fwd[dst * d + k] += m_fwd[ei * d + k];
+                    msg_bwd[dst * d + k] += m_bwd[ei * d + k];
+                }
+            }
+            build_psi_input_into(input, h, msg_fwd, msg_bwd, d, psi_in);
+            block.psi.forward_into(psi_in, n, hidden, update);
+            for i in 0..n * d {
+                h[i] += self.config.alpha * update[i];
+            }
         }
-        last
+        match self.blocks.last() {
+            Some(block) => block.decoder.forward_into(h, n, hidden, out),
+            None => out.fill(0.0),
+        }
     }
 
     /// Run the model on a batch of graphs in parallel (the CPU analogue of the
@@ -367,6 +472,22 @@ fn build_edge_inputs(graph: &LocalGraph, h: &[f64], d: usize) -> (Vec<f64>, Vec<
     let cols = 2 * d + 3;
     let mut x_fwd = vec![0.0; e * cols];
     let mut x_bwd = vec![0.0; e * cols];
+    build_edge_inputs_into(graph, h, d, &mut x_fwd, &mut x_bwd);
+    (x_fwd, x_bwd)
+}
+
+/// Write the per-edge input batches into preallocated buffers (every slot is
+/// overwritten, so the buffers need no clearing).
+fn build_edge_inputs_into(
+    graph: &LocalGraph,
+    h: &[f64],
+    d: usize,
+    x_fwd: &mut [f64],
+    x_bwd: &mut [f64],
+) {
+    let cols = 2 * d + 3;
+    debug_assert_eq!(x_fwd.len(), graph.num_edges() * cols);
+    debug_assert_eq!(x_bwd.len(), graph.num_edges() * cols);
     for (ei, edge) in graph.edges.iter().enumerate() {
         let row_f = &mut x_fwd[ei * cols..(ei + 1) * cols];
         for k in 0..d {
@@ -385,7 +506,6 @@ fn build_edge_inputs(graph: &LocalGraph, h: &[f64], d: usize) -> (Vec<f64>, Vec<
         row_b[2 * d + 1] = -edge.delta[1];
         row_b[2 * d + 2] = edge.dist;
     }
-    (x_fwd, x_bwd)
 }
 
 /// Build the per-node input batch for the Ψ update MLP.
@@ -399,6 +519,22 @@ fn build_psi_input(
     let n = input.len();
     let cols = 3 * d + 1;
     let mut x = vec![0.0; n * cols];
+    build_psi_input_into(input, h, msg_fwd, msg_bwd, d, &mut x);
+    x
+}
+
+/// Write the Ψ input batch into a preallocated buffer (fully overwritten).
+fn build_psi_input_into(
+    input: &[f64],
+    h: &[f64],
+    msg_fwd: &[f64],
+    msg_bwd: &[f64],
+    d: usize,
+    x: &mut [f64],
+) {
+    let n = input.len();
+    let cols = 3 * d + 1;
+    debug_assert_eq!(x.len(), n * cols);
     for j in 0..n {
         let row = &mut x[j * cols..(j + 1) * cols];
         for k in 0..d {
@@ -408,7 +544,6 @@ fn build_psi_input(
         }
         row[d] = input[j];
     }
-    x
 }
 
 #[cfg(test)]
@@ -570,6 +705,21 @@ mod tests {
         let different_input: Vec<f64> = graph.input.iter().map(|c| c * -0.5 + 0.1).collect();
         let different = model.infer_with_input(&graph, &different_input);
         assert_ne!(stored, different);
+    }
+
+    #[test]
+    fn infer_into_matches_infer_bit_for_bit_with_scratch_reuse() {
+        let model = DssModel::new(DssConfig { num_blocks: 4, latent_dim: 6, alpha: 1e-2 }, 13);
+        let mut scratch = InferScratch::new();
+        // Same scratch across repeated calls and different inputs.
+        let graph = tiny_graph();
+        let mut out = vec![0.0; graph.num_nodes()];
+        for scale in [1.0, -0.5, 0.25] {
+            let input: Vec<f64> = graph.input.iter().map(|c| c * scale + 0.1).collect();
+            let expected = model.infer_with_input(&graph, &input);
+            model.infer_with_input_into(&graph, &input, &mut scratch, &mut out);
+            assert_eq!(out, expected, "scale {scale}");
+        }
     }
 
     #[test]

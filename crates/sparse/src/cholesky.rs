@@ -135,6 +135,23 @@ impl SkylineCholesky {
 
     /// Solve `A x = b`.
     pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>> {
+        let mut out = vec![0.0; self.n];
+        let mut work = Vec::new();
+        self.solve_scratch(b, &mut work, &mut out)?;
+        Ok(out)
+    }
+
+    /// Solve into a preallocated output buffer.
+    pub fn solve_into(&self, b: &[f64], out: &mut [f64]) -> Result<()> {
+        let mut work = Vec::new();
+        self.solve_scratch(b, &mut work, out)
+    }
+
+    /// Allocation-free solve: the permuted intermediate lives in `work`
+    /// (resized on first use, reused afterwards) and the result is written to
+    /// `out`.  This is the form the Schwarz preconditioner calls once per
+    /// sub-domain per Krylov iteration.
+    pub fn solve_scratch(&self, b: &[f64], work: &mut Vec<f64>, out: &mut [f64]) -> Result<()> {
         if b.len() != self.n {
             return Err(SparseError::DimensionMismatch {
                 op: "cholesky_solve",
@@ -142,12 +159,23 @@ impl SkylineCholesky {
                 found: (b.len(), 1),
             });
         }
+        if out.len() != self.n {
+            return Err(SparseError::DimensionMismatch {
+                op: "cholesky_solve",
+                expected: (self.n, 1),
+                found: (out.len(), 1),
+            });
+        }
         let n = self.n;
         if n == 0 {
-            return Ok(vec![]);
+            return Ok(());
         }
-        // permute rhs: y[new] = b[perm[new]]
-        let mut x: Vec<f64> = (0..n).map(|i| b[self.perm[i]]).collect();
+        work.resize(n, 0.0);
+        let x = work.as_mut_slice();
+        // permute rhs: x[new] = b[perm[new]]
+        for i in 0..n {
+            x[i] = b[self.perm[i]];
+        }
         // Forward solve L y = b
         for i in 0..n {
             let fi = self.first_col[i];
@@ -169,14 +197,9 @@ impl SkylineCholesky {
             }
         }
         // un-permute: out[old] = x[inv[old]]
-        let out: Vec<f64> = (0..n).map(|old| x[self.inv[old]]).collect();
-        Ok(out)
-    }
-
-    /// Solve into a preallocated output buffer.
-    pub fn solve_into(&self, b: &[f64], out: &mut [f64]) -> Result<()> {
-        let x = self.solve(b)?;
-        out.copy_from_slice(&x);
+        for old in 0..n {
+            out[old] = x[self.inv[old]];
+        }
         Ok(())
     }
 }
@@ -311,5 +334,23 @@ mod tests {
         let mut out = vec![0.0; 25];
         chol.solve_into(&b, &mut out).unwrap();
         assert_eq!(x, out);
+    }
+
+    #[test]
+    fn solve_scratch_reuses_buffers_bit_identically() {
+        let a = laplacian_2d(7, 6);
+        let n = a.nrows();
+        let chol = SkylineCholesky::factor(&a).unwrap();
+        let mut work = Vec::new();
+        let mut out = vec![0.0; n];
+        for seed in 0..4u64 {
+            let b: Vec<f64> =
+                (0..n).map(|i| ((i as u64 * 7 + seed * 13) % 19) as f64 - 9.0).collect();
+            chol.solve_scratch(&b, &mut work, &mut out).unwrap();
+            assert_eq!(out, chol.solve(&b).unwrap(), "seed {seed}");
+        }
+        // Wrong output length is rejected.
+        let mut short = vec![0.0; n - 1];
+        assert!(chol.solve_scratch(&vec![0.0; n], &mut work, &mut short).is_err());
     }
 }

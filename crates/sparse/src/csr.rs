@@ -207,10 +207,23 @@ impl CsrMatrix {
         y
     }
 
-    /// Transposed matrix–vector product `y = Aᵀ x`.
-    pub fn spmv_transpose(&self, x: &[f64]) -> Vec<f64> {
+    /// Transposed matrix–vector product `y = Aᵀ x` into a preallocated
+    /// output.  Works directly on the CSR arrays (scatter along rows) — no
+    /// explicit transpose and no temporary is ever built.
+    pub fn spmv_transpose_into(&self, x: &[f64], y: &mut [f64]) {
+        assert_eq!(y.len(), self.ncols, "spmv_transpose: y length mismatch");
+        y.fill(0.0);
+        self.spmv_transpose_add_into(x, y);
+    }
+
+    /// Accumulating transposed product `y += Aᵀ x`.
+    ///
+    /// The accumulate form is what the Schwarz prolongation needs
+    /// (`z += R₀ᵀ v`), so the coarse correction can scatter straight into the
+    /// global output without a scratch vector.
+    pub fn spmv_transpose_add_into(&self, x: &[f64], y: &mut [f64]) {
         assert_eq!(x.len(), self.nrows, "spmv_transpose: x length mismatch");
-        let mut y = vec![0.0; self.ncols];
+        assert_eq!(y.len(), self.ncols, "spmv_transpose: y length mismatch");
         for r in 0..self.nrows {
             let xr = x[r];
             if xr == 0.0 {
@@ -222,6 +235,12 @@ impl CsrMatrix {
                 y[self.col_idx[k]] += self.values[k] * xr;
             }
         }
+    }
+
+    /// Transposed matrix–vector product `y = Aᵀ x`.
+    pub fn spmv_transpose(&self, x: &[f64]) -> Vec<f64> {
+        let mut y = vec![0.0; self.ncols];
+        self.spmv_transpose_into(x, &mut y);
         y
     }
 
@@ -316,19 +335,78 @@ impl CsrMatrix {
     /// Galerkin triple product `R A Rᵀ` where `R` is a dense `k × n` matrix
     /// given row-wise as `k` dense vectors.  Returns a dense row-major `k × k`
     /// array.  Used for the Nicolaides coarse operator (small `k`).
+    ///
+    /// Internally the rows are sparsified and routed through
+    /// [`CsrMatrix::galerkin_product_csr`], so the old `k` dense `n`-vector
+    /// temporaries (`A R_jᵀ` for every coarse dof) are never materialised.
     pub fn galerkin_product(&self, r_rows: &[Vec<f64>]) -> Vec<f64> {
         let k = r_rows.len();
         let n = self.nrows;
+        let mut row_ptr = Vec::with_capacity(k + 1);
+        let mut col_idx = Vec::new();
+        let mut values = Vec::new();
+        row_ptr.push(0);
         for row in r_rows {
             assert_eq!(row.len(), n, "galerkin_product: R row length mismatch");
-        }
-        // tmp_j = A * R_jᵀ  (n-vector per coarse dof)
-        let tmp: Vec<Vec<f64>> = r_rows.par_iter().map(|rj| self.spmv(rj)).collect();
-        let mut out = vec![0.0; k * k];
-        for i in 0..k {
-            for j in 0..k {
-                out[i * k + j] = crate::vector::dot(&r_rows[i], &tmp[j]);
+            for (c, &v) in row.iter().enumerate() {
+                if v != 0.0 {
+                    col_idx.push(c);
+                    values.push(v);
+                }
             }
+            row_ptr.push(col_idx.len());
+        }
+        let r = CsrMatrix { nrows: k, ncols: n, row_ptr, col_idx, values };
+        self.galerkin_product_csr(&r)
+    }
+
+    /// Galerkin triple product `R A Rᵀ` with a sparse `k × n` restriction
+    /// matrix, returning a dense row-major `k × k` array.
+    ///
+    /// Row `i` of the result is computed with a sparse row-merge accumulator:
+    /// the rows of `A` selected by the nonzeros of `R_i` are merged into a
+    /// dense accumulator `w = R_i A` (tracking the touched columns so the
+    /// accumulator can be cleared in `O(touched)`), and each entry
+    /// `out[i, j] = w · R_j` is then a sparse dot against row `j` of `R`.
+    /// Peak extra memory is one `n`-vector regardless of `k`, and every
+    /// summation order is fixed, so the result is deterministic.
+    pub fn galerkin_product_csr(&self, r: &CsrMatrix) -> Vec<f64> {
+        assert_eq!(r.ncols(), self.nrows, "galerkin_product: R column count mismatch");
+        assert_eq!(self.nrows, self.ncols, "galerkin_product: A must be square");
+        let k = r.nrows();
+        let mut out = vec![0.0; k * k];
+        let mut acc = vec![0.0; self.ncols];
+        let mut marked = vec![false; self.ncols];
+        let mut touched: Vec<usize> = Vec::new();
+        for i in 0..k {
+            // w = R_i A  (row-merge of the A-rows selected by R_i's nonzeros).
+            let (rcols, rvals) = r.row(i);
+            for (&g, &w) in rcols.iter().zip(rvals.iter()) {
+                let (acols, avals) = self.row(g);
+                for (&c, &a) in acols.iter().zip(avals.iter()) {
+                    if !marked[c] {
+                        marked[c] = true;
+                        touched.push(c);
+                        acc[c] = 0.0;
+                    }
+                    acc[c] += w * a;
+                }
+            }
+            // out[i, j] = w · R_j, iterating row j's nonzeros in column order.
+            for j in 0..k {
+                let (jcols, jvals) = r.row(j);
+                let mut s = 0.0;
+                for (&c, &v) in jcols.iter().zip(jvals.iter()) {
+                    if marked[c] {
+                        s += acc[c] * v;
+                    }
+                }
+                out[i * k + j] = s;
+            }
+            for &c in &touched {
+                marked[c] = false;
+            }
+            touched.clear();
         }
         out
     }
@@ -445,6 +523,23 @@ mod tests {
     }
 
     #[test]
+    fn spmv_transpose_into_and_add_into() {
+        let mut coo = CooMatrix::new(2, 3);
+        coo.push(0, 0, 1.0).unwrap();
+        coo.push(0, 2, 2.0).unwrap();
+        coo.push(1, 1, 3.0).unwrap();
+        let a = coo.to_csr();
+        let x = vec![2.0, -1.0];
+        let mut y = vec![99.0; 3];
+        a.spmv_transpose_into(&x, &mut y);
+        assert_eq!(y, a.transpose().spmv(&x));
+        // The accumulate form adds on top of existing contents.
+        let mut z = vec![1.0; 3];
+        a.spmv_transpose_add_into(&x, &mut z);
+        assert_eq!(z, vec![1.0 + y[0], 1.0 + y[1], 1.0 + y[2]]);
+    }
+
+    #[test]
     fn symmetry_check() {
         let a = sample_matrix();
         assert!(a.is_symmetric(1e-14));
@@ -473,6 +568,53 @@ mod tests {
         let g = a.galerkin_product(&r);
         // R A Rᵀ = [[6, -1], [-1, 4]]
         assert_eq!(g, vec![6.0, -1.0, -1.0, 4.0]);
+    }
+
+    #[test]
+    fn galerkin_product_csr_matches_dense_reference() {
+        // A larger pseudo-random SPD-ish matrix and overlapping R rows; the
+        // sparse row-merge accumulator must agree with the naive dense
+        // computation R (A Rᵀ) to rounding.
+        let n = 40;
+        let mut coo = CooMatrix::new(n, n);
+        for i in 0..n {
+            coo.push(i, i, 4.0 + (i % 3) as f64).unwrap();
+            if i + 1 < n {
+                coo.push(i, i + 1, -1.0).unwrap();
+                coo.push(i + 1, i, -1.0).unwrap();
+            }
+            if i + 7 < n {
+                coo.push(i, i + 7, 0.5).unwrap();
+                coo.push(i + 7, i, 0.5).unwrap();
+            }
+        }
+        let a = coo.to_csr();
+        let k = 5;
+        let r_rows: Vec<Vec<f64>> = (0..k)
+            .map(|j| {
+                (0..n)
+                    .map(|c| {
+                        if c % k == j || c % (k + 1) == j {
+                            (c + j + 1) as f64 * 0.1
+                        } else {
+                            0.0
+                        }
+                    })
+                    .collect()
+            })
+            .collect();
+        let fast = a.galerkin_product(&r_rows);
+        // Naive reference.
+        let mut slow = vec![0.0; k * k];
+        for i in 0..k {
+            for j in 0..k {
+                let arj = a.spmv(&r_rows[j]);
+                slow[i * k + j] = crate::vector::dot(&r_rows[i], &arj);
+            }
+        }
+        for (f, s) in fast.iter().zip(slow.iter()) {
+            assert!((f - s).abs() < 1e-10 * s.abs().max(1.0), "{f} vs {s}");
+        }
     }
 
     #[test]

@@ -3,10 +3,21 @@
 //! Provides the API surface this workspace's benches use — `Criterion`,
 //! `benchmark_group`, `bench_function`, `bench_with_input`, `BenchmarkId`,
 //! `black_box` and the `criterion_group!` / `criterion_main!` macros — backed
-//! by a simple wall-clock harness: each benchmark is warmed up, then timed
-//! over enough iterations to fill a short measurement window, and the
-//! median/mean per-iteration time is printed.  No statistics, plots or
-//! baselines; swap in the real criterion when the registry is reachable.
+//! by a wall-clock harness designed for *trustworthy* numbers rather than
+//! pretty plots:
+//!
+//! 1. **Calibration** — the payload iteration count is doubled until one
+//!    timed batch lasts at least a fixed floor (so a sample is never a single
+//!    `Instant::now()` quantum), then frozen;
+//! 2. **Sampling** — every sample runs the *same* number of iterations, so
+//!    samples are directly comparable and scheduler noise shows up as sample
+//!    spread instead of silently skewing a single long measurement;
+//! 3. **Reporting** — the per-iteration **median** (robust central tendency)
+//!    and **min** (best-case, the closest estimate of the true cost on a
+//!    noisy machine) are printed, never a lone wall-clock figure.
+//!
+//! No statistics beyond that, no plots or baselines; swap in the real
+//! criterion when the registry is reachable.
 
 use std::fmt::Display;
 use std::hint;
@@ -45,26 +56,49 @@ pub struct Bencher<'a> {
     samples: &'a mut Vec<Duration>,
     measurement_time: Duration,
     sample_count: usize,
+    /// Iterations per sample chosen by calibration (for reporting).
+    iters_per_sample: u64,
 }
 
 impl Bencher<'_> {
     pub fn iter<O, F: FnMut() -> O>(&mut self, mut payload: F) {
-        // Warm-up and per-iteration cost estimate.
-        let warmup_start = Instant::now();
-        black_box(payload());
-        let mut per_iter = warmup_start.elapsed().max(Duration::from_nanos(1));
-
-        // Aim each sample at measurement_time / sample_count.
-        let per_sample = self.measurement_time / self.sample_count as u32;
-        for _ in 0..self.sample_count {
-            let iters = (per_sample.as_nanos() / per_iter.as_nanos()).clamp(1, 1 << 24) as u64;
+        // Calibrate: double the batch size until one batch lasts at least the
+        // floor, so a sample is never dominated by timer quantisation.  The
+        // floor is a fraction of the measurement window but never below 200µs.
+        let batch_floor = (self.measurement_time / (4 * self.sample_count as u32))
+            .max(Duration::from_micros(200));
+        let mut iters: u64 = 1;
+        loop {
             let start = Instant::now();
             for _ in 0..iters {
                 black_box(payload());
             }
             let elapsed = start.elapsed();
-            per_iter = (elapsed / iters as u32).max(Duration::from_nanos(1));
-            self.samples.push(per_iter);
+            if elapsed >= batch_floor || iters >= 1 << 24 {
+                break;
+            }
+            // Jump straight to the projected batch size (at least doubling)
+            // so calibration converges in a few batches.
+            let projected = if elapsed.is_zero() {
+                iters * 8
+            } else {
+                (batch_floor.as_nanos() as u64).saturating_mul(iters)
+                    / (elapsed.as_nanos() as u64).max(1)
+                    + 1
+            };
+            // Grow at least 2× but never past the cap (`clamp` would panic
+            // when the lower bound exceeds the cap).
+            iters = projected.max(iters * 2).min(1 << 24);
+        }
+        self.iters_per_sample = iters;
+
+        // Every sample runs the same, frozen iteration count.
+        for _ in 0..self.sample_count {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(payload());
+            }
+            self.samples.push((start.elapsed() / iters as u32).max(Duration::from_nanos(1)));
         }
     }
 }
@@ -89,20 +123,23 @@ fn run_one(
     f: &mut dyn FnMut(&mut Bencher),
 ) {
     let mut samples = Vec::with_capacity(sample_count);
-    let mut bencher = Bencher { samples: &mut samples, measurement_time, sample_count };
+    let mut bencher =
+        Bencher { samples: &mut samples, measurement_time, sample_count, iters_per_sample: 0 };
     f(&mut bencher);
+    let iters = bencher.iters_per_sample;
     if samples.is_empty() {
         println!("{full_id:<40} (no samples)");
         return;
     }
     samples.sort_unstable();
     let median = samples[samples.len() / 2];
-    let mean = samples.iter().sum::<Duration>() / samples.len() as u32;
+    let min = samples[0];
     println!(
-        "{full_id:<40} median {:>12}   mean {:>12}   ({} samples)",
+        "{full_id:<40} median {:>12}   min {:>12}   ({} samples × {} iters)",
         format_duration(median),
-        format_duration(mean),
-        samples.len()
+        format_duration(min),
+        samples.len(),
+        iters
     );
 }
 

@@ -1,0 +1,641 @@
+//! Chunked, deterministic parallel iterators.
+//!
+//! # Chunked scheduling
+//!
+//! Every parallel operation splits its (indexed) source into at most
+//! [`NUM_CHUNKS`] contiguous chunks whose boundaries depend *only on the
+//! length of the data* — never on the pool size.  Each chunk is consumed by a
+//! plain sequential iterator on one pool thread, and per-chunk results are
+//! combined in chunk-index order on the submitting thread.
+//!
+//! This is the load-bearing determinism guarantee of the whole workspace:
+//! because chunk boundaries and combination order are fixed, floating point
+//! reductions (`sum`, and anything layered on top such as `par_dot`) produce
+//! **bit-identical** results at every `RAYON_NUM_THREADS` setting, including
+//! the sequential pool of size 1.  The trade-off is that we give up rayon's
+//! adaptive work-stealing splits; with ≤ `NUM_CHUNKS`-way slack per operation
+//! the static schedule balances fine for the regular kernels used here.
+//!
+//! # Shape of the implementation
+//!
+//! [`Producer`] mirrors rayon's internal producer concept: a splittable,
+//! exactly-sized source that converts into a sequential iterator.  Slices,
+//! mutable slices, `Vec`s and `Range<usize>` are producers; `map`, `zip` and
+//! `enumerate` are producer adapters (so they stay splittable), while
+//! `filter_map` — which loses indexability — is a thin terminal wrapper that
+//! applies the closure chunk-locally.  The public [`Par`] wrapper exposes the
+//! adapter-chain API the workspace uses (`map`, `zip`, `enumerate`,
+//! `filter_map`, `for_each`, `sum`, `collect`, `count`, `reduce`).
+
+use std::iter::Sum;
+use std::ops::Range;
+use std::sync::Arc;
+
+use crate::pool::{global, ThreadPool};
+
+/// Maximum number of chunks a parallel operation is split into.
+///
+/// Fixed — independent of thread count — so reduction order, and therefore
+/// floating point rounding, is identical at every pool size.  16 gives a pool
+/// of up to 16 threads at least one chunk each and smaller pools enough slack
+/// to balance uneven chunk costs.
+pub const NUM_CHUNKS: usize = 16;
+
+/// A splittable, exactly-sized work source (rayon's producer concept).
+pub trait Producer: Sized + Send {
+    /// Item yielded by the sequential side.
+    type Item: Send;
+    /// Sequential iterator over one chunk.
+    type IntoIter: Iterator<Item = Self::Item>;
+
+    /// Remaining number of items.
+    fn len(&self) -> usize;
+    /// Whether no items remain.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+    /// Split into `[0, mid)` and `[mid, len)`.
+    fn split_at(self, mid: usize) -> (Self, Self);
+    /// Convert into a sequential iterator over all remaining items.
+    fn into_seq(self) -> Self::IntoIter;
+}
+
+/// Split a producer into deterministic, near-equal contiguous chunks.
+fn split_chunks<P: Producer>(producer: P) -> Vec<P> {
+    let len = producer.len();
+    let n = len.clamp(1, NUM_CHUNKS);
+    let base = len / n;
+    let rem = len % n;
+    let mut chunks = Vec::with_capacity(n);
+    let mut rest = producer;
+    for i in 0..n - 1 {
+        let size = base + usize::from(i < rem);
+        let (head, tail) = rest.split_at(size);
+        chunks.push(head);
+        rest = tail;
+    }
+    chunks.push(rest);
+    chunks
+}
+
+/// Run `consume` over every chunk of `producer` on `pool`, returning the
+/// per-chunk results in chunk order.
+pub(crate) fn consume_chunks<P, R, F>(pool: &ThreadPool, producer: P, consume: F) -> Vec<R>
+where
+    P: Producer,
+    R: Send,
+    F: Fn(P::IntoIter) -> R + Sync,
+{
+    let chunks = split_chunks(producer);
+    if pool.num_threads() == 1 || chunks.len() == 1 {
+        return chunks.into_iter().map(|chunk| consume(chunk.into_seq())).collect();
+    }
+    let k = chunks.len();
+    let mut results: Vec<Option<R>> = Vec::with_capacity(k);
+    results.resize_with(k, || None);
+    let consume = &consume;
+    let jobs: Vec<Box<dyn FnOnce() + Send + '_>> = chunks
+        .into_iter()
+        .zip(results.iter_mut())
+        .map(|(chunk, slot)| {
+            Box::new(move || *slot = Some(consume(chunk.into_seq())))
+                as Box<dyn FnOnce() + Send + '_>
+        })
+        .collect();
+    pool.run_batch(jobs);
+    results.into_iter().map(|slot| slot.expect("pool failed to fill a chunk slot")).collect()
+}
+
+// ---------------------------------------------------------------------------
+// Leaf producers
+// ---------------------------------------------------------------------------
+
+/// Producer over `&[T]`.
+pub struct SliceProducer<'a, T>(&'a [T]);
+
+impl<'a, T: Sync> Producer for SliceProducer<'a, T> {
+    type Item = &'a T;
+    type IntoIter = std::slice::Iter<'a, T>;
+
+    fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    fn split_at(self, mid: usize) -> (Self, Self) {
+        let (a, b) = self.0.split_at(mid);
+        (SliceProducer(a), SliceProducer(b))
+    }
+
+    fn into_seq(self) -> Self::IntoIter {
+        self.0.iter()
+    }
+}
+
+/// Producer over `&mut [T]`.
+pub struct SliceMutProducer<'a, T>(&'a mut [T]);
+
+impl<'a, T: Send> Producer for SliceMutProducer<'a, T> {
+    type Item = &'a mut T;
+    type IntoIter = std::slice::IterMut<'a, T>;
+
+    fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    fn split_at(self, mid: usize) -> (Self, Self) {
+        let (a, b) = self.0.split_at_mut(mid);
+        (SliceMutProducer(a), SliceMutProducer(b))
+    }
+
+    fn into_seq(self) -> Self::IntoIter {
+        self.0.iter_mut()
+    }
+}
+
+/// Producer over `Range<usize>`.
+pub struct RangeProducer(Range<usize>);
+
+impl Producer for RangeProducer {
+    type Item = usize;
+    type IntoIter = Range<usize>;
+
+    fn len(&self) -> usize {
+        self.0.end.saturating_sub(self.0.start)
+    }
+
+    fn split_at(self, mid: usize) -> (Self, Self) {
+        let split = self.0.start + mid;
+        (RangeProducer(self.0.start..split), RangeProducer(split..self.0.end))
+    }
+
+    fn into_seq(self) -> Self::IntoIter {
+        self.0
+    }
+}
+
+/// Producer that owns a `Vec<T>`.
+pub struct VecProducer<T>(Vec<T>);
+
+impl<T: Send> Producer for VecProducer<T> {
+    type Item = T;
+    type IntoIter = std::vec::IntoIter<T>;
+
+    fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    fn split_at(self, mid: usize) -> (Self, Self) {
+        let mut head = self.0;
+        let tail = head.split_off(mid);
+        (VecProducer(head), VecProducer(tail))
+    }
+
+    fn into_seq(self) -> Self::IntoIter {
+        self.0.into_iter()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Adapter producers
+// ---------------------------------------------------------------------------
+
+/// `map` adapter: stays splittable, shares the closure via `Arc`.
+pub struct MapProducer<P, F> {
+    base: P,
+    f: Arc<F>,
+}
+
+impl<P, F, R> Producer for MapProducer<P, F>
+where
+    P: Producer,
+    F: Fn(P::Item) -> R + Send + Sync,
+    R: Send,
+{
+    type Item = R;
+    type IntoIter = MapSeqIter<P::IntoIter, F>;
+
+    fn len(&self) -> usize {
+        self.base.len()
+    }
+
+    fn split_at(self, mid: usize) -> (Self, Self) {
+        let (a, b) = self.base.split_at(mid);
+        (MapProducer { base: a, f: Arc::clone(&self.f) }, MapProducer { base: b, f: self.f })
+    }
+
+    fn into_seq(self) -> Self::IntoIter {
+        MapSeqIter { inner: self.base.into_seq(), f: self.f }
+    }
+}
+
+/// Sequential side of [`MapProducer`].
+pub struct MapSeqIter<I, F> {
+    inner: I,
+    f: Arc<F>,
+}
+
+impl<I, F, R> Iterator for MapSeqIter<I, F>
+where
+    I: Iterator,
+    F: Fn(I::Item) -> R,
+{
+    type Item = R;
+
+    fn next(&mut self) -> Option<R> {
+        self.inner.next().map(|x| (self.f)(x))
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        self.inner.size_hint()
+    }
+}
+
+/// `zip` adapter: splits both sides at the same index.
+pub struct ZipProducer<A, B> {
+    a: A,
+    b: B,
+}
+
+impl<A: Producer, B: Producer> Producer for ZipProducer<A, B> {
+    type Item = (A::Item, B::Item);
+    type IntoIter = std::iter::Zip<A::IntoIter, B::IntoIter>;
+
+    fn len(&self) -> usize {
+        self.a.len().min(self.b.len())
+    }
+
+    fn split_at(self, mid: usize) -> (Self, Self) {
+        let (a1, a2) = self.a.split_at(mid);
+        let (b1, b2) = self.b.split_at(mid);
+        (ZipProducer { a: a1, b: b1 }, ZipProducer { a: a2, b: b2 })
+    }
+
+    fn into_seq(self) -> Self::IntoIter {
+        self.a.into_seq().zip(self.b.into_seq())
+    }
+}
+
+/// `enumerate` adapter: carries the global base index through splits.
+pub struct EnumerateProducer<P> {
+    base: P,
+    offset: usize,
+}
+
+impl<P: Producer> Producer for EnumerateProducer<P> {
+    type Item = (usize, P::Item);
+    type IntoIter = EnumerateSeqIter<P::IntoIter>;
+
+    fn len(&self) -> usize {
+        self.base.len()
+    }
+
+    fn split_at(self, mid: usize) -> (Self, Self) {
+        let (a, b) = self.base.split_at(mid);
+        (
+            EnumerateProducer { base: a, offset: self.offset },
+            EnumerateProducer { base: b, offset: self.offset + mid },
+        )
+    }
+
+    fn into_seq(self) -> Self::IntoIter {
+        EnumerateSeqIter { inner: self.base.into_seq(), next_index: self.offset }
+    }
+}
+
+/// Sequential side of [`EnumerateProducer`].
+pub struct EnumerateSeqIter<I> {
+    inner: I,
+    next_index: usize,
+}
+
+impl<I: Iterator> Iterator for EnumerateSeqIter<I> {
+    type Item = (usize, I::Item);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        self.inner.next().map(|x| {
+            let i = self.next_index;
+            self.next_index += 1;
+            (i, x)
+        })
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        self.inner.size_hint()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Public parallel iterator wrapper
+// ---------------------------------------------------------------------------
+
+/// A parallel iterator over a [`Producer`] chain.
+pub struct Par<P> {
+    producer: P,
+}
+
+impl<P: Producer> Par<P> {
+    pub(crate) fn new(producer: P) -> Self {
+        Par { producer }
+    }
+
+    /// Exact number of items.
+    pub fn len(&self) -> usize {
+        self.producer.len()
+    }
+
+    /// Whether the iterator is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Map every item through `f`.
+    pub fn map<R, F>(self, f: F) -> Par<MapProducer<P, F>>
+    where
+        F: Fn(P::Item) -> R + Send + Sync,
+        R: Send,
+    {
+        Par::new(MapProducer { base: self.producer, f: Arc::new(f) })
+    }
+
+    /// Iterate two parallel iterators in lockstep.
+    pub fn zip<Q: Producer>(self, other: Par<Q>) -> Par<ZipProducer<P, Q>> {
+        Par::new(ZipProducer { a: self.producer, b: other.producer })
+    }
+
+    /// Pair every item with its global index.
+    pub fn enumerate(self) -> Par<EnumerateProducer<P>> {
+        Par::new(EnumerateProducer { base: self.producer, offset: 0 })
+    }
+
+    /// Keep the `Some` results of `f` (loses indexability; terminal adapters
+    /// only).
+    pub fn filter_map<R, F>(self, f: F) -> FilterMap<P, F>
+    where
+        F: Fn(P::Item) -> Option<R> + Send + Sync,
+        R: Send,
+    {
+        FilterMap { base: self.producer, f: Arc::new(f) }
+    }
+
+    /// Run `f` on every item.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(P::Item) + Send + Sync,
+    {
+        consume_chunks(global(), self.producer, |iter| iter.for_each(&f));
+    }
+
+    /// Sum the items chunk-wise, combining partials in chunk order.
+    ///
+    /// Deterministic: chunk boundaries depend only on the length, so the
+    /// result is bit-identical at every thread count.
+    pub fn sum<S>(self) -> S
+    where
+        S: Sum<P::Item> + Sum<S> + Send,
+    {
+        consume_chunks(global(), self.producer, |iter| iter.sum::<S>()).into_iter().sum()
+    }
+
+    /// Collect all items, preserving order.
+    pub fn collect<C>(self) -> C
+    where
+        C: FromIterator<P::Item>,
+    {
+        let parts: Vec<Vec<P::Item>> =
+            consume_chunks(global(), self.producer, |iter| iter.collect());
+        parts.into_iter().flatten().collect()
+    }
+
+    /// Number of items (consumes the iterator, like rayon).
+    pub fn count(self) -> usize {
+        consume_chunks(global(), self.producer, |iter| iter.count()).into_iter().sum()
+    }
+
+    /// Chunk-wise fold + ordered combine (rayon's `reduce` signature).
+    pub fn reduce<ID, OP>(self, identity: ID, op: OP) -> P::Item
+    where
+        ID: Fn() -> P::Item + Send + Sync,
+        OP: Fn(P::Item, P::Item) -> P::Item + Send + Sync,
+    {
+        consume_chunks(global(), self.producer, |iter| iter.fold(identity(), &op))
+            .into_iter()
+            .fold(identity(), &op)
+    }
+}
+
+/// Terminal `filter_map` wrapper (no longer splittable below chunk level).
+pub struct FilterMap<P, F> {
+    base: P,
+    f: Arc<F>,
+}
+
+impl<P, F, R> FilterMap<P, F>
+where
+    P: Producer,
+    F: Fn(P::Item) -> Option<R> + Send + Sync,
+    R: Send,
+{
+    /// Collect the retained items, preserving source order.
+    pub fn collect<C>(self) -> C
+    where
+        C: FromIterator<R>,
+    {
+        let f = &self.f;
+        let parts: Vec<Vec<R>> =
+            consume_chunks(global(), self.base, |iter| iter.filter_map(|x| f(x)).collect());
+        parts.into_iter().flatten().collect()
+    }
+
+    /// Run `g` on every retained item.
+    pub fn for_each<G>(self, g: G)
+    where
+        G: Fn(R) + Send + Sync,
+    {
+        let f = &self.f;
+        consume_chunks(global(), self.base, |iter| iter.filter_map(|x| f(x)).for_each(&g));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Entry-point traits (the `prelude`)
+// ---------------------------------------------------------------------------
+
+/// `.par_iter()` on borrowed collections.
+pub trait IntoParallelRefIterator<'a> {
+    /// Item yielded by the parallel iterator.
+    type Item: Send + 'a;
+    /// The parallel iterator type.
+    type Iter;
+    /// Borrowing parallel iterator.
+    fn par_iter(&'a self) -> Self::Iter;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = &'a T;
+    type Iter = Par<SliceProducer<'a, T>>;
+
+    fn par_iter(&'a self) -> Self::Iter {
+        Par::new(SliceProducer(self))
+    }
+}
+
+/// `.par_iter_mut()` on mutably borrowed collections.
+pub trait IntoParallelRefMutIterator<'a> {
+    /// Item yielded by the parallel iterator.
+    type Item: Send + 'a;
+    /// The parallel iterator type.
+    type Iter;
+    /// Mutably borrowing parallel iterator.
+    fn par_iter_mut(&'a mut self) -> Self::Iter;
+}
+
+impl<'a, T: Send + 'a> IntoParallelRefMutIterator<'a> for [T] {
+    type Item = &'a mut T;
+    type Iter = Par<SliceMutProducer<'a, T>>;
+
+    fn par_iter_mut(&'a mut self) -> Self::Iter {
+        Par::new(SliceMutProducer(self))
+    }
+}
+
+/// `.into_par_iter()` on owned sources.
+pub trait IntoParallelIterator {
+    /// Item yielded by the parallel iterator.
+    type Item: Send;
+    /// The parallel iterator type.
+    type Iter;
+    /// Consuming parallel iterator.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+impl IntoParallelIterator for Range<usize> {
+    type Item = usize;
+    type Iter = Par<RangeProducer>;
+
+    fn into_par_iter(self) -> Self::Iter {
+        Par::new(RangeProducer(self))
+    }
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    type Iter = Par<VecProducer<T>>;
+
+    fn into_par_iter(self) -> Self::Iter {
+        Par::new(VecProducer(self))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pool::ThreadPool;
+
+    #[test]
+    fn chunks_cover_every_index_exactly_once() {
+        for len in [0usize, 1, 2, 3, 15, 16, 17, 31, 103, 1000] {
+            let chunks = split_chunks(RangeProducer(0..len));
+            assert!(chunks.len() <= NUM_CHUNKS);
+            assert_eq!(chunks.len(), len.clamp(1, NUM_CHUNKS));
+            let mut seen: Vec<usize> = Vec::new();
+            for chunk in chunks {
+                seen.extend(chunk.into_seq());
+            }
+            let expected: Vec<usize> = (0..len).collect();
+            assert_eq!(seen, expected, "len {len} not covered exactly once in order");
+        }
+    }
+
+    #[test]
+    fn chunk_boundaries_do_not_depend_on_pool_size() {
+        // The same chunked reduction over pools of different sizes must be
+        // bit-identical — the determinism contract of the shim.
+        let data: Vec<f64> = (0..100_000).map(|i| (i as f64 * 0.7).sin() * 1e-3 + 1.0).collect();
+        let pools = [ThreadPool::new(1), ThreadPool::new(3), ThreadPool::new(7)];
+        let sums: Vec<f64> = pools
+            .iter()
+            .map(|pool| {
+                consume_chunks(pool, SliceProducer(&data), |iter| iter.sum::<f64>())
+                    .into_iter()
+                    .sum::<f64>()
+            })
+            .collect();
+        assert_eq!(sums[0].to_bits(), sums[1].to_bits());
+        assert_eq!(sums[0].to_bits(), sums[2].to_bits());
+    }
+
+    #[test]
+    fn map_zip_sum_matches_sequential() {
+        let x: Vec<f64> = (0..50_000).map(|i| (i % 13) as f64 * 0.25).collect();
+        let y: Vec<f64> = (0..50_000).map(|i| (i % 7) as f64 - 3.0).collect();
+        let par: f64 = x.par_iter().zip(y.par_iter()).map(|(a, b)| a * b).sum();
+        let seq: f64 = x.iter().zip(y.iter()).map(|(a, b)| a * b).sum();
+        assert!((par - seq).abs() < 1e-9 * seq.abs().max(1.0));
+    }
+
+    #[test]
+    fn par_iter_mut_enumerate_for_each() {
+        let mut v = vec![0.0f64; 1000];
+        v.par_iter_mut().enumerate().for_each(|(i, x)| *x = i as f64 * 2.0);
+        for (i, x) in v.iter().enumerate() {
+            assert_eq!(*x, i as f64 * 2.0);
+        }
+    }
+
+    #[test]
+    fn collect_preserves_order() {
+        let v: Vec<usize> = (0..1000).collect();
+        let doubled: Vec<usize> = v.par_iter().map(|&x| x * 2).collect();
+        let expected: Vec<usize> = (0..1000).map(|x| x * 2).collect();
+        assert_eq!(doubled, expected);
+    }
+
+    #[test]
+    fn collect_into_result_short_circuits_on_err() {
+        let v: Vec<usize> = (0..100).collect();
+        let ok: Result<Vec<usize>, String> = v.par_iter().map(|&x| Ok(x)).collect();
+        assert_eq!(ok.unwrap(), v);
+        let err: Result<Vec<usize>, String> =
+            v.par_iter().map(|&x| if x == 57 { Err("bad".to_string()) } else { Ok(x) }).collect();
+        assert_eq!(err.unwrap_err(), "bad");
+    }
+
+    #[test]
+    fn filter_map_collect_matches_sequential() {
+        let v: Vec<usize> = (0..977).collect();
+        let par: Vec<usize> =
+            v.par_iter().filter_map(|&x| if x % 3 == 0 { Some(x * x) } else { None }).collect();
+        let seq: Vec<usize> =
+            v.iter().filter_map(|&x| if x % 3 == 0 { Some(x * x) } else { None }).collect();
+        assert_eq!(par, seq);
+    }
+
+    #[test]
+    fn into_par_iter_on_ranges_and_vecs() {
+        let squares: Vec<usize> = (0usize..64).into_par_iter().map(|i| i * i).collect();
+        let expected: Vec<usize> = (0..64).map(|i| i * i).collect();
+        assert_eq!(squares, expected);
+
+        let owned: Vec<String> = vec!["a".to_string(), "b".to_string(), "c".to_string()];
+        let lens: Vec<usize> = owned.into_par_iter().map(|s| s.len()).collect();
+        assert_eq!(lens, vec![1, 1, 1]);
+    }
+
+    #[test]
+    fn reduce_and_count() {
+        let v: Vec<usize> = (1..=100).collect();
+        let max = v.par_iter().map(|&x| x).reduce(|| 0, |a, b| a.max(b));
+        assert_eq!(max, 100);
+        assert_eq!(v.par_iter().count(), 100);
+    }
+
+    #[test]
+    fn empty_inputs_are_fine() {
+        let v: Vec<f64> = Vec::new();
+        let s: f64 = v.par_iter().map(|&x| x).sum();
+        assert_eq!(s, 0.0);
+        let c: Vec<f64> = v.par_iter().map(|&x| x).collect();
+        assert!(c.is_empty());
+        v.clone().into_par_iter().for_each(|_| panic!("must not run"));
+    }
+}

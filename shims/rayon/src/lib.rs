@@ -1,87 +1,120 @@
-//! Offline stand-in for the `rayon` crate.
+//! Offline stand-in for the `rayon` crate — with **real** multithreading.
 //!
-//! The build environment has no network access, so this workspace vendors a
-//! minimal, API-compatible subset of rayon that executes everything
-//! **sequentially**.  `par_iter()` / `par_iter_mut()` simply return the
-//! standard library iterators, which support the same adapter chains
-//! (`map`, `zip`, `filter_map`, `sum`, `collect`, `for_each`, ...) used in
-//! this workspace.  Swapping in the real rayon later is a one-line
-//! `Cargo.toml` change per crate; no source edits are needed.
+//! The build environment has no network access, so this workspace vendors an
+//! API-compatible subset of rayon.  Unlike the original sequential shim, this
+//! implementation executes parallel iterators on a persistent
+//! [`std::thread`]-based worker pool:
+//!
+//! * **Pool sizing** — `RAYON_NUM_THREADS` (read once at first use), falling
+//!   back to [`std::thread::available_parallelism`].  A pool of size 1 runs
+//!   everything inline with zero synchronisation.
+//! * **Chunked scheduling** — every `par_iter`/`par_iter_mut`/`into_par_iter`
+//!   splits its source into at most [`iter::NUM_CHUNKS`] contiguous chunks
+//!   whose boundaries depend only on the data length, never on the pool size
+//!   (see the [`iter`] module docs).
+//! * **Determinism** — per-chunk reductions run sequentially and partials are
+//!   combined in chunk order, so `sum`/`collect`/`reduce` results are
+//!   bit-identical at every `RAYON_NUM_THREADS` setting.  This is what keeps
+//!   the solver residual histories reproducible across machines and thread
+//!   counts.
+//! * **Panic propagation** — a panic inside a worker is captured and re-raised
+//!   on the submitting thread after the batch finishes; the pool survives.
+//!
+//! Supported API: the `prelude` entry-point traits for slices, `Vec<T>` and
+//! `Range<usize>`, the adapter chains used in this workspace (`map`, `zip`,
+//! `enumerate`, `filter_map`, `for_each`, `sum`, `collect`, `count`,
+//! `reduce`), plus [`join`], [`scope`] and [`current_num_threads`].
+//! Swapping in the registry rayon is still a one-line `[workspace.dependencies]`
+//! change; no source edits are needed.
 
+pub mod iter;
+pub mod pool;
+
+/// The adapter-chain entry points (`par_iter`, `par_iter_mut`,
+/// `into_par_iter`), mirroring `rayon::prelude`.
 pub mod prelude {
-    /// Sequential replacement for `rayon::iter::IntoParallelRefIterator`.
-    pub trait IntoParallelRefIterator<'a> {
-        type Item;
-        type Iter: Iterator<Item = Self::Item>;
-        fn par_iter(&'a self) -> Self::Iter;
-    }
-
-    /// Sequential replacement for `rayon::iter::IntoParallelRefMutIterator`.
-    pub trait IntoParallelRefMutIterator<'a> {
-        type Item;
-        type Iter: Iterator<Item = Self::Item>;
-        fn par_iter_mut(&'a mut self) -> Self::Iter;
-    }
-
-    /// Sequential replacement for `rayon::iter::IntoParallelIterator`.
-    pub trait IntoParallelIterator {
-        type Item;
-        type Iter: Iterator<Item = Self::Item>;
-        fn into_par_iter(self) -> Self::Iter;
-    }
-
-    impl<'a, T: 'a, C: ?Sized + 'a> IntoParallelRefIterator<'a> for C
-    where
-        &'a C: IntoIterator<Item = &'a T>,
-    {
-        type Item = &'a T;
-        type Iter = <&'a C as IntoIterator>::IntoIter;
-        fn par_iter(&'a self) -> Self::Iter {
-            self.into_iter()
-        }
-    }
-
-    impl<'a, T: 'a, C: ?Sized + 'a> IntoParallelRefMutIterator<'a> for C
-    where
-        &'a mut C: IntoIterator<Item = &'a mut T>,
-    {
-        type Item = &'a mut T;
-        type Iter = <&'a mut C as IntoIterator>::IntoIter;
-        fn par_iter_mut(&'a mut self) -> Self::Iter {
-            self.into_iter()
-        }
-    }
-
-    impl<C: IntoIterator> IntoParallelIterator for C {
-        type Item = C::Item;
-        type Iter = C::IntoIter;
-        fn into_par_iter(self) -> Self::Iter {
-            self.into_iter()
-        }
-    }
+    pub use crate::iter::{
+        IntoParallelIterator, IntoParallelRefIterator, IntoParallelRefMutIterator,
+    };
 }
 
-/// Sequential replacement for `rayon::join`: runs both closures in order.
-pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+pub use iter::{FilterMap, Par, Producer};
+pub use pool::ThreadPool;
+
+/// Run both closures, potentially in parallel, and return both results.
+pub fn join<A, B, RA, RB>(oper_a: A, oper_b: B) -> (RA, RB)
 where
-    A: FnOnce() -> RA,
-    B: FnOnce() -> RB,
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
 {
-    (a(), b())
+    let mut ra: Option<RA> = None;
+    let mut rb: Option<RB> = None;
+    {
+        let jobs: Vec<Box<dyn FnOnce() + Send + '_>> =
+            vec![Box::new(|| ra = Some(oper_a())), Box::new(|| rb = Some(oper_b()))];
+        pool::global().run_batch(jobs);
+    }
+    (ra.expect("join: first closure did not run"), rb.expect("join: second closure did not run"))
 }
 
-/// Number of "threads" in the sequential pool (always 1).
+/// A scope in which borrowed tasks can be spawned (mirrors `rayon::scope`).
+///
+/// Spawned tasks are queued and executed on the pool when the scope closure
+/// returns; tasks may spawn further tasks, which are drained in waves until
+/// none remain.  `scope` only returns once every spawned task has finished.
+pub struct Scope<'env> {
+    #[allow(clippy::type_complexity)]
+    tasks: std::sync::Mutex<Vec<Box<dyn for<'a> FnOnce(&'a Scope<'env>) + Send + 'env>>>,
+}
+
+impl<'env> Scope<'env> {
+    /// Queue a task to run within the scope.
+    pub fn spawn<F>(&self, f: F)
+    where
+        F: for<'a> FnOnce(&'a Scope<'env>) + Send + 'env,
+    {
+        self.tasks.lock().unwrap().push(Box::new(f));
+    }
+}
+
+/// Create a scope for spawning borrowed tasks; blocks until all complete.
+pub fn scope<'env, F, R>(f: F) -> R
+where
+    F: FnOnce(&Scope<'env>) -> R,
+{
+    let s = Scope { tasks: std::sync::Mutex::new(Vec::new()) };
+    let result = f(&s);
+    loop {
+        let pending = std::mem::take(&mut *s.tasks.lock().unwrap());
+        if pending.is_empty() {
+            break;
+        }
+        let scope_ref = &s;
+        let jobs: Vec<Box<dyn FnOnce() + Send + '_>> = pending
+            .into_iter()
+            .map(|task| Box::new(move || task(scope_ref)) as Box<dyn FnOnce() + Send + '_>)
+            .collect();
+        pool::global().run_batch(jobs);
+    }
+    result
+}
+
+/// Number of threads the global pool executes parallel sections on.
 pub fn current_num_threads() -> usize {
-    1
+    pool::global().num_threads()
 }
 
 #[cfg(test)]
 mod tests {
     use super::prelude::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
 
     #[test]
     fn par_iter_matches_iter() {
-        let v = vec![1, 2, 3, 4];
+        // An array receiver also checks the unsized-coercion method lookup.
+        let v = [1, 2, 3, 4];
         let s: i32 = v.par_iter().map(|x| x * 2).sum();
         assert_eq!(s, 20);
     }
@@ -95,7 +128,7 @@ mod tests {
 
     #[test]
     fn into_par_iter_consumes() {
-        let v: Vec<usize> = (0..4).into_par_iter().collect();
+        let v: Vec<usize> = (0usize..4).into_par_iter().collect();
         assert_eq!(v, vec![0, 1, 2, 3]);
     }
 
@@ -103,5 +136,38 @@ mod tests {
     fn join_runs_both() {
         let (a, b) = super::join(|| 1, || 2);
         assert_eq!((a, b), (1, 2));
+    }
+
+    #[test]
+    fn join_can_borrow_mutably() {
+        let mut left = vec![0.0; 128];
+        let mut right = vec![0.0; 128];
+        super::join(
+            || left.iter_mut().for_each(|x| *x = 1.0),
+            || right.iter_mut().for_each(|x| *x = 2.0),
+        );
+        assert!(left.iter().all(|&x| x == 1.0));
+        assert!(right.iter().all(|&x| x == 2.0));
+    }
+
+    #[test]
+    fn scope_runs_spawned_and_nested_tasks() {
+        let counter = AtomicUsize::new(0);
+        super::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|inner| {
+                    counter.fetch_add(1, Ordering::SeqCst);
+                    inner.spawn(|_| {
+                        counter.fetch_add(10, Ordering::SeqCst);
+                    });
+                });
+            }
+        });
+        assert_eq!(counter.load(Ordering::SeqCst), 8 + 80);
+    }
+
+    #[test]
+    fn current_num_threads_is_positive() {
+        assert!(super::current_num_threads() >= 1);
     }
 }

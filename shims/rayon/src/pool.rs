@@ -1,0 +1,368 @@
+//! The persistent worker pool behind the parallel iterator shim.
+//!
+//! # Design
+//!
+//! One global pool is created lazily on first use.  Its size comes from the
+//! `RAYON_NUM_THREADS` environment variable (read once, like the real rayon)
+//! and falls back to [`std::thread::available_parallelism`].  A pool of size
+//! `N` spawns `N - 1` background workers: the thread that submits a batch
+//! participates in executing it, so `N` threads are busy during a parallel
+//! section and a pool of size 1 degenerates to plain inline execution with no
+//! queueing or synchronisation at all.
+//!
+//! Work is submitted as a *batch* of independent jobs ([`ThreadPool::run_batch`]).
+//! The submitting thread pushes every job onto a shared FIFO, then helps drain
+//! the queue until its batch completes.  Because helpers pop *any* queued job,
+//! nested parallel sections (a worker job that itself runs `par_iter`) cannot
+//! deadlock: the blocked submitter keeps executing queued work, and every
+//! claimed job runs on some live thread.
+//!
+//! # Panic propagation
+//!
+//! Each queued job runs under `catch_unwind`; the first captured payload is
+//! stashed in the batch latch and re-raised on the submitting thread with
+//! `resume_unwind` — but only after *all* jobs of the batch have finished, so
+//! borrows captured by sibling jobs stay valid for their whole execution.
+//! Worker threads therefore never die; the pool survives panicking payloads.
+//!
+//! # Why the lifetime transmute is sound
+//!
+//! Jobs borrow caller data (slices being iterated, result slots), so they are
+//! not `'static`.  They are type-erased to `'static` boxes purely to sit in
+//! the shared queue; `run_batch` does not return (normally or by unwinding)
+//! until the latch confirms every job has finished, which makes the erased
+//! borrows strictly outlive every use.
+
+use std::any::Any;
+use std::collections::VecDeque;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+
+/// A type-erased, lifetime-erased unit of work.
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// Completion tracker for one `run_batch` call.
+struct Latch {
+    state: Mutex<LatchState>,
+    done: Condvar,
+}
+
+struct LatchState {
+    remaining: usize,
+    panic: Option<Box<dyn Any + Send>>,
+}
+
+impl Latch {
+    fn new(count: usize) -> Self {
+        Latch {
+            state: Mutex::new(LatchState { remaining: count, panic: None }),
+            done: Condvar::new(),
+        }
+    }
+
+    fn complete(&self, panic_payload: Option<Box<dyn Any + Send>>) {
+        let mut state = self.state.lock().unwrap();
+        state.remaining -= 1;
+        if state.panic.is_none() {
+            state.panic = panic_payload;
+        }
+        if state.remaining == 0 {
+            self.done.notify_all();
+        }
+    }
+
+    /// Block until every job has finished; return the first panic payload.
+    fn wait(&self) -> Option<Box<dyn Any + Send>> {
+        let mut state = self.state.lock().unwrap();
+        while state.remaining > 0 {
+            state = self.done.wait(state).unwrap();
+        }
+        state.panic.take()
+    }
+}
+
+struct Shared {
+    queue: Mutex<QueueState>,
+    available: Condvar,
+}
+
+struct QueueState {
+    jobs: VecDeque<Job>,
+    /// Set by `Drop`: workers finish the queued jobs, then exit.
+    shutdown: bool,
+}
+
+/// A fixed-size pool of persistent worker threads.
+///
+/// Dropping a pool drains any queued work, signals the workers to exit and
+/// joins them — no threads outlive the pool.  (The [`global`] pool lives in a
+/// `OnceLock` and is intentionally never dropped.)
+pub struct ThreadPool {
+    shared: Arc<Shared>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+    num_threads: usize,
+}
+
+impl ThreadPool {
+    /// Create a pool that runs parallel sections on `num_threads` threads
+    /// (the submitting thread plus `num_threads - 1` background workers).
+    pub fn new(num_threads: usize) -> Self {
+        let num_threads = num_threads.max(1);
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(QueueState { jobs: VecDeque::new(), shutdown: false }),
+            available: Condvar::new(),
+        });
+        let workers = (1..num_threads)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("rayon-shim-worker-{i}"))
+                    .spawn(move || worker_loop(shared))
+                    .expect("failed to spawn rayon shim worker thread")
+            })
+            .collect();
+        ThreadPool { shared, workers, num_threads }
+    }
+
+    /// Number of threads that execute a parallel section.
+    pub fn num_threads(&self) -> usize {
+        self.num_threads
+    }
+
+    /// Run every job in the batch to completion.
+    ///
+    /// Jobs may borrow caller data: this function only returns (or unwinds)
+    /// after all of them have finished.  If one or more jobs panic, the first
+    /// payload is re-raised on the calling thread.
+    pub fn run_batch<'a>(&self, jobs: Vec<Box<dyn FnOnce() + Send + 'a>>) {
+        if self.num_threads == 1 || jobs.len() <= 1 {
+            for job in jobs {
+                job();
+            }
+            return;
+        }
+        let latch = Arc::new(Latch::new(jobs.len()));
+        {
+            let mut queue = self.shared.queue.lock().unwrap();
+            for job in jobs {
+                let latch = Arc::clone(&latch);
+                let wrapped: Box<dyn FnOnce() + Send + 'a> = Box::new(move || {
+                    let result = panic::catch_unwind(AssertUnwindSafe(job));
+                    latch.complete(result.err());
+                });
+                // SAFETY: `run_batch` blocks on the latch until every job has
+                // finished executing (normally or by panic) before returning,
+                // so all borrows captured by `job` strictly outlive its run.
+                let wrapped: Job =
+                    unsafe { std::mem::transmute::<Box<dyn FnOnce() + Send + 'a>, Job>(wrapped) };
+                queue.jobs.push_back(wrapped);
+            }
+            self.shared.available.notify_all();
+        }
+        // Help drain the queue while the batch is in flight.  Popping *any*
+        // job (not just our own) is what makes nested parallelism safe.
+        loop {
+            let job = self.shared.queue.lock().unwrap().jobs.pop_front();
+            match job {
+                Some(job) => job(),
+                None => break,
+            }
+        }
+        if let Some(payload) = latch.wait() {
+            panic::resume_unwind(payload);
+        }
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        {
+            let mut queue = self.shared.queue.lock().unwrap();
+            queue.shutdown = true;
+            self.shared.available.notify_all();
+        }
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+fn worker_loop(shared: Arc<Shared>) {
+    loop {
+        let job = {
+            let mut queue = shared.queue.lock().unwrap();
+            loop {
+                // Finish queued work before honouring a shutdown request.
+                if let Some(job) = queue.jobs.pop_front() {
+                    break job;
+                }
+                if queue.shutdown {
+                    return;
+                }
+                queue = shared.available.wait(queue).unwrap();
+            }
+        };
+        job();
+    }
+}
+
+static GLOBAL: OnceLock<ThreadPool> = OnceLock::new();
+
+/// The process-wide pool, created on first use.
+pub fn global() -> &'static ThreadPool {
+    GLOBAL.get_or_init(|| ThreadPool::new(num_threads_from_env()))
+}
+
+fn num_threads_from_env() -> usize {
+    match std::env::var("RAYON_NUM_THREADS").ok().and_then(|v| v.parse::<usize>().ok()) {
+        Some(n) if n >= 1 => n,
+        _ => std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    fn boxed<'a>(f: impl FnOnce() + Send + 'a) -> Box<dyn FnOnce() + Send + 'a> {
+        Box::new(f)
+    }
+
+    #[test]
+    fn single_thread_pool_runs_inline() {
+        let pool = ThreadPool::new(1);
+        assert_eq!(pool.num_threads(), 1);
+        let main_id = std::thread::current().id();
+        let mut observed = Vec::new();
+        {
+            let observed = &mut observed;
+            pool.run_batch(vec![boxed(move || observed.push(std::thread::current().id()))]);
+        }
+        assert_eq!(observed, vec![main_id]);
+    }
+
+    #[test]
+    fn batch_runs_every_job_exactly_once() {
+        let pool = ThreadPool::new(4);
+        let counter = AtomicUsize::new(0);
+        let jobs: Vec<_> = (0..64)
+            .map(|_| {
+                let counter = &counter;
+                boxed(move || {
+                    counter.fetch_add(1, Ordering::SeqCst);
+                })
+            })
+            .collect();
+        pool.run_batch(jobs);
+        assert_eq!(counter.load(Ordering::SeqCst), 64);
+    }
+
+    #[test]
+    fn jobs_can_write_to_disjoint_borrowed_slots() {
+        let pool = ThreadPool::new(3);
+        let mut slots = vec![0usize; 16];
+        {
+            let jobs: Vec<_> = slots
+                .iter_mut()
+                .enumerate()
+                .map(|(i, slot)| boxed(move || *slot = i * i))
+                .collect();
+            pool.run_batch(jobs);
+        }
+        let expected: Vec<usize> = (0..16).map(|i| i * i).collect();
+        assert_eq!(slots, expected);
+    }
+
+    #[test]
+    fn panic_in_a_worker_propagates_to_the_submitter() {
+        let pool = ThreadPool::new(4);
+        let result = panic::catch_unwind(AssertUnwindSafe(|| {
+            let jobs: Vec<_> = (0..8)
+                .map(|i| {
+                    boxed(move || {
+                        if i == 5 {
+                            panic!("boom from job 5");
+                        }
+                    })
+                })
+                .collect();
+            pool.run_batch(jobs);
+        }));
+        let payload = result.expect_err("panic must propagate");
+        let msg = payload.downcast_ref::<&str>().copied().unwrap_or("");
+        assert!(msg.contains("boom"), "unexpected payload: {msg}");
+
+        // The pool must survive the panic and keep executing work.
+        let counter = AtomicUsize::new(0);
+        let jobs: Vec<_> = (0..8)
+            .map(|_| {
+                let counter = &counter;
+                boxed(move || {
+                    counter.fetch_add(1, Ordering::SeqCst);
+                })
+            })
+            .collect();
+        pool.run_batch(jobs);
+        assert_eq!(counter.load(Ordering::SeqCst), 8);
+    }
+
+    #[test]
+    fn panic_on_the_single_thread_path_propagates() {
+        let pool = ThreadPool::new(1);
+        let result = panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.run_batch(vec![boxed(|| panic!("inline boom"))]);
+        }));
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn nested_batches_complete() {
+        let pool = ThreadPool::new(2);
+        let total = AtomicUsize::new(0);
+        let jobs: Vec<_> = (0..4)
+            .map(|_| {
+                let total = &total;
+                let pool_ref = &pool;
+                boxed(move || {
+                    let inner: Vec<_> = (0..4)
+                        .map(|_| {
+                            boxed(move || {
+                                total.fetch_add(1, Ordering::SeqCst);
+                            })
+                        })
+                        .collect();
+                    pool_ref.run_batch(inner);
+                })
+            })
+            .collect();
+        pool.run_batch(jobs);
+        assert_eq!(total.load(Ordering::SeqCst), 16);
+    }
+
+    #[test]
+    fn env_sizing_defaults_are_sane() {
+        // Whatever the environment, the computed size is at least 1.
+        assert!(num_threads_from_env() >= 1);
+    }
+
+    #[test]
+    fn dropping_a_pool_joins_its_workers() {
+        // Drop joins every worker handle; if a worker failed to observe the
+        // shutdown flag and kept blocking on the condvar, this drop (and the
+        // test) would hang forever instead of returning.
+        let pool = ThreadPool::new(4);
+        let counter = AtomicUsize::new(0);
+        let jobs: Vec<_> = (0..8)
+            .map(|_| {
+                let counter = &counter;
+                boxed(move || {
+                    counter.fetch_add(1, Ordering::SeqCst);
+                })
+            })
+            .collect();
+        pool.run_batch(jobs);
+        assert_eq!(counter.load(Ordering::SeqCst), 8);
+        drop(pool);
+    }
+}
