@@ -13,6 +13,12 @@
 //! histories are **bit-identical** at every thread count (the shim's
 //! determinism contract) and emits the JSON report.
 //!
+//! Besides the end-to-end report the suite writes a per-layer breakdown of
+//! the GNN inference engine (`BENCH_gnn_inference.json`): node GEMMs, edge
+//! GEMM, aggregation, Ψ update and decoder, measured by
+//! [`DdmGnnPreconditioner::apply_timed`] over whole preconditioner
+//! applications.
+//!
 //! Usage:
 //!   cargo run --release -p bench --bin perf_suite
 //! Environment:
@@ -20,6 +26,12 @@
 //!   PERF_SUITE_SIZES     comma-separated target node counts
 //!                        (default "3000,9000,24000")
 //!   PERF_SUITE_OUT       output path (default "BENCH_parallel.json")
+//!   PERF_SUITE_GNN_OUT   per-layer report path (default "BENCH_gnn_inference.json")
+//!   PERF_SUITE_SMOKE     when set: tiny problem, two thread counts, short
+//!                        calibration floors — a CI smoke run that exercises
+//!                        the whole harness (including the determinism
+//!                        cross-check and both reports) in well under a
+//!                        minute of measurement time
 
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
@@ -28,8 +40,13 @@ use std::time::{Duration, Instant};
 
 use ddm::{AdditiveSchwarz, AsmLevel};
 use ddm_gnn::{generate_problem, load_pretrained, DdmGnnPreconditioner};
+use gnn::InferenceTimings;
 use krylov::{preconditioned_conjugate_gradient, Preconditioner, SolverOptions};
 use partition::partition_mesh_with_overlap;
+
+fn smoke_mode() -> bool {
+    std::env::var("PERF_SUITE_SMOKE").is_ok_and(|v| !v.is_empty() && v != "0")
+}
 
 fn main() {
     if std::env::var("PERF_SUITE_CHILD").is_ok() {
@@ -97,9 +114,11 @@ fn time_kernel<F: FnMut()>(mut f: F, floor: Duration, samples: usize) -> (u64, u
 
 fn child() {
     let threads = rayon::current_num_threads();
-    let sizes = env_list("PERF_SUITE_SIZES", &[3000, 9000, 24000]);
+    let smoke = smoke_mode();
+    let default_sizes: &[usize] = if smoke { &[800] } else { &[3000, 9000, 24000] };
+    let sizes = env_list("PERF_SUITE_SIZES", default_sizes);
     let model = load_pretrained().map(std::sync::Arc::new);
-    let floor = Duration::from_millis(25);
+    let floor = Duration::from_millis(if smoke { 5 } else { 25 });
 
     for (pi, &target) in sizes.iter().enumerate() {
         let problem = generate_problem(1 + pi as u64, target);
@@ -132,6 +151,30 @@ fn child() {
         if let Some(precond) = &gnn_precond {
             let (med, min) = time_kernel(|| precond.apply(&r, &mut z), floor, 7);
             println!("PERF kind=kernel name=gnn_apply idx={pi} n={n} threads={threads} median_ns={med} min_ns={min}");
+
+            // Per-layer breakdown of the inference engine, accumulated over
+            // whole (sequential) preconditioner applications.  The stage
+            // split is thread-independent, so the parent asks only the
+            // base-thread-count child to measure it (standalone child runs
+            // default to measuring).
+            let measure_layers = std::env::var("PERF_SUITE_LAYER_CHILD").map_or(true, |v| v != "0");
+            if measure_layers {
+                let reps = if smoke { 1 } else { 3 };
+                let mut timings = InferenceTimings::default();
+                for _ in 0..reps {
+                    precond.apply_timed(&r, &mut z, &mut timings);
+                }
+                for (stage, ns) in timings.stages() {
+                    println!(
+                        "PERF kind=gnn_layer stage={stage} idx={pi} n={n} threads={threads} total_ns={ns} applies={reps} inferences={}",
+                        timings.calls
+                    );
+                }
+                println!(
+                    "PERF kind=gnn_plan idx={pi} n={n} threads={threads} plan_bytes={}",
+                    precond.plan_memory_bytes()
+                );
+            }
         }
 
         // End-to-end PCG solves (2 runs, min wall time; history hashed for
@@ -199,17 +242,25 @@ fn parse_records(stdout: &str) -> Vec<Record> {
 }
 
 fn parent() {
-    let thread_counts = env_list("PERF_SUITE_THREADS", &[1, 2, 4]);
+    let smoke = smoke_mode();
+    let default_threads: &[usize] = if smoke { &[1, 2] } else { &[1, 2, 4] };
+    let thread_counts = env_list("PERF_SUITE_THREADS", default_threads);
     let out_path =
         std::env::var("PERF_SUITE_OUT").unwrap_or_else(|_| "BENCH_parallel.json".to_string());
+    let gnn_out_path = std::env::var("PERF_SUITE_GNN_OUT")
+        .unwrap_or_else(|_| "BENCH_gnn_inference.json".to_string());
     let exe = std::env::current_exe().expect("cannot locate perf_suite executable");
 
+    let base_threads = thread_counts.iter().min().copied().unwrap_or(1);
     let mut all: Vec<Record> = Vec::new();
     for &t in &thread_counts {
         eprintln!("perf_suite: measuring with RAYON_NUM_THREADS={t} ...");
         let output = Command::new(&exe)
             .env("PERF_SUITE_CHILD", "1")
             .env("RAYON_NUM_THREADS", t.to_string())
+            // The per-layer stage split is thread-independent; only the
+            // base-thread-count child spends time measuring it.
+            .env("PERF_SUITE_LAYER_CHILD", if t == base_threads { "1" } else { "0" })
             .output()
             .expect("failed to spawn perf_suite child");
         let stdout = String::from_utf8_lossy(&output.stdout);
@@ -279,7 +330,91 @@ fn parent() {
     );
     std::fs::write(&out_path, json).expect("cannot write benchmark report");
     eprintln!("perf_suite: wrote {out_path} (bit-identical across thread counts: {identical})");
+
+    let gnn_json = render_gnn_inference_json(&thread_counts, &all);
+    std::fs::write(&gnn_out_path, gnn_json).expect("cannot write GNN inference report");
+    eprintln!("perf_suite: wrote {gnn_out_path}");
+
     assert!(identical, "residual histories differ across thread counts");
+}
+
+/// Render the per-layer GNN inference report.  Stage timings come from
+/// sequential `apply_timed` runs, so they are thread-count independent; the
+/// records of the lowest measured thread count are kept.
+fn render_gnn_inference_json(thread_counts: &[usize], records: &[Record]) -> String {
+    let base_threads = thread_counts.iter().min().copied().unwrap_or(1).to_string();
+    let layer_recs: Vec<&Record> = records
+        .iter()
+        .filter(|r| {
+            r.get("kind").map(String::as_str) == Some("gnn_layer")
+                && r.get("threads") == Some(&base_threads)
+        })
+        .collect();
+    // Total per problem index, for the share column.
+    let mut totals: BTreeMap<String, u64> = BTreeMap::new();
+    for rec in &layer_recs {
+        if let Ok(ns) = rec["total_ns"].parse::<u64>() {
+            *totals.entry(rec["idx"].clone()).or_default() += ns;
+        }
+    }
+    let mut s = String::new();
+    let _ = writeln!(s, "{{");
+    let _ = writeln!(s, "  \"command\": \"cargo run --release -p bench --bin perf_suite\",");
+    let _ = writeln!(
+        s,
+        "  \"stage_timer\": \"DdmGnnPreconditioner::apply_timed (sequential sub-domain sweep)\","
+    );
+    let _ = writeln!(s, "  \"threads\": {base_threads},");
+    let _ = writeln!(s, "  \"stages\": [");
+    for (i, rec) in layer_recs.iter().enumerate() {
+        let total = totals.get(&rec["idx"]).copied().unwrap_or(0).max(1);
+        let ns: u64 = rec["total_ns"].parse().unwrap_or(0);
+        let share = ns as f64 / total as f64;
+        let comma = if i + 1 < layer_recs.len() { "," } else { "" };
+        let _ = writeln!(
+            s,
+            "    {{ \"idx\": {}, \"n\": {}, \"stage\": \"{}\", \"total_ns\": {}, \"share\": {:.4}, \"applies\": {}, \"inferences\": {} }}{comma}",
+            rec["idx"], rec["n"], rec["stage"], rec["total_ns"], share, rec["applies"], rec["inferences"]
+        );
+    }
+    let _ = writeln!(s, "  ],");
+    let _ = writeln!(s, "  \"plan_memory\": [");
+    let plan_recs: Vec<&Record> = records
+        .iter()
+        .filter(|r| {
+            r.get("kind").map(String::as_str) == Some("gnn_plan")
+                && r.get("threads") == Some(&base_threads)
+        })
+        .collect();
+    for (i, rec) in plan_recs.iter().enumerate() {
+        let comma = if i + 1 < plan_recs.len() { "," } else { "" };
+        let _ = writeln!(
+            s,
+            "    {{ \"idx\": {}, \"n\": {}, \"plan_bytes\": {} }}{comma}",
+            rec["idx"], rec["n"], rec["plan_bytes"]
+        );
+    }
+    let _ = writeln!(s, "  ],");
+    let _ = writeln!(s, "  \"gnn_apply_median_ns\": [");
+    let apply_recs: Vec<&Record> = records
+        .iter()
+        .filter(|r| {
+            r.get("kind").map(String::as_str) == Some("kernel")
+                && r.get("name").map(String::as_str) == Some("gnn_apply")
+                && r.get("threads") == Some(&base_threads)
+        })
+        .collect();
+    for (i, rec) in apply_recs.iter().enumerate() {
+        let comma = if i + 1 < apply_recs.len() { "," } else { "" };
+        let _ = writeln!(
+            s,
+            "    {{ \"idx\": {}, \"n\": {}, \"median_ns\": {}, \"min_ns\": {} }}{comma}",
+            rec["idx"], rec["n"], rec["median_ns"], rec["min_ns"]
+        );
+    }
+    let _ = writeln!(s, "  ]");
+    let _ = writeln!(s, "}}");
+    s
 }
 
 fn render_json(

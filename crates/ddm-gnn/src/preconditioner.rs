@@ -13,7 +13,10 @@
 
 use ddm::{Decomposition, NicolaidesCoarseSpace, Restriction};
 use fem::PoissonProblem;
-use gnn::{dataset::build_local_graphs, DssModel, InferScratch, LocalGraph};
+use gnn::{
+    dataset::build_local_graphs, DssModel, InferScratch, InferencePlan, InferenceTimings,
+    LocalGraph,
+};
 use krylov::Preconditioner;
 use rayon::prelude::*;
 use sparse::CsrMatrix;
@@ -45,6 +48,11 @@ impl SubdomainScratch {
 pub struct DdmGnnPreconditioner {
     restrictions: Vec<Restriction>,
     graphs: Vec<LocalGraph>,
+    /// Per-sub-domain inference plans, built once at construction (the setup
+    /// phase): split first-layer weights, precomputed static edge terms and
+    /// destination-sorted incidence.  `apply` only runs the cheap
+    /// residual-dependent half of the forward pass.
+    plans: Vec<InferencePlan>,
     coarse: Option<NicolaidesCoarseSpace>,
     model: Arc<DssModel>,
     scratch: Vec<Mutex<SubdomainScratch>>,
@@ -95,9 +103,11 @@ impl DdmGnnPreconditioner {
             .iter()
             .map(|r| SubdomainScratch::new(r.num_local()))
             .collect();
+        let plans = graphs.iter().map(|g| model.build_plan(g)).collect();
         Ok(DdmGnnPreconditioner {
             restrictions: decomposition.restrictions,
             graphs,
+            plans,
             coarse,
             model,
             scratch,
@@ -120,36 +130,43 @@ impl DdmGnnPreconditioner {
     pub fn model(&self) -> &DssModel {
         &self.model
     }
-}
 
-impl Preconditioner for DdmGnnPreconditioner {
-    fn apply(&self, r: &[f64], z: &mut [f64]) {
-        debug_assert_eq!(r.len(), self.num_global);
-        debug_assert_eq!(z.len(), self.num_global);
-        let _exclusive = self.apply_guard.lock().unwrap();
+    /// The per-sub-domain local graphs.
+    pub fn graphs(&self) -> &[LocalGraph] {
+        &self.graphs
+    }
 
-        // Local problems: restrict, normalise, infer — all sub-domains in
-        // parallel (the batched GPU inference of Eq. 14 mapped onto rayon),
-        // each writing into its own pre-sized scratch so the steady state
-        // allocates nothing.
-        (0..self.restrictions.len()).into_par_iter().for_each(|i| {
-            let mut guard = self.scratch[i].lock().unwrap();
-            let SubdomainScratch { local_r, correction, norm, infer } = &mut *guard;
-            self.restrictions[i].restrict_into(r, local_r);
-            *norm = sparse::vector::norm2(local_r);
-            if *norm <= f64::MIN_POSITIVE {
-                *norm = 0.0;
-                return;
+    /// Total heap footprint of the cached inference plans in bytes.
+    pub fn plan_memory_bytes(&self) -> usize {
+        self.plans.iter().map(InferencePlan::memory_bytes).sum()
+    }
+
+    /// Restrict, normalise and infer one sub-domain into its scratch slot,
+    /// optionally accumulating per-stage timings.
+    fn solve_local(&self, i: usize, r: &[f64], timings: Option<&mut InferenceTimings>) {
+        let mut guard = self.scratch[i].lock().unwrap();
+        let SubdomainScratch { local_r, correction, norm, infer } = &mut *guard;
+        self.restrictions[i].restrict_into(r, local_r);
+        *norm = sparse::vector::norm2(local_r);
+        if *norm <= f64::MIN_POSITIVE {
+            *norm = 0.0;
+            return;
+        }
+        for v in local_r.iter_mut() {
+            *v /= *norm;
+        }
+        match timings {
+            Some(t) => {
+                self.model.infer_with_plan_timed(&self.plans[i], local_r, infer, correction, t)
             }
-            for v in local_r.iter_mut() {
-                *v /= *norm;
-            }
-            self.model.infer_with_input_into(&self.graphs[i], local_r, infer, correction);
-        });
+            None => self.model.infer_with_plan_into(&self.plans[i], local_r, infer, correction),
+        }
+    }
 
-        // Gluing (Eq. 16): z = Σ Rᵢᵀ ‖Rᵢ r‖ r̃ᵢ  (+ coarse correction),
-        // accumulated sequentially in sub-domain order so the result does not
-        // depend on the thread count.
+    /// Gluing (Eq. 16): `z = Σ Rᵢᵀ ‖Rᵢ r‖ r̃ᵢ (+ coarse correction)`,
+    /// accumulated sequentially in sub-domain order so the result does not
+    /// depend on the thread count.
+    fn glue(&self, r: &[f64], z: &mut [f64]) {
         for zi in z.iter_mut() {
             *zi = 0.0;
         }
@@ -162,6 +179,38 @@ impl Preconditioner for DdmGnnPreconditioner {
         if let Some(coarse) = &self.coarse {
             coarse.apply_into(r, z);
         }
+    }
+
+    /// [`Preconditioner::apply`] with a per-stage wall-clock breakdown of the
+    /// GNN inference accumulated into `timings`.
+    ///
+    /// The sub-domains are processed **sequentially** so the stage buckets
+    /// measure kernel time rather than scheduler contention; the result
+    /// written to `z` is bit-identical to [`Preconditioner::apply`] (which
+    /// glues in sub-domain order for exactly that reason).
+    pub fn apply_timed(&self, r: &[f64], z: &mut [f64], timings: &mut InferenceTimings) {
+        debug_assert_eq!(r.len(), self.num_global);
+        debug_assert_eq!(z.len(), self.num_global);
+        let _exclusive = self.apply_guard.lock().unwrap();
+        for i in 0..self.restrictions.len() {
+            self.solve_local(i, r, Some(&mut *timings));
+        }
+        self.glue(r, z);
+    }
+}
+
+impl Preconditioner for DdmGnnPreconditioner {
+    fn apply(&self, r: &[f64], z: &mut [f64]) {
+        debug_assert_eq!(r.len(), self.num_global);
+        debug_assert_eq!(z.len(), self.num_global);
+        let _exclusive = self.apply_guard.lock().unwrap();
+
+        // Local problems: restrict, normalise, infer — all sub-domains in
+        // parallel (the batched GPU inference of Eq. 14 mapped onto rayon),
+        // each writing into its own pre-sized scratch so the steady state
+        // allocates nothing.
+        (0..self.restrictions.len()).into_par_iter().for_each(|i| self.solve_local(i, r, None));
+        self.glue(r, z);
     }
 
     fn dim(&self) -> usize {
@@ -242,6 +291,28 @@ mod tests {
         let mut z = vec![1.0; r.len()];
         precond.apply(&r, &mut z);
         assert!(z.iter().all(|&v| v == 0.0), "zero residual must give zero correction");
+    }
+
+    #[test]
+    fn timed_apply_is_bit_identical_to_apply() {
+        let fx = fixture();
+        let precond = DdmGnnPreconditioner::new(
+            &fx.problem,
+            fx.subdomains.clone(),
+            Arc::new(fx.model.clone()),
+            true,
+        )
+        .unwrap();
+        assert!(precond.plan_memory_bytes() > 0);
+        assert_eq!(precond.graphs().len(), precond.num_subdomains());
+        let r = fx.problem.rhs.clone();
+        let mut z = vec![0.0; r.len()];
+        let mut z_timed = vec![0.0; r.len()];
+        precond.apply(&r, &mut z);
+        let mut timings = gnn::InferenceTimings::default();
+        precond.apply_timed(&r, &mut z_timed, &mut timings);
+        assert_eq!(z, z_timed, "timed apply must not change the correction");
+        assert_eq!(timings.calls as usize, precond.num_subdomains());
     }
 
     #[test]

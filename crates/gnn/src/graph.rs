@@ -39,6 +39,18 @@ pub struct LocalGraph {
     pub positions: Vec<Point2>,
     /// Directed edges (dst receives from src).
     pub edges: Vec<Edge>,
+    /// CSR-style destination-sorted edge incidence: node `j` aggregates the
+    /// messages of edges `edge_order[edge_ptr[j]..edge_ptr[j+1]]`.  Built by
+    /// a *stable* counting sort, so each node's edges keep their relative
+    /// order from `edges` — summing along `edge_order` is bit-identical to
+    /// the per-edge scatter it replaces, while turning the aggregation into
+    /// a contiguous per-node gather.  Crate-private because it is cached
+    /// state derived from `edges`: it is kept in sync by [`LocalGraph::new`],
+    /// and external code that mutates `edges` must call
+    /// [`LocalGraph::rebuild_incidence`].
+    pub(crate) edge_ptr: Vec<usize>,
+    /// Permutation from destination-sorted edge slots to indices in `edges`.
+    pub(crate) edge_order: Vec<usize>,
     /// Normalised node input `c` (the DSS input).
     pub input: Vec<f64>,
     /// Norm of the un-normalised right-hand side (`‖Rᵢ r‖`), needed to rescale
@@ -89,7 +101,15 @@ impl LocalGraph {
             }
         }
 
-        LocalGraph { positions, edges, input, rhs_norm, boundary, matrix }
+        let (edge_ptr, edge_order) = build_incidence(n, &edges);
+        LocalGraph { positions, edges, edge_ptr, edge_order, input, rhs_norm, boundary, matrix }
+    }
+
+    /// Recompute the destination-sorted incidence after `edges` changed.
+    pub fn rebuild_incidence(&mut self) {
+        let (ptr, order) = build_incidence(self.num_nodes(), &self.edges);
+        self.edge_ptr = ptr;
+        self.edge_order = order;
     }
 
     /// Number of nodes.
@@ -126,6 +146,24 @@ impl LocalGraph {
     pub fn residual_loss(&self, u: &[f64]) -> f64 {
         crate::loss::residual_loss(&self.matrix, &self.input, u)
     }
+}
+
+/// Stable counting sort of the edges by destination node.
+fn build_incidence(num_nodes: usize, edges: &[Edge]) -> (Vec<usize>, Vec<usize>) {
+    let mut edge_ptr = vec![0usize; num_nodes + 1];
+    for edge in edges {
+        edge_ptr[edge.dst + 1] += 1;
+    }
+    for j in 0..num_nodes {
+        edge_ptr[j + 1] += edge_ptr[j];
+    }
+    let mut next = edge_ptr.clone();
+    let mut edge_order = vec![0usize; edges.len()];
+    for (ei, edge) in edges.iter().enumerate() {
+        edge_order[next[edge.dst]] = ei;
+        next[edge.dst] += 1;
+    }
+    (edge_ptr, edge_order)
 }
 
 #[cfg(test)]
@@ -212,5 +250,39 @@ mod tests {
         assert_eq!(g.num_nodes(), 5);
         // A 5-node chain has 4 undirected couplings = 8 directed edges.
         assert_eq!(g.num_edges(), 8);
+    }
+
+    #[test]
+    fn incidence_covers_every_edge_grouped_by_destination() {
+        let g = chain_graph(6);
+        assert_eq!(g.edge_ptr.len(), g.num_nodes() + 1);
+        assert_eq!(g.edge_ptr[0], 0);
+        assert_eq!(*g.edge_ptr.last().unwrap(), g.num_edges());
+        let mut seen = vec![false; g.num_edges()];
+        for j in 0..g.num_nodes() {
+            for &ei in &g.edge_order[g.edge_ptr[j]..g.edge_ptr[j + 1]] {
+                assert_eq!(g.edges[ei].dst, j, "edge {ei} listed under the wrong node");
+                assert!(!seen[ei], "edge {ei} listed twice");
+                seen[ei] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s), "every edge appears exactly once");
+    }
+
+    #[test]
+    fn incidence_is_stable_and_rebuildable() {
+        let mut g = chain_graph(6);
+        // LocalGraph::new emits edges already grouped by destination, so the
+        // stable sort must be the identity permutation.
+        assert_eq!(g.edge_order, (0..g.num_edges()).collect::<Vec<_>>());
+        // Reversing the edge list still groups per destination while keeping
+        // each node's edges in (new) relative order.
+        g.edges.reverse();
+        g.rebuild_incidence();
+        for j in 0..g.num_nodes() {
+            let slots = &g.edge_order[g.edge_ptr[j]..g.edge_ptr[j + 1]];
+            assert!(slots.windows(2).all(|w| w[0] < w[1]), "stable order violated for node {j}");
+            assert!(slots.iter().all(|&ei| g.edges[ei].dst == j));
+        }
     }
 }

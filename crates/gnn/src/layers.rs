@@ -50,21 +50,14 @@ impl Linear {
     }
 
     /// Forward pass writing into a preallocated output of `n * out_dim`.
+    ///
+    /// Runs as a register-blocked batch GEMM (see [`crate::gemm`]); the
+    /// per-element accumulation order is unchanged, so the results are
+    /// bit-identical to the scalar triple loop this replaced.
     pub fn forward_into(&self, x: &[f64], n: usize, y: &mut [f64]) {
         debug_assert_eq!(x.len(), n * self.in_dim);
         debug_assert_eq!(y.len(), n * self.out_dim);
-        for r in 0..n {
-            let xin = &x[r * self.in_dim..(r + 1) * self.in_dim];
-            let yout = &mut y[r * self.out_dim..(r + 1) * self.out_dim];
-            for o in 0..self.out_dim {
-                let wrow = &self.weight[o * self.in_dim..(o + 1) * self.in_dim];
-                let mut acc = self.bias[o];
-                for (w, xi) in wrow.iter().zip(xin.iter()) {
-                    acc += w * xi;
-                }
-                yout[o] = acc;
-            }
-        }
+        crate::gemm::gemm_bias_into(x, n, self.in_dim, self.out_dim, &self.weight, &self.bias, y);
     }
 
     /// Backward pass: given the forward input `x` and `dL/dy`, accumulate

@@ -4,8 +4,13 @@
 //! The paper trains its DSS model with PyTorch-Geometric on GPUs; no such
 //! stack exists for Rust, so this crate implements the full pipeline natively:
 //!
+//! * [`gemm`] — register-blocked batch GEMM micro-kernels with a strict
+//!   per-element accumulation-order (bit-identity) contract,
 //! * [`layers`] — linear layers and two-layer MLPs with exact reverse-mode
 //!   gradients (validated against finite differences in the test-suite),
+//! * [`plan`] — per-graph inference plans: split first-layer weights,
+//!   precomputed static edge terms and destination-sorted incidence that
+//!   power the fast inference engine,
 //! * [`graph`] — the [`graph::LocalGraph`] representation of one sub-domain
 //!   problem: geometric edge features `(d_jl, ‖d_jl‖)`, normalised residual
 //!   input `c`, boundary mask and the local operator used by the loss,
@@ -27,15 +32,18 @@
 
 pub mod adam;
 pub mod dataset;
+pub mod gemm;
 pub mod graph;
 pub mod io;
 pub mod layers;
 pub mod loss;
 pub mod model;
+pub mod plan;
 pub mod trainer;
 
 pub use adam::{Adam, AdamConfig};
 pub use dataset::{extract_local_problems, DatasetConfig, TrainingSample};
 pub use graph::LocalGraph;
 pub use model::{DssConfig, DssModel, InferScratch};
+pub use plan::{InferencePlan, InferenceTimings, ScratchPool};
 pub use trainer::{evaluate, train, EvalMetrics, TrainingConfig, TrainingReport};

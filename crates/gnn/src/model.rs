@@ -18,13 +18,17 @@
 //! per-block activation recomputation so the memory footprint stays at one
 //! latent state per block.
 
+use std::time::Instant;
+
 use rand::prelude::*;
 use rand_chacha::ChaCha8Rng;
 use rayon::prelude::*;
 
+use crate::gemm;
 use crate::graph::LocalGraph;
 use crate::layers::Mlp;
 use crate::loss::residual_loss_and_grad;
+use crate::plan::{InferencePlan, InferenceTimings, ScratchPool};
 
 /// Hyper-parameters of the DSS model.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -89,33 +93,31 @@ impl Block {
     }
 }
 
-/// Reusable buffers for [`DssModel::infer_with_input_into`].
+/// Reusable buffers for the planned inference path
+/// ([`DssModel::infer_with_plan_into`] and friends).
 ///
 /// Create once (cheap, everything starts empty), pass to every inference
 /// call; buffers are sized lazily to the largest graph seen and reused
 /// afterwards.  Holding one scratch per sub-domain keeps the preconditioner's
-/// hot path allocation-free without any sharing between threads.
+/// hot path allocation-free without any sharing between threads; batched
+/// inference recycles them through a [`ScratchPool`].
 #[derive(Debug, Default)]
 pub struct InferScratch {
     /// Latent state `H` (`n × d`).
     h: Vec<f64>,
-    /// Forward edge input batch (`e × (2d + 3)`).
-    x_fwd: Vec<f64>,
-    /// Backward edge input batch.
-    x_bwd: Vec<f64>,
-    /// Per-edge forward messages (`e × d`).
-    m_fwd: Vec<f64>,
-    /// Per-edge backward messages.
-    m_bwd: Vec<f64>,
-    /// Aggregated forward message field (`n × d`).
-    msg_fwd: Vec<f64>,
-    /// Aggregated backward message field.
-    msg_bwd: Vec<f64>,
-    /// Ψ input batch (`n × (3d + 1)`).
-    psi_in: Vec<f64>,
+    /// Node-level destination term `H W_dstᵀ` (`n × d`).
+    a_dst: Vec<f64>,
+    /// Node-level source term `H W_srcᵀ` (`n × d`).
+    a_src: Vec<f64>,
+    /// Per-node sum of ReLU'd forward-message hidden activations (`n × d`).
+    hsum_fwd: Vec<f64>,
+    /// Per-node sum of ReLU'd backward-message hidden activations.
+    hsum_bwd: Vec<f64>,
+    /// Ψ pre-activation / hidden activation (`n × d`).
+    psi_hidden: Vec<f64>,
     /// Ψ output (`n × d`).
     update: Vec<f64>,
-    /// Shared MLP hidden-activation buffer (`max(e, n) × d`).
+    /// Decoder hidden-activation buffer (`n × d`).
     hidden: Vec<f64>,
 }
 
@@ -211,6 +213,11 @@ impl DssModel {
     }
 
     /// Compute the two aggregated message fields for a block.
+    ///
+    /// Aggregation walks the graph's destination-sorted incidence
+    /// ([`LocalGraph::edge_ptr`]), a contiguous per-node gather.  The stable
+    /// sort keeps each node's edges in their original relative order, so the
+    /// sums are bit-identical to the per-edge scatter this replaced.
     fn messages(&self, block: &Block, graph: &LocalGraph, h: &[f64]) -> (Vec<f64>, Vec<f64>) {
         let d = self.config.latent_dim;
         let n = graph.num_nodes();
@@ -220,14 +227,14 @@ impl DssModel {
         let m_bwd = block.phi_bwd.forward(&x_bwd, e);
         let mut msg_fwd = vec![0.0; n * d];
         let mut msg_bwd = vec![0.0; n * d];
-        for (ei, edge) in graph.edges.iter().enumerate() {
-            let dst = edge.dst;
-            for k in 0..d {
-                msg_fwd[dst * d + k] += m_fwd[ei * d + k];
-                msg_bwd[dst * d + k] += m_bwd[ei * d + k];
-            }
-        }
+        gather_messages(graph, &m_fwd, d, &mut msg_fwd);
+        gather_messages(graph, &m_bwd, d, &mut msg_bwd);
         (msg_fwd, msg_bwd)
+    }
+
+    /// The model's message-passing blocks (for [`InferencePlan`] builders).
+    pub(crate) fn blocks(&self) -> &[Block] {
+        &self.blocks
     }
 
     /// Run the full model and return the final decoded state `r̂`.
@@ -236,9 +243,7 @@ impl DssModel {
     }
 
     /// Run the model using `input` as the node feature `c` instead of the
-    /// graph's stored input.  This is the hot path of the DDM-GNN
-    /// preconditioner: the sub-domain graphs are built once per solve and only
-    /// the (normalised) residual changes between PCG iterations.
+    /// graph's stored input.
     pub fn infer_with_input(&self, graph: &LocalGraph, input: &[f64]) -> Vec<f64> {
         let mut scratch = InferScratch::new();
         let mut out = vec![0.0; graph.num_nodes()];
@@ -246,18 +251,38 @@ impl DssModel {
         out
     }
 
-    /// Allocation-free inference: all message-passing intermediates (edge
-    /// input batches, per-edge messages, aggregated message fields, the Ψ
-    /// input batch, the latent state and the MLP hidden activations) live in
-    /// `scratch`, which is sized on first use and reused across calls — the
-    /// DDM-GNN preconditioner calls this once per sub-domain per Krylov
-    /// iteration with a per-sub-domain scratch, so the steady state performs
-    /// zero heap allocation.
+    /// Reference forward pass: the straightforward edge-batch formulation
+    /// (build `e × (2d + 3)` inputs, run the full first-layer GEMM per edge).
     ///
-    /// Only the final block's decoder runs (earlier decodes are training-time
-    /// artefacts that do not influence the latent state), which also makes
-    /// this `k̄ - 1` decoder applications cheaper than the naive loop.  The
-    /// result written to `out` is bit-identical to [`DssModel::infer`].
+    /// This is the semantics the optimised plan path is tested against — the
+    /// proptest suite keeps [`DssModel::infer_with_input`] within 1e-12
+    /// relative error of this implementation — and it shares
+    /// [`DssModel::block_forward_with_input`] with the training loss and
+    /// backward pass, so gradient checks pin the same numerics.
+    pub fn infer_reference(&self, graph: &LocalGraph, input: &[f64]) -> Vec<f64> {
+        let n = graph.num_nodes();
+        let mut h = vec![0.0; n * self.config.latent_dim];
+        for block in &self.blocks {
+            h = self.block_forward_with_input(block, graph, &h, input);
+        }
+        match self.blocks.last() {
+            Some(block) => block.decoder.forward(&h, n),
+            None => vec![0.0; n],
+        }
+    }
+
+    /// Build the inference plan of this model for one graph (the setup half
+    /// of the setup/apply split — see [`InferencePlan`]).
+    pub fn build_plan(&self, graph: &LocalGraph) -> InferencePlan {
+        InferencePlan::new(self, graph)
+    }
+
+    /// Convenience inference without a prebuilt plan: builds a throwaway
+    /// [`InferencePlan`] and runs the optimised engine.  Hot callers (the
+    /// DDM-GNN preconditioner, batched inference) should build the plan once
+    /// via [`DssModel::build_plan`] and call
+    /// [`DssModel::infer_with_plan_into`] instead, which is allocation-free
+    /// in the steady state.
     pub fn infer_with_input_into(
         &self,
         graph: &LocalGraph,
@@ -265,65 +290,175 @@ impl DssModel {
         scratch: &mut InferScratch,
         out: &mut [f64],
     ) {
+        let plan = InferencePlan::new(self, graph);
+        self.infer_plan_core(&plan, input, scratch, out, None);
+    }
+
+    /// The optimised inference engine: split-weight node-level GEMMs,
+    /// precomputed static edge terms, contiguous message aggregation.
+    ///
+    /// All intermediates live in `scratch` (sized on first use, reused across
+    /// calls), so the steady state performs zero heap allocation.  Only the
+    /// final block's decoder runs — earlier decodes are training-time
+    /// artefacts that do not influence the latent state.
+    pub fn infer_with_plan_into(
+        &self,
+        plan: &InferencePlan,
+        input: &[f64],
+        scratch: &mut InferScratch,
+        out: &mut [f64],
+    ) {
+        self.infer_plan_core(plan, input, scratch, out, None);
+    }
+
+    /// [`DssModel::infer_with_plan_into`] with a per-stage wall-clock
+    /// breakdown accumulated into `timings` (used by the perf suite).  The
+    /// output is bit-identical to the untimed path.
+    pub fn infer_with_plan_timed(
+        &self,
+        plan: &InferencePlan,
+        input: &[f64],
+        scratch: &mut InferScratch,
+        out: &mut [f64],
+        timings: &mut InferenceTimings,
+    ) {
+        self.infer_plan_core(plan, input, scratch, out, Some(timings));
+    }
+
+    fn infer_plan_core(
+        &self,
+        plan: &InferencePlan,
+        input: &[f64],
+        scratch: &mut InferScratch,
+        out: &mut [f64],
+        mut timings: Option<&mut InferenceTimings>,
+    ) {
         let d = self.config.latent_dim;
-        let n = graph.num_nodes();
-        let e = graph.num_edges();
+        let n = plan.num_nodes;
+        assert_eq!(plan.latent_dim, d, "plan built for a different latent dimension");
+        assert_eq!(plan.num_blocks, self.blocks.len(), "plan built for a different model depth");
         assert_eq!(input.len(), n, "input length mismatch");
         assert_eq!(out.len(), n, "output length mismatch");
-        let edge_cols = 2 * d + 3;
-        let psi_cols = 3 * d + 1;
-        let InferScratch {
-            h,
-            x_fwd,
-            x_bwd,
-            m_fwd,
-            m_bwd,
-            msg_fwd,
-            msg_bwd,
-            psi_in,
-            update,
-            hidden,
-        } = scratch;
+
+        let InferScratch { h, a_dst, a_src, hsum_fwd, hsum_bwd, psi_hidden, update, hidden } =
+            scratch;
         h.clear();
         h.resize(n * d, 0.0);
-        x_fwd.resize(e * edge_cols, 0.0);
-        x_bwd.resize(e * edge_cols, 0.0);
-        m_fwd.resize(e * d, 0.0);
-        m_bwd.resize(e * d, 0.0);
-        msg_fwd.resize(n * d, 0.0);
-        msg_bwd.resize(n * d, 0.0);
-        psi_in.resize(n * psi_cols, 0.0);
+        a_dst.resize(n * d, 0.0);
+        a_src.resize(n * d, 0.0);
+        hsum_fwd.resize(n * d, 0.0);
+        hsum_bwd.resize(n * d, 0.0);
+        psi_hidden.resize(n * d, 0.0);
         update.resize(n * d, 0.0);
 
-        for block in &self.blocks {
-            build_edge_inputs_into(graph, h, d, x_fwd, x_bwd);
-            block.phi_fwd.forward_into(x_fwd, e, hidden, m_fwd);
-            block.phi_bwd.forward_into(x_bwd, e, hidden, m_bwd);
-            msg_fwd.iter_mut().for_each(|v| *v = 0.0);
-            msg_bwd.iter_mut().for_each(|v| *v = 0.0);
-            for (ei, edge) in graph.edges.iter().enumerate() {
-                let dst = edge.dst;
+        let mut last = Instant::now();
+        macro_rules! tick {
+            ($field:ident) => {
+                if let Some(t) = timings.as_deref_mut() {
+                    let now = Instant::now();
+                    t.$field += now.duration_since(last).as_nanos() as u64;
+                    last = now;
+                }
+            };
+        }
+
+        for (block, pb) in self.blocks.iter().zip(plan.blocks.iter()) {
+            for dir in 0..2 {
+                let (w_dst, w_src, geo, hsum) = if dir == 0 {
+                    (&pb.w_dst_fwd, &pb.w_src_fwd, &pb.geo_fwd, &mut *hsum_fwd)
+                } else {
+                    (&pb.w_dst_bwd, &pb.w_src_bwd, &pb.geo_bwd, &mut *hsum_bwd)
+                };
+                // Node-level GEMMs: the h-dependent halves of the split first
+                // layer, `n × d` instead of `e × (2d + 3)`.
+                gemm::gemm_into(h, n, d, d, w_dst, a_dst);
+                gemm::gemm_into(h, n, d, d, w_src, a_src);
+                tick!(node_gemm_ns);
+                // Fused edge sweep: per-edge hidden pre-activation = static
+                // geometric term + gathered node terms, ReLU'd and summed
+                // straight into the per-node accumulator.  The second message
+                // layer is linear, so it is applied once per *node* inside
+                // the Ψ stage (composed into `psi_m_*`) rather than per edge
+                // — no e × d intermediate exists at all.
+                for j in 0..n {
+                    let adj = &a_dst[j * d..(j + 1) * d];
+                    let acc = &mut hsum[j * d..(j + 1) * d];
+                    acc.fill(0.0);
+                    for slot in plan.edge_ptr[j]..plan.edge_ptr[j + 1] {
+                        let src = plan.edge_src[slot];
+                        let asj = &a_src[src * d..(src + 1) * d];
+                        let g = &geo[slot * d..(slot + 1) * d];
+                        for k in 0..d {
+                            acc[k] += (g[k] + adj[k] + asj[k]).max(0.0);
+                        }
+                    }
+                }
+                tick!(edge_gather_ns);
+            }
+            // Ψ update.  The pre-activation starts from the per-graph static
+            // term (bias + degree-scaled message biases) plus the per-apply
+            // `W_c c` term, then accumulates the three latent-dependent GEMMs
+            // (the message ones pre-composed with the second message layer).
+            for j in 0..n {
+                let c = input[j];
+                let stat = &pb.psi_static[j * d..(j + 1) * d];
+                let row = &mut psi_hidden[j * d..(j + 1) * d];
                 for k in 0..d {
-                    msg_fwd[dst * d + k] += m_fwd[ei * d + k];
-                    msg_bwd[dst * d + k] += m_bwd[ei * d + k];
+                    row[k] = stat[k] + pb.psi_w_c[k] * c;
                 }
             }
-            build_psi_input_into(input, h, msg_fwd, msg_bwd, d, psi_in);
-            block.psi.forward_into(psi_in, n, hidden, update);
+            gemm::gemm_acc_into(h, n, d, d, &pb.psi_w_h, psi_hidden);
+            gemm::gemm_acc_into(hsum_fwd, n, d, d, &pb.psi_m_fwd, psi_hidden);
+            gemm::gemm_acc_into(hsum_bwd, n, d, d, &pb.psi_m_bwd, psi_hidden);
+            for v in psi_hidden.iter_mut() {
+                *v = v.max(0.0);
+            }
+            block.psi.l2.forward_into(psi_hidden, n, update);
             for i in 0..n * d {
                 h[i] += self.config.alpha * update[i];
             }
+            tick!(psi_update_ns);
         }
         match self.blocks.last() {
             Some(block) => block.decoder.forward_into(h, n, hidden, out),
             None => out.fill(0.0),
         }
+        tick!(decoder_ns);
+        let _ = last; // the final tick's stamp is intentionally unused
+        if let Some(t) = timings {
+            t.calls += 1;
+        }
     }
 
     /// Run the model on a batch of graphs in parallel (the CPU analogue of the
-    /// paper's batched GPU inference of Eq. 14).
+    /// paper's batched GPU inference of Eq. 14), recycling inference scratch
+    /// through a per-call [`ScratchPool`].
     pub fn infer_batch(&self, graphs: &[LocalGraph]) -> Vec<Vec<f64>> {
-        graphs.par_iter().map(|g| self.infer(g)).collect()
+        let pool = ScratchPool::new();
+        self.infer_batch_with_pool(graphs, &pool)
+    }
+
+    /// Batched inference with a caller-owned scratch pool: buffers are reused
+    /// across batch items and across calls, so a long-lived pool keeps the
+    /// intermediate allocations of repeated batches at zero.  Results are
+    /// identical to per-graph [`DssModel::infer`] regardless of pool state or
+    /// thread count.
+    pub fn infer_batch_with_pool(
+        &self,
+        graphs: &[LocalGraph],
+        pool: &ScratchPool,
+    ) -> Vec<Vec<f64>> {
+        graphs
+            .par_iter()
+            .map(|g| {
+                let plan = InferencePlan::new(self, g);
+                let mut scratch = pool.acquire();
+                let mut out = vec![0.0; g.num_nodes()];
+                self.infer_plan_core(&plan, &g.input, &mut scratch, &mut out, None);
+                pool.release(scratch);
+                out
+            })
+            .collect()
     }
 
     /// Total training loss (sum of per-block residual losses, Eq. 23).
@@ -392,12 +527,8 @@ impl DssModel {
             let (m_bwd, bwd_cache) = block.phi_bwd.forward_cached(&x_bwd, e);
             let mut msg_fwd = vec![0.0; n * d];
             let mut msg_bwd = vec![0.0; n * d];
-            for (ei, edge) in graph.edges.iter().enumerate() {
-                for kk in 0..d {
-                    msg_fwd[edge.dst * d + kk] += m_fwd[ei * d + kk];
-                    msg_bwd[edge.dst * d + kk] += m_bwd[ei * d + kk];
-                }
-            }
+            gather_messages(graph, &m_fwd, d, &mut msg_fwd);
+            gather_messages(graph, &m_bwd, d, &mut msg_bwd);
             let psi_in = build_psi_input(&graph.input, h, &msg_fwd, &msg_bwd, d);
             let (_update, psi_cache) = block.psi.forward_cached(&psi_in, n);
 
@@ -463,6 +594,24 @@ impl DssModel {
             *m += alpha * t;
         }
         self.load_flat(&mine);
+    }
+}
+
+/// Aggregate per-edge messages (indexed in original edge order) into per-node
+/// sums along the destination-sorted incidence.  Stable sorting preserves
+/// each node's relative edge order, so the result is bit-identical to the
+/// per-edge scatter while the output is written node-contiguously.
+fn gather_messages(graph: &LocalGraph, m: &[f64], d: usize, msg: &mut [f64]) {
+    debug_assert_eq!(m.len(), graph.num_edges() * d);
+    debug_assert_eq!(msg.len(), graph.num_nodes() * d);
+    for j in 0..graph.num_nodes() {
+        let dst_row = &mut msg[j * d..(j + 1) * d];
+        for &ei in &graph.edge_order[graph.edge_ptr[j]..graph.edge_ptr[j + 1]] {
+            let row = &m[ei * d..(ei + 1) * d];
+            for k in 0..d {
+                dst_row[k] += row[k];
+            }
+        }
     }
 }
 
@@ -719,6 +868,87 @@ mod tests {
             let expected = model.infer_with_input(&graph, &input);
             model.infer_with_input_into(&graph, &input, &mut scratch, &mut out);
             assert_eq!(out, expected, "scale {scale}");
+        }
+    }
+
+    #[test]
+    fn planned_inference_matches_reference_closely() {
+        // The plan path reassociates the first-layer sums, so it is not
+        // bit-identical to the reference — but it must stay within a few ulps
+        // (the proptest suite enforces 1e-12 relative on random graphs too).
+        let graph = tiny_graph();
+        for seed in [7u64, 8, 9] {
+            let model =
+                DssModel::new(DssConfig { num_blocks: 4, latent_dim: 6, alpha: 1e-2 }, seed);
+            let reference = model.infer_reference(&graph, &graph.input);
+            let optimised = model.infer(&graph);
+            let ref_norm = reference.iter().map(|v| v * v).sum::<f64>().sqrt();
+            for (a, b) in optimised.iter().zip(reference.iter()) {
+                assert!(
+                    (a - b).abs() <= 1e-12 * ref_norm.max(1.0),
+                    "seed {seed}: optimised {a} vs reference {b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn prebuilt_plan_matches_throwaway_plan_bit_for_bit() {
+        let graph = tiny_graph();
+        let model = DssModel::new(DssConfig { num_blocks: 3, latent_dim: 5, alpha: 1e-2 }, 17);
+        let plan = model.build_plan(&graph);
+        assert_eq!(plan.num_nodes(), graph.num_nodes());
+        assert_eq!(plan.num_edges(), graph.num_edges());
+        assert!(plan.memory_bytes() > 0);
+        let mut scratch = InferScratch::new();
+        let mut out = vec![0.0; graph.num_nodes()];
+        for scale in [1.0, -0.3, 0.8] {
+            let input: Vec<f64> = graph.input.iter().map(|c| c * scale + 0.05).collect();
+            model.infer_with_plan_into(&plan, &input, &mut scratch, &mut out);
+            let expected = model.infer_with_input(&graph, &input);
+            assert_eq!(out, expected, "scale {scale}");
+        }
+    }
+
+    #[test]
+    fn timed_inference_is_bit_identical_and_counts_calls() {
+        let graph = tiny_graph();
+        let model = DssModel::new(DssConfig { num_blocks: 3, latent_dim: 4, alpha: 1e-2 }, 23);
+        let plan = model.build_plan(&graph);
+        let mut scratch = InferScratch::new();
+        let mut out = vec![0.0; graph.num_nodes()];
+        let mut timed_out = vec![0.0; graph.num_nodes()];
+        let mut timings = crate::plan::InferenceTimings::default();
+        model.infer_with_plan_into(&plan, &graph.input, &mut scratch, &mut out);
+        model.infer_with_plan_timed(
+            &plan,
+            &graph.input,
+            &mut scratch,
+            &mut timed_out,
+            &mut timings,
+        );
+        assert_eq!(out, timed_out);
+        assert_eq!(timings.calls, 1);
+        let mut merged = timings;
+        merged.merge(&timings);
+        assert_eq!(merged.calls, 2);
+        assert_eq!(merged.total_ns(), 2 * timings.total_ns());
+        assert_eq!(timings.stages().len(), 4);
+    }
+
+    #[test]
+    fn batch_pool_is_reused_and_does_not_change_results() {
+        let graphs: Vec<LocalGraph> = (0..6).map(|_| tiny_graph()).collect();
+        let model = DssModel::new(DssConfig::new(3, 4), 5);
+        let pool = crate::plan::ScratchPool::new();
+        let first = model.infer_batch_with_pool(&graphs, &pool);
+        let idle_after_first = pool.idle();
+        assert!(idle_after_first >= 1, "pool must retain released scratch buffers");
+        let second = model.infer_batch_with_pool(&graphs, &pool);
+        assert_eq!(pool.idle(), idle_after_first, "steady state: no new buffers");
+        assert_eq!(first, second);
+        for (g, out) in graphs.iter().zip(first.iter()) {
+            assert_eq!(out, &model.infer(g));
         }
     }
 

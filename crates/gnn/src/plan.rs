@@ -1,0 +1,300 @@
+//! Per-graph inference plans: split first-layer weights and precomputed
+//! static-feature terms.
+//!
+//! The DSS forward pass feeds every message MLP an edge-level batch of
+//! `e × (2d + 3)` rows `[h_dst | h_src | d_jl | ‖d_jl‖]`.  The first layer is
+//! affine, so its pre-activation splits along those column groups:
+//!
+//! ```text
+//! W₁ x_e + b₁ = W_dst h_dst(e) + W_src h_src(e) + (W_geo g_e + b₁)
+//! ```
+//!
+//! The two `h`-dependent parts are **node-level** products `H W_dstᵀ` and
+//! `H W_srcᵀ` (`n × d` GEMMs) gathered per edge — an ~8× flop cut versus the
+//! `e × (2d + 3)` edge-level GEMM at the mesh's typical `e ≈ 7n` — while the
+//! geometric part `W_geo g_e + b₁` does not depend on the latent state *or*
+//! the right-hand side at all: it is fixed for the lifetime of a sub-domain
+//! graph and is precomputed here, per block and per message direction, when
+//! the plan is built (once per solve, at preconditioner setup).  The Ψ update
+//! splits the same way: its `W_c c` input column is constant across all
+//! blocks of one apply and is folded together with the bias into the
+//! pre-activation's initial value.
+//!
+//! A plan is tied to the exact (model, graph) pair it was built from; the
+//! edge structure is copied in destination-sorted order (see
+//! [`LocalGraph::edge_ptr`]), so message aggregation in the planned forward
+//! pass is a contiguous per-node gather.
+
+use std::sync::Mutex;
+
+use crate::graph::LocalGraph;
+use crate::layers::Linear;
+use crate::model::{Block, DssModel, InferScratch};
+
+/// Split weights and precomputed static terms of one message-passing block.
+///
+/// Beyond the first-layer split, the plan exploits that the message MLPs'
+/// *second* layer is linear too: summing the per-edge messages and then
+/// multiplying by `Ψ`'s message columns equals multiplying the per-node sum
+/// of ReLU'd hidden activations by the composed matrix `W_Ψ,msg W₂` — so the
+/// planned forward pass never materialises a per-edge message at all.  The
+/// message biases contribute `deg(j) · W_Ψ,msg b₂` per node, a per-graph
+/// constant folded into [`PlanBlock::psi_static`].
+pub(crate) struct PlanBlock {
+    /// `Φ→` first-layer columns acting on `h_dst` (`d × d`, row-major).
+    pub w_dst_fwd: Vec<f64>,
+    /// `Φ→` first-layer columns acting on `h_src`.
+    pub w_src_fwd: Vec<f64>,
+    /// `Φ→` static term `W_geo g_e + b₁` per destination-sorted edge (`e × d`).
+    pub geo_fwd: Vec<f64>,
+    /// `Φ←` split, with the relative position negated in the static term.
+    pub w_dst_bwd: Vec<f64>,
+    pub w_src_bwd: Vec<f64>,
+    pub geo_bwd: Vec<f64>,
+    /// `Ψ` first-layer columns acting on `h` (`d × d`).
+    pub psi_w_h: Vec<f64>,
+    /// `Ψ` first-layer column acting on the node input `c` (length `d`).
+    pub psi_w_c: Vec<f64>,
+    /// Composed matrix `W_Ψ,→ W₂→` applied to the aggregated forward hidden
+    /// activations (`d × d`).
+    pub psi_m_fwd: Vec<f64>,
+    /// Composed matrix `W_Ψ,← W₂←` for the backward direction.
+    pub psi_m_bwd: Vec<f64>,
+    /// Per-node static `Ψ` pre-activation
+    /// `b_Ψ + deg(j) · (W_Ψ,→ b₂→ + W_Ψ,← b₂←)` (`n × d`).
+    pub psi_static: Vec<f64>,
+}
+
+/// Extract the column block `[col0, col0 + cols)` of a row-major layer weight
+/// as its own row-major `out_dim × cols` matrix.
+fn column_block(layer: &Linear, col0: usize, cols: usize) -> Vec<f64> {
+    let mut out = Vec::with_capacity(layer.out_dim * cols);
+    for o in 0..layer.out_dim {
+        let row = &layer.weight[o * layer.in_dim..(o + 1) * layer.in_dim];
+        out.extend_from_slice(&row[col0..col0 + cols]);
+    }
+    out
+}
+
+/// Precompute `W_geo g_e + b₁` for every destination-sorted edge.  `sign`
+/// flips the relative position for the backward message direction.
+fn geo_terms(layer: &Linear, graph: &LocalGraph, d: usize, sign: f64) -> Vec<f64> {
+    let cols = layer.in_dim;
+    debug_assert_eq!(cols, 2 * d + 3);
+    let mut out = Vec::with_capacity(graph.num_edges() * d);
+    for &ei in &graph.edge_order {
+        let edge = &graph.edges[ei];
+        for o in 0..d {
+            let w = &layer.weight[o * cols + 2 * d..o * cols + 2 * d + 3];
+            out.push(
+                layer.bias[o]
+                    + w[0] * (sign * edge.delta[0])
+                    + w[1] * (sign * edge.delta[1])
+                    + w[2] * edge.dist,
+            );
+        }
+    }
+    out
+}
+
+/// Row-major product `A B` of two `d × d` matrices.
+fn matmul_dd(a: &[f64], b: &[f64], d: usize) -> Vec<f64> {
+    let mut out = vec![0.0; d * d];
+    for p in 0..d {
+        for o in 0..d {
+            let apo = a[p * d + o];
+            if apo == 0.0 {
+                continue;
+            }
+            let brow = &b[o * d..(o + 1) * d];
+            let orow = &mut out[p * d..(p + 1) * d];
+            for t in 0..d {
+                orow[t] += apo * brow[t];
+            }
+        }
+    }
+    out
+}
+
+/// `A v` for a row-major `d × d` matrix.
+fn matvec_dd(a: &[f64], v: &[f64], d: usize) -> Vec<f64> {
+    (0..d).map(|p| a[p * d..(p + 1) * d].iter().zip(v).map(|(x, y)| x * y).sum()).collect()
+}
+
+impl PlanBlock {
+    fn new(block: &Block, graph: &LocalGraph, d: usize) -> Self {
+        let psi = &block.psi.l1;
+        debug_assert_eq!(psi.in_dim, 3 * d + 1);
+        let psi_w_fwd = column_block(psi, d + 1, d);
+        let psi_w_bwd = column_block(psi, 2 * d + 1, d);
+        // Per-node static Ψ pre-activation: bias plus the message-bias
+        // contribution, which scales with the node degree.
+        let q_fwd = matvec_dd(&psi_w_fwd, &block.phi_fwd.l2.bias, d);
+        let q_bwd = matvec_dd(&psi_w_bwd, &block.phi_bwd.l2.bias, d);
+        let n = graph.num_nodes();
+        let mut psi_static = vec![0.0; n * d];
+        for j in 0..n {
+            let deg = (graph.edge_ptr[j + 1] - graph.edge_ptr[j]) as f64;
+            let row = &mut psi_static[j * d..(j + 1) * d];
+            for k in 0..d {
+                row[k] = psi.bias[k] + deg * (q_fwd[k] + q_bwd[k]);
+            }
+        }
+        PlanBlock {
+            w_dst_fwd: column_block(&block.phi_fwd.l1, 0, d),
+            w_src_fwd: column_block(&block.phi_fwd.l1, d, d),
+            geo_fwd: geo_terms(&block.phi_fwd.l1, graph, d, 1.0),
+            w_dst_bwd: column_block(&block.phi_bwd.l1, 0, d),
+            w_src_bwd: column_block(&block.phi_bwd.l1, d, d),
+            geo_bwd: geo_terms(&block.phi_bwd.l1, graph, d, -1.0),
+            psi_w_h: column_block(psi, 0, d),
+            psi_w_c: column_block(psi, d, 1),
+            psi_m_fwd: matmul_dd(&psi_w_fwd, &block.phi_fwd.l2.weight, d),
+            psi_m_bwd: matmul_dd(&psi_w_bwd, &block.phi_bwd.l2.weight, d),
+            psi_static,
+        }
+    }
+}
+
+/// A per-graph inference plan: the setup half of the setup/apply split.
+///
+/// Build once per sub-domain graph (e.g. at preconditioner construction) via
+/// [`DssModel::build_plan`], then run [`DssModel::infer_with_plan_into`] any
+/// number of times with changing node inputs.  The plan snapshots the model's
+/// first-layer weights, so it must be rebuilt if the model is retrained.
+pub struct InferencePlan {
+    pub(crate) num_nodes: usize,
+    pub(crate) num_edges: usize,
+    pub(crate) latent_dim: usize,
+    pub(crate) num_blocks: usize,
+    /// Source node of every destination-sorted edge.
+    pub(crate) edge_src: Vec<usize>,
+    /// Destination offsets into the sorted edge list (`n + 1` entries).
+    pub(crate) edge_ptr: Vec<usize>,
+    pub(crate) blocks: Vec<PlanBlock>,
+}
+
+impl InferencePlan {
+    /// Build a plan for `model` on `graph`.
+    pub fn new(model: &DssModel, graph: &LocalGraph) -> Self {
+        let d = model.config().latent_dim;
+        let n = graph.num_nodes();
+        let e = graph.num_edges();
+        assert_eq!(graph.edge_ptr.len(), n + 1, "stale incidence: run rebuild_incidence");
+        assert_eq!(graph.edge_order.len(), e, "stale incidence: run rebuild_incidence");
+        let edge_src: Vec<usize> = graph.edge_order.iter().map(|&ei| graph.edges[ei].src).collect();
+        let blocks = model.blocks().iter().map(|b| PlanBlock::new(b, graph, d)).collect();
+        InferencePlan {
+            num_nodes: n,
+            num_edges: e,
+            latent_dim: d,
+            num_blocks: model.config().num_blocks,
+            edge_src,
+            edge_ptr: graph.edge_ptr.clone(),
+            blocks,
+        }
+    }
+
+    /// Number of nodes of the graph this plan was built for.
+    pub fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+
+    /// Number of directed edges of the graph this plan was built for.
+    pub fn num_edges(&self) -> usize {
+        self.num_edges
+    }
+
+    /// Heap footprint of the precomputed data in bytes (dominated by the
+    /// per-block static edge terms, `2 k̄ e d` doubles).
+    pub fn memory_bytes(&self) -> usize {
+        let d = self.latent_dim;
+        let per_block = std::mem::size_of::<f64>()
+            * (2 * self.num_edges * d + 7 * d * d + d + self.num_nodes * d);
+        self.blocks.len() * per_block
+            + std::mem::size_of::<usize>() * (self.edge_src.len() + self.edge_ptr.len())
+    }
+}
+
+/// Wall-clock breakdown of planned inference, one bucket per pipeline stage.
+///
+/// Filled by [`DssModel::infer_with_plan_timed`]; buckets accumulate across
+/// calls so one struct can aggregate a whole preconditioner application (or
+/// several).
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct InferenceTimings {
+    /// Node-level GEMMs `H W_dstᵀ` / `H W_srcᵀ` for both message directions.
+    pub node_gemm_ns: u64,
+    /// Fused edge sweep: static term + gathered node terms, ReLU, and the
+    /// per-node aggregation of the hidden activations (the former edge GEMM
+    /// plus scatter, collapsed into one contiguous pass).
+    pub edge_gather_ns: u64,
+    /// Ψ update: static + c-term init, three accumulating GEMMs, ReLU,
+    /// second layer and the latent-state step.
+    pub psi_update_ns: u64,
+    /// Final-block decoder.
+    pub decoder_ns: u64,
+    /// Number of inference calls folded into the buckets.
+    pub calls: u64,
+}
+
+impl InferenceTimings {
+    /// Add another timing record into this one.
+    pub fn merge(&mut self, other: &InferenceTimings) {
+        self.node_gemm_ns += other.node_gemm_ns;
+        self.edge_gather_ns += other.edge_gather_ns;
+        self.psi_update_ns += other.psi_update_ns;
+        self.decoder_ns += other.decoder_ns;
+        self.calls += other.calls;
+    }
+
+    /// Stage name / nanosecond pairs, in pipeline order.
+    pub fn stages(&self) -> [(&'static str, u64); 4] {
+        [
+            ("node_gemm", self.node_gemm_ns),
+            ("edge_gather", self.edge_gather_ns),
+            ("psi_update", self.psi_update_ns),
+            ("decoder", self.decoder_ns),
+        ]
+    }
+
+    /// Total time across all stages.
+    pub fn total_ns(&self) -> u64 {
+        self.stages().iter().map(|&(_, ns)| ns).sum()
+    }
+}
+
+/// A lock-protected pool of [`InferScratch`] buffers for batched inference.
+///
+/// `acquire` pops a warmed-up scratch (or creates an empty one when the pool
+/// is dry); `release` returns it.  Buffers grow to the largest graph they
+/// ever served and are reused across batch items *and* across calls, so a
+/// long-lived pool makes repeated [`DssModel::infer_batch_with_pool`] calls
+/// allocation-free in the steady state.  The pool never influences results —
+/// scratch contents are fully overwritten by every inference.
+#[derive(Debug, Default)]
+pub struct ScratchPool {
+    slots: Mutex<Vec<InferScratch>>,
+}
+
+impl ScratchPool {
+    /// An empty pool; buffers are created on demand.
+    pub fn new() -> Self {
+        ScratchPool::default()
+    }
+
+    /// Take a scratch out of the pool (or create a fresh one).
+    pub fn acquire(&self) -> InferScratch {
+        self.slots.lock().unwrap().pop().unwrap_or_default()
+    }
+
+    /// Return a scratch to the pool for reuse.
+    pub fn release(&self, scratch: InferScratch) {
+        self.slots.lock().unwrap().push(scratch);
+    }
+
+    /// Number of idle buffers currently pooled.
+    pub fn idle(&self) -> usize {
+        self.slots.lock().unwrap().len()
+    }
+}

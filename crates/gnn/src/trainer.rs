@@ -173,12 +173,21 @@ pub fn train(
 
 /// Evaluate the model: residual norms and relative errors against exact local
 /// solutions (the metrics of Table II).
+///
+/// Inference goes through the planned fast path with a shared
+/// [`crate::plan::ScratchPool`], so the per-sample intermediate buffers are
+/// recycled across the whole evaluation sweep.
 pub fn evaluate(model: &DssModel, samples: &[LocalGraph]) -> EvalMetrics {
     assert!(!samples.is_empty(), "cannot evaluate on an empty dataset");
+    let pool = crate::plan::ScratchPool::new();
     let per_sample: Vec<(f64, f64)> = samples
         .par_iter()
         .map(|graph| {
-            let prediction = model.infer(graph);
+            let plan = model.build_plan(graph);
+            let mut scratch = pool.acquire();
+            let mut prediction = vec![0.0; graph.num_nodes()];
+            model.infer_with_plan_into(&plan, &graph.input, &mut scratch, &mut prediction);
+            pool.release(scratch);
             // Residual norm of the normalised system.
             let au = graph.matrix.spmv(&prediction);
             let res: Vec<f64> = au.iter().zip(graph.input.iter()).map(|(a, c)| c - a).collect();

@@ -1,0 +1,160 @@
+//! Parity of the optimised inference engine against the retained naive
+//! reference, plus gradient-stability checks.
+//!
+//! The fast path (`DssModel::infer_with_plan_into` and everything routed
+//! through it) reassociates the first-layer sums — split node-level GEMMs
+//! plus precomputed static edge terms instead of one edge-level GEMM — so it
+//! is *not* bit-identical to the reference formulation.  These tests pin the
+//! agreement to ≤ 1e-12 relative error on random graphs and random weights,
+//! and verify that the training path (`backward`) still matches finite
+//! differences, i.e. that the refactor left the gradients untouched.
+
+use gnn::{DssConfig, DssModel, InferScratch, LocalGraph, ScratchPool};
+use meshgen::Point2;
+use proptest::prelude::*;
+use sparse::CooMatrix;
+
+/// Build a random connected local graph: a chain backbone (guaranteeing
+/// connectivity) plus random extra symmetric couplings, random geometry and a
+/// random right-hand side.
+fn random_graph(n: usize, extra: &[(usize, usize)], geo_seed: u64, rhs_seed: u64) -> LocalGraph {
+    let mut coo = CooMatrix::new(n, n);
+    let mut touched = vec![false; n];
+    let push_pair = |coo: &mut CooMatrix, i: usize, j: usize| {
+        coo.push(i, j, -1.0).unwrap();
+        coo.push(j, i, -1.0).unwrap();
+    };
+    for i in 0..n - 1 {
+        push_pair(&mut coo, i, i + 1);
+    }
+    for &(a, b) in extra {
+        let (i, j) = (a % n, b % n);
+        if i != j && !(touched[i] && touched[j]) {
+            // Cap the fill-in a little; duplicates are merged by to_csr.
+            push_pair(&mut coo, i, j);
+            touched[i] = true;
+            touched[j] = true;
+        }
+    }
+    for i in 0..n {
+        coo.push(i, i, 8.0).unwrap();
+    }
+    let positions: Vec<Point2> = (0..n)
+        .map(|i| {
+            let t = i as f64 + geo_seed as f64 * 0.37;
+            Point2::new((t * 0.71).sin() * 2.0, (t * 0.53).cos() * 2.0)
+        })
+        .collect();
+    let rhs: Vec<f64> =
+        (0..n).map(|i| ((i as u64 * 31 + rhs_seed * 17) % 23) as f64 * 0.2 - 2.0).collect();
+    let mut boundary = vec![false; n];
+    boundary[0] = true;
+    boundary[n - 1] = true;
+    LocalGraph::new(coo.to_csr(), positions, &rhs, boundary)
+}
+
+fn max_relative_deviation(a: &[f64], b: &[f64]) -> f64 {
+    let scale = b.iter().map(|v| v.abs()).fold(1.0_f64, f64::max);
+    a.iter().zip(b.iter()).map(|(x, y)| (x - y).abs() / scale).fold(0.0_f64, f64::max)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The optimised forward pass agrees with the naive reference to
+    /// ≤ 1e-12 relative error on random graphs and random weights.
+    #[test]
+    fn optimised_forward_matches_reference(
+        n in 4usize..40,
+        extra in proptest::collection::vec((0usize..40, 0usize..40), 0..30),
+        geo_seed in 0u64..1000,
+        rhs_seed in 0u64..1000,
+        model_seed in 0u64..1000,
+        num_blocks in 1usize..5,
+        latent in 2usize..12,
+    ) {
+        let graph = random_graph(n, &extra, geo_seed, rhs_seed);
+        let model = DssModel::new(
+            DssConfig { num_blocks, latent_dim: latent, alpha: 1e-2 },
+            model_seed,
+        );
+        let reference = model.infer_reference(&graph, &graph.input);
+        let optimised = model.infer_with_input(&graph, &graph.input);
+        prop_assert_eq!(optimised.len(), reference.len());
+        let dev = max_relative_deviation(&optimised, &reference);
+        prop_assert!(dev <= 1e-12, "deviation {} exceeds 1e-12", dev);
+    }
+
+    /// A prebuilt plan reused across inputs gives bit-identical results to a
+    /// throwaway plan, and the batched pool path matches per-graph inference.
+    #[test]
+    fn plan_reuse_and_batching_are_bit_stable(
+        n in 4usize..24,
+        extra in proptest::collection::vec((0usize..24, 0usize..24), 0..12),
+        geo_seed in 0u64..1000,
+        rhs_seed in 0u64..1000,
+        model_seed in 0u64..1000,
+    ) {
+        let graph = random_graph(n, &extra, geo_seed, rhs_seed);
+        let model = DssModel::new(DssConfig { num_blocks: 3, latent_dim: 6, alpha: 1e-2 }, model_seed);
+        let plan = model.build_plan(&graph);
+        let mut scratch = InferScratch::new();
+        let mut out = vec![0.0; graph.num_nodes()];
+        for scale in [1.0, -0.4] {
+            let input: Vec<f64> = graph.input.iter().map(|c| c * scale + 0.01).collect();
+            model.infer_with_plan_into(&plan, &input, &mut scratch, &mut out);
+            prop_assert_eq!(&out, &model.infer_with_input(&graph, &input));
+        }
+        let graphs = vec![graph.clone(), graph.clone(), graph];
+        let pool = ScratchPool::new();
+        let batched = model.infer_batch_with_pool(&graphs, &pool);
+        for (g, got) in graphs_outputs(&graphs, &batched) {
+            prop_assert_eq!(got, &model.infer(g));
+        }
+    }
+
+    /// `backward` still matches central finite differences on random graphs —
+    /// the inference refactor must leave training gradients unchanged.
+    #[test]
+    fn backward_gradients_match_finite_differences(
+        n in 4usize..12,
+        extra in proptest::collection::vec((0usize..12, 0usize..12), 0..6),
+        geo_seed in 0u64..1000,
+        rhs_seed in 0u64..1000,
+        model_seed in 0u64..1000,
+    ) {
+        let graph = random_graph(n, &extra, geo_seed, rhs_seed);
+        let model = DssModel::new(DssConfig { num_blocks: 2, latent_dim: 3, alpha: 0.05 }, model_seed);
+        let mut grad = model.zeros_like();
+        let loss = model.backward(&graph, &mut grad);
+        prop_assert!((loss - model.loss(&graph)).abs() <= 1e-12 * loss.abs().max(1.0));
+        let params = model.flatten();
+        let analytic = grad.flatten();
+        let eps = 1e-6;
+        // Spot-check a spread of parameters per case.
+        for t in 0..8 {
+            let i = t * params.len() / 8;
+            let mut plus = params.clone();
+            plus[i] += eps;
+            let mut minus = params.clone();
+            minus[i] -= eps;
+            let mut mp = model.clone();
+            mp.load_flat(&plus);
+            let mut mm = model.clone();
+            mm.load_flat(&minus);
+            let numeric = (mp.loss(&graph) - mm.loss(&graph)) / (2.0 * eps);
+            let diff = (numeric - analytic[i]).abs();
+            let scale = numeric.abs().max(analytic[i].abs()).max(1e-3);
+            prop_assert!(diff / scale < 1e-3, "param {}: numeric {:e} vs analytic {:e}", i, numeric, analytic[i]);
+        }
+    }
+}
+
+/// Zip graphs with their batched outputs (helper keeping the proptest body
+/// tidy).
+fn graphs_outputs<'a>(
+    graphs: &'a [LocalGraph],
+    outs: &'a [Vec<f64>],
+) -> impl Iterator<Item = (&'a LocalGraph, &'a Vec<f64>)> {
+    graphs.iter().zip(outs.iter())
+}
