@@ -17,7 +17,11 @@
 //! the GNN inference engine (`BENCH_gnn_inference.json`): node GEMMs, edge
 //! GEMM, aggregation, Ψ update and decoder, measured by
 //! [`DdmGnnPreconditioner::apply_timed`] over whole preconditioner
-//! applications.
+//! applications.  Every GNN measurement (apply kernel, per-layer stages,
+//! plan memory, e2e solve) runs once per inference precision — the f64
+//! engine and the f32/SIMD engine — and the rows are tagged
+//! `precision=f64|f32`; the per-layer report closes with the per-problem
+//! f32-vs-f64 apply speedup.
 //!
 //! Usage:
 //!   cargo run --release -p bench --bin perf_suite
@@ -25,6 +29,8 @@
 //!   PERF_SUITE_THREADS   comma-separated thread counts   (default "1,2,4")
 //!   PERF_SUITE_SIZES     comma-separated target node counts
 //!                        (default "3000,9000,24000")
+//!   PERF_SUITE_PRECISIONS comma-separated GNN inference precisions
+//!                        (default "f64,f32")
 //!   PERF_SUITE_OUT       output path (default "BENCH_parallel.json")
 //!   PERF_SUITE_GNN_OUT   per-layer report path (default "BENCH_gnn_inference.json")
 //!   PERF_SUITE_SMOKE     when set: tiny problem, two thread counts, short
@@ -39,13 +45,27 @@ use std::process::Command;
 use std::time::{Duration, Instant};
 
 use ddm::{AdditiveSchwarz, AsmLevel};
-use ddm_gnn::{generate_problem, load_pretrained, DdmGnnPreconditioner};
+use ddm_gnn::{generate_problem, load_pretrained, DdmGnnPreconditioner, Precision};
 use gnn::InferenceTimings;
 use krylov::{preconditioned_conjugate_gradient, Preconditioner, SolverOptions};
 use partition::partition_mesh_with_overlap;
 
 fn smoke_mode() -> bool {
     std::env::var("PERF_SUITE_SMOKE").is_ok_and(|v| !v.is_empty() && v != "0")
+}
+
+/// GNN inference precisions to measure (`PERF_SUITE_PRECISIONS`, default
+/// both).
+fn precision_list() -> Vec<Precision> {
+    std::env::var("PERF_SUITE_PRECISIONS")
+        .ok()
+        .map(|s| {
+            s.split(',')
+                .map(|t| t.parse().expect("bad PERF_SUITE_PRECISIONS entry"))
+                .collect::<Vec<Precision>>()
+        })
+        .filter(|v| !v.is_empty())
+        .unwrap_or_else(|| vec![Precision::F64, Precision::F32])
 }
 
 fn main() {
@@ -143,40 +163,6 @@ fn child() {
         let (med, min) = time_kernel(|| asm.apply(&r, &mut z), floor, 7);
         println!("PERF kind=kernel name=asm_apply idx={pi} n={n} threads={threads} median_ns={med} min_ns={min}");
 
-        // GNN preconditioner apply.
-        let gnn_precond = model.as_ref().map(|m| {
-            DdmGnnPreconditioner::new(&problem, subdomains.clone(), std::sync::Arc::clone(m), true)
-                .expect("DDM-GNN setup failed")
-        });
-        if let Some(precond) = &gnn_precond {
-            let (med, min) = time_kernel(|| precond.apply(&r, &mut z), floor, 7);
-            println!("PERF kind=kernel name=gnn_apply idx={pi} n={n} threads={threads} median_ns={med} min_ns={min}");
-
-            // Per-layer breakdown of the inference engine, accumulated over
-            // whole (sequential) preconditioner applications.  The stage
-            // split is thread-independent, so the parent asks only the
-            // base-thread-count child to measure it (standalone child runs
-            // default to measuring).
-            let measure_layers = std::env::var("PERF_SUITE_LAYER_CHILD").map_or(true, |v| v != "0");
-            if measure_layers {
-                let reps = if smoke { 1 } else { 3 };
-                let mut timings = InferenceTimings::default();
-                for _ in 0..reps {
-                    precond.apply_timed(&r, &mut z, &mut timings);
-                }
-                for (stage, ns) in timings.stages() {
-                    println!(
-                        "PERF kind=gnn_layer stage={stage} idx={pi} n={n} threads={threads} total_ns={ns} applies={reps} inferences={}",
-                        timings.calls
-                    );
-                }
-                println!(
-                    "PERF kind=gnn_plan idx={pi} n={n} threads={threads} plan_bytes={}",
-                    precond.plan_memory_bytes()
-                );
-            }
-        }
-
         // End-to-end PCG solves (2 runs, min wall time; history hashed for
         // the cross-thread-count determinism check).
         let opts = SolverOptions::with_tolerance(1e-6).max_iterations(4000);
@@ -208,8 +194,56 @@ fn child() {
             );
         };
         e2e("pcg-ddm-lu-2level", &asm);
-        if let Some(precond) = &gnn_precond {
-            e2e("pcg-ddm-gnn-2level", precond);
+
+        // GNN preconditioner: apply kernel, per-layer breakdown and e2e PCG,
+        // once per inference precision.  The preconditioners are built one at
+        // a time so only one plan set (hundreds of MB at the largest size) is
+        // resident.
+        if let Some(m) = &model {
+            for precision in precision_list() {
+                let p = precision.as_str();
+                let precond = DdmGnnPreconditioner::with_precision(
+                    &problem,
+                    subdomains.clone(),
+                    std::sync::Arc::clone(m),
+                    true,
+                    precision,
+                )
+                .expect("DDM-GNN setup failed");
+                let (med, min) = time_kernel(|| precond.apply(&r, &mut z), floor, 7);
+                println!("PERF kind=kernel name=gnn_apply precision={p} idx={pi} n={n} threads={threads} median_ns={med} min_ns={min}");
+
+                // Per-layer breakdown of the inference engine, accumulated
+                // over whole (sequential) preconditioner applications.  The
+                // stage split is thread-independent, so the parent asks only
+                // the base-thread-count child to measure it (standalone child
+                // runs default to measuring).
+                let measure_layers =
+                    std::env::var("PERF_SUITE_LAYER_CHILD").map_or(true, |v| v != "0");
+                if measure_layers {
+                    let reps = if smoke { 1 } else { 3 };
+                    let mut timings = InferenceTimings::default();
+                    for _ in 0..reps {
+                        precond.apply_timed(&r, &mut z, &mut timings);
+                    }
+                    for (stage, ns) in timings.stages() {
+                        println!(
+                            "PERF kind=gnn_layer precision={p} stage={stage} idx={pi} n={n} threads={threads} total_ns={ns} applies={reps} inferences={}",
+                            timings.calls
+                        );
+                    }
+                    println!(
+                        "PERF kind=gnn_plan precision={p} idx={pi} n={n} threads={threads} plan_bytes={}",
+                        precond.plan_memory_bytes()
+                    );
+                }
+
+                let solver_name = match precision {
+                    Precision::F64 => "pcg-ddm-gnn-2level",
+                    Precision::F32 => "pcg-ddm-gnn-2level-f32",
+                };
+                e2e(solver_name, &precond);
+            }
         }
     }
 }
@@ -326,6 +360,7 @@ fn parent() {
         &[
             ("pcg-ddm-lu-2level", speedup("pcg-ddm-lu-2level")),
             ("pcg-ddm-gnn-2level", speedup("pcg-ddm-gnn-2level")),
+            ("pcg-ddm-gnn-2level-f32", speedup("pcg-ddm-gnn-2level-f32")),
         ],
     );
     std::fs::write(&out_path, json).expect("cannot write benchmark report");
@@ -340,9 +375,14 @@ fn parent() {
 
 /// Render the per-layer GNN inference report.  Stage timings come from
 /// sequential `apply_timed` runs, so they are thread-count independent; the
-/// records of the lowest measured thread count are kept.
+/// records of the lowest measured thread count are kept.  Every row carries
+/// a `precision` tag (`"f64"` / `"f32"`), and the report closes with the
+/// per-problem f32-vs-f64 `gnn_apply` speedup.
 fn render_gnn_inference_json(thread_counts: &[usize], records: &[Record]) -> String {
     let base_threads = thread_counts.iter().min().copied().unwrap_or(1).to_string();
+    let precision_of = |rec: &Record| -> String {
+        rec.get("precision").cloned().unwrap_or_else(|| "f64".to_string())
+    };
     let layer_recs: Vec<&Record> = records
         .iter()
         .filter(|r| {
@@ -350,11 +390,11 @@ fn render_gnn_inference_json(thread_counts: &[usize], records: &[Record]) -> Str
                 && r.get("threads") == Some(&base_threads)
         })
         .collect();
-    // Total per problem index, for the share column.
-    let mut totals: BTreeMap<String, u64> = BTreeMap::new();
+    // Total per (problem index, precision), for the share column.
+    let mut totals: BTreeMap<(String, String), u64> = BTreeMap::new();
     for rec in &layer_recs {
         if let Ok(ns) = rec["total_ns"].parse::<u64>() {
-            *totals.entry(rec["idx"].clone()).or_default() += ns;
+            *totals.entry((rec["idx"].clone(), precision_of(rec))).or_default() += ns;
         }
     }
     let mut s = String::new();
@@ -367,14 +407,15 @@ fn render_gnn_inference_json(thread_counts: &[usize], records: &[Record]) -> Str
     let _ = writeln!(s, "  \"threads\": {base_threads},");
     let _ = writeln!(s, "  \"stages\": [");
     for (i, rec) in layer_recs.iter().enumerate() {
-        let total = totals.get(&rec["idx"]).copied().unwrap_or(0).max(1);
+        let total =
+            totals.get(&(rec["idx"].clone(), precision_of(rec))).copied().unwrap_or(0).max(1);
         let ns: u64 = rec["total_ns"].parse().unwrap_or(0);
         let share = ns as f64 / total as f64;
         let comma = if i + 1 < layer_recs.len() { "," } else { "" };
         let _ = writeln!(
             s,
-            "    {{ \"idx\": {}, \"n\": {}, \"stage\": \"{}\", \"total_ns\": {}, \"share\": {:.4}, \"applies\": {}, \"inferences\": {} }}{comma}",
-            rec["idx"], rec["n"], rec["stage"], rec["total_ns"], share, rec["applies"], rec["inferences"]
+            "    {{ \"idx\": {}, \"n\": {}, \"precision\": \"{}\", \"stage\": \"{}\", \"total_ns\": {}, \"share\": {:.4}, \"applies\": {}, \"inferences\": {} }}{comma}",
+            rec["idx"], rec["n"], precision_of(rec), rec["stage"], rec["total_ns"], share, rec["applies"], rec["inferences"]
         );
     }
     let _ = writeln!(s, "  ],");
@@ -388,10 +429,11 @@ fn render_gnn_inference_json(thread_counts: &[usize], records: &[Record]) -> Str
         .collect();
     for (i, rec) in plan_recs.iter().enumerate() {
         let comma = if i + 1 < plan_recs.len() { "," } else { "" };
-        let _ = writeln!(
+        let _ =
+            writeln!(
             s,
-            "    {{ \"idx\": {}, \"n\": {}, \"plan_bytes\": {} }}{comma}",
-            rec["idx"], rec["n"], rec["plan_bytes"]
+            "    {{ \"idx\": {}, \"n\": {}, \"precision\": \"{}\", \"plan_bytes\": {} }}{comma}",
+            rec["idx"], rec["n"], precision_of(rec), rec["plan_bytes"]
         );
     }
     let _ = writeln!(s, "  ],");
@@ -408,9 +450,30 @@ fn render_gnn_inference_json(thread_counts: &[usize], records: &[Record]) -> Str
         let comma = if i + 1 < apply_recs.len() { "," } else { "" };
         let _ = writeln!(
             s,
-            "    {{ \"idx\": {}, \"n\": {}, \"median_ns\": {}, \"min_ns\": {} }}{comma}",
-            rec["idx"], rec["n"], rec["median_ns"], rec["min_ns"]
+            "    {{ \"idx\": {}, \"n\": {}, \"precision\": \"{}\", \"median_ns\": {}, \"min_ns\": {} }}{comma}",
+            rec["idx"], rec["n"], precision_of(rec), rec["median_ns"], rec["min_ns"]
         );
+    }
+    let _ = writeln!(s, "  ],");
+    // Per-problem f32 speedup over f64 on the apply kernel (median / median).
+    let mut medians: BTreeMap<(String, String), (String, u64)> = BTreeMap::new();
+    for rec in &apply_recs {
+        if let Ok(ns) = rec["median_ns"].parse::<u64>() {
+            medians.insert((rec["idx"].clone(), precision_of(rec)), (rec["n"].clone(), ns));
+        }
+    }
+    let speedup_rows: Vec<(String, String, f64)> = medians
+        .iter()
+        .filter(|((_, p), _)| p == "f64")
+        .filter_map(|((idx, _), (n, ns64))| {
+            let (_, ns32) = medians.get(&(idx.clone(), "f32".to_string()))?;
+            (*ns32 > 0).then(|| (idx.clone(), n.clone(), *ns64 as f64 / *ns32 as f64))
+        })
+        .collect();
+    let _ = writeln!(s, "  \"gnn_apply_speedup_f32_vs_f64\": [");
+    for (i, (idx, n, ratio)) in speedup_rows.iter().enumerate() {
+        let comma = if i + 1 < speedup_rows.len() { "," } else { "" };
+        let _ = writeln!(s, "    {{ \"idx\": {idx}, \"n\": {n}, \"speedup\": {ratio:.3} }}{comma}");
     }
     let _ = writeln!(s, "  ]");
     let _ = writeln!(s, "}}");
@@ -484,7 +547,11 @@ fn render_json(
     }
     let _ = writeln!(s, "  ],");
     let _ = writeln!(s, "  \"kernels\": [");
-    render_group(&mut s, "kernel", &["name", "idx", "n", "threads", "median_ns", "min_ns"]);
+    render_group(
+        &mut s,
+        "kernel",
+        &["name", "precision", "idx", "n", "threads", "median_ns", "min_ns"],
+    );
     let _ = writeln!(s, "  ],");
     let _ = writeln!(s, "  \"end_to_end\": [");
     render_group(

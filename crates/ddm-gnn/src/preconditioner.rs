@@ -14,8 +14,8 @@
 use ddm::{Decomposition, NicolaidesCoarseSpace, Restriction};
 use fem::PoissonProblem;
 use gnn::{
-    dataset::build_local_graphs, DssModel, InferScratch, InferencePlan, InferenceTimings,
-    LocalGraph,
+    dataset::build_local_graphs, DssModel, InferScratch, InferScratchF32, InferencePlan,
+    InferencePlanF32, InferenceTimings, LocalGraph, Precision,
 };
 use krylov::Preconditioner;
 use rayon::prelude::*;
@@ -25,12 +25,14 @@ use std::sync::{Arc, Mutex};
 /// Reusable per-sub-domain buffers for one preconditioner application: the
 /// restricted (then normalised in place) residual, the DSS output, the norm
 /// used to undo the normalisation at gluing time, and the full GNN inference
-/// scratch.  Pre-sizing these makes `apply` allocation-free per iteration.
+/// scratch (f64 and f32 — only the active precision's buffers ever grow).
+/// Pre-sizing these makes `apply` allocation-free per iteration.
 struct SubdomainScratch {
     local_r: Vec<f64>,
     correction: Vec<f64>,
     norm: f64,
     infer: InferScratch,
+    infer32: InferScratchF32,
 }
 
 impl SubdomainScratch {
@@ -40,8 +42,15 @@ impl SubdomainScratch {
             correction: vec![0.0; dim],
             norm: 0.0,
             infer: InferScratch::new(),
+            infer32: InferScratchF32::new(),
         })
     }
+}
+
+/// Per-sub-domain inference plans at the configured precision.
+enum PlanSet {
+    F64(Vec<InferencePlan>),
+    F32(Vec<InferencePlanF32>),
 }
 
 /// The multi-level GNN preconditioner.
@@ -50,9 +59,10 @@ pub struct DdmGnnPreconditioner {
     graphs: Vec<LocalGraph>,
     /// Per-sub-domain inference plans, built once at construction (the setup
     /// phase): split first-layer weights, precomputed static edge terms and
-    /// destination-sorted incidence.  `apply` only runs the cheap
+    /// destination-sorted incidence — in f64 or f32 depending on the
+    /// configured [`Precision`].  `apply` only runs the cheap
     /// residual-dependent half of the forward pass.
-    plans: Vec<InferencePlan>,
+    plans: PlanSet,
     coarse: Option<NicolaidesCoarseSpace>,
     model: Arc<DssModel>,
     scratch: Vec<Mutex<SubdomainScratch>>,
@@ -75,9 +85,35 @@ impl DdmGnnPreconditioner {
         model: Arc<DssModel>,
         two_level: bool,
     ) -> sparse::Result<Self> {
+        Self::with_precision(problem, subdomains, model, two_level, Precision::F64)
+    }
+
+    /// [`DdmGnnPreconditioner::new`] with an explicit inference precision.
+    ///
+    /// `Precision::F32` runs every sub-domain DSS inference through the
+    /// single-precision SIMD engine: the restricted residual is normalised in
+    /// f64, converted to f32 on entry to the network, and the decoded output
+    /// is widened back to f64 before the (entirely double-precision) gluing
+    /// step.  Because the preconditioner only feeds a *flexible* outer
+    /// Krylov method, the ~1e-6 relative perturbation cannot break
+    /// convergence — it typically leaves iteration counts unchanged.
+    pub fn with_precision(
+        problem: &PoissonProblem,
+        subdomains: Vec<Vec<usize>>,
+        model: Arc<DssModel>,
+        two_level: bool,
+        precision: Precision,
+    ) -> sparse::Result<Self> {
         let decomposition = Decomposition::new(&problem.matrix, subdomains);
         let graphs = build_local_graphs(problem, &decomposition);
-        Self::from_parts(&problem.matrix, decomposition, graphs, model, two_level)
+        Self::from_parts_with_precision(
+            &problem.matrix,
+            decomposition,
+            graphs,
+            model,
+            two_level,
+            precision,
+        )
     }
 
     /// Build from an existing decomposition and pre-built local graphs.
@@ -87,6 +123,26 @@ impl DdmGnnPreconditioner {
         graphs: Vec<LocalGraph>,
         model: Arc<DssModel>,
         two_level: bool,
+    ) -> sparse::Result<Self> {
+        Self::from_parts_with_precision(
+            matrix,
+            decomposition,
+            graphs,
+            model,
+            two_level,
+            Precision::F64,
+        )
+    }
+
+    /// [`DdmGnnPreconditioner::from_parts`] with an explicit inference
+    /// precision.
+    pub fn from_parts_with_precision(
+        matrix: &CsrMatrix,
+        decomposition: Decomposition,
+        graphs: Vec<LocalGraph>,
+        model: Arc<DssModel>,
+        two_level: bool,
+        precision: Precision,
     ) -> sparse::Result<Self> {
         assert_eq!(
             decomposition.restrictions.len(),
@@ -103,7 +159,12 @@ impl DdmGnnPreconditioner {
             .iter()
             .map(|r| SubdomainScratch::new(r.num_local()))
             .collect();
-        let plans = graphs.iter().map(|g| model.build_plan(g)).collect();
+        let plans = match precision {
+            Precision::F64 => PlanSet::F64(graphs.iter().map(|g| model.build_plan(g)).collect()),
+            Precision::F32 => {
+                PlanSet::F32(graphs.iter().map(|g| model.build_plan_f32(g)).collect())
+            }
+        };
         Ok(DdmGnnPreconditioner {
             restrictions: decomposition.restrictions,
             graphs,
@@ -136,16 +197,27 @@ impl DdmGnnPreconditioner {
         &self.graphs
     }
 
+    /// The inference precision the plans were built at.
+    pub fn precision(&self) -> Precision {
+        match &self.plans {
+            PlanSet::F64(_) => Precision::F64,
+            PlanSet::F32(_) => Precision::F32,
+        }
+    }
+
     /// Total heap footprint of the cached inference plans in bytes.
     pub fn plan_memory_bytes(&self) -> usize {
-        self.plans.iter().map(InferencePlan::memory_bytes).sum()
+        match &self.plans {
+            PlanSet::F64(plans) => plans.iter().map(InferencePlan::memory_bytes).sum(),
+            PlanSet::F32(plans) => plans.iter().map(InferencePlanF32::memory_bytes).sum(),
+        }
     }
 
     /// Restrict, normalise and infer one sub-domain into its scratch slot,
     /// optionally accumulating per-stage timings.
     fn solve_local(&self, i: usize, r: &[f64], timings: Option<&mut InferenceTimings>) {
         let mut guard = self.scratch[i].lock().unwrap();
-        let SubdomainScratch { local_r, correction, norm, infer } = &mut *guard;
+        let SubdomainScratch { local_r, correction, norm, infer, infer32 } = &mut *guard;
         self.restrictions[i].restrict_into(r, local_r);
         *norm = sparse::vector::norm2(local_r);
         if *norm <= f64::MIN_POSITIVE {
@@ -155,11 +227,19 @@ impl DdmGnnPreconditioner {
         for v in local_r.iter_mut() {
             *v /= *norm;
         }
-        match timings {
-            Some(t) => {
-                self.model.infer_with_plan_timed(&self.plans[i], local_r, infer, correction, t)
+        match (&self.plans, timings) {
+            (PlanSet::F64(plans), Some(t)) => {
+                self.model.infer_with_plan_timed(&plans[i], local_r, infer, correction, t)
             }
-            None => self.model.infer_with_plan_into(&self.plans[i], local_r, infer, correction),
+            (PlanSet::F64(plans), None) => {
+                self.model.infer_with_plan_into(&plans[i], local_r, infer, correction)
+            }
+            (PlanSet::F32(plans), Some(t)) => {
+                self.model.infer_with_plan_f32_timed(&plans[i], local_r, infer32, correction, t)
+            }
+            (PlanSet::F32(plans), None) => {
+                self.model.infer_with_plan_f32_into(&plans[i], local_r, infer32, correction)
+            }
         }
     }
 
@@ -218,10 +298,11 @@ impl Preconditioner for DdmGnnPreconditioner {
     }
 
     fn name(&self) -> &str {
-        if self.coarse.is_some() {
-            "ddm-gnn-2level"
-        } else {
-            "ddm-gnn-1level"
+        match (self.coarse.is_some(), self.precision()) {
+            (true, Precision::F64) => "ddm-gnn-2level",
+            (false, Precision::F64) => "ddm-gnn-1level",
+            (true, Precision::F32) => "ddm-gnn-2level-f32",
+            (false, Precision::F32) => "ddm-gnn-1level-f32",
         }
     }
 }
@@ -313,6 +394,108 @@ mod tests {
         precond.apply_timed(&r, &mut z_timed, &mut timings);
         assert_eq!(z, z_timed, "timed apply must not change the correction");
         assert_eq!(timings.calls as usize, precond.num_subdomains());
+    }
+
+    #[test]
+    fn f32_precision_metadata_and_closeness_to_f64() {
+        let fx = fixture();
+        let p64 = DdmGnnPreconditioner::new(
+            &fx.problem,
+            fx.subdomains.clone(),
+            Arc::new(fx.model.clone()),
+            true,
+        )
+        .unwrap();
+        let p32 = DdmGnnPreconditioner::with_precision(
+            &fx.problem,
+            fx.subdomains.clone(),
+            Arc::new(fx.model.clone()),
+            true,
+            gnn::Precision::F32,
+        )
+        .unwrap();
+        assert_eq!(p64.precision(), gnn::Precision::F64);
+        assert_eq!(p32.precision(), gnn::Precision::F32);
+        assert_eq!(p32.name(), "ddm-gnn-2level-f32");
+        assert!(
+            p32.plan_memory_bytes() < p64.plan_memory_bytes(),
+            "f32 plans must use less memory: {} vs {}",
+            p32.plan_memory_bytes(),
+            p64.plan_memory_bytes()
+        );
+        let r = fx.problem.rhs.clone();
+        let mut z64 = vec![0.0; r.len()];
+        let mut z32 = vec![0.0; r.len()];
+        p64.apply(&r, &mut z64);
+        p32.apply(&r, &mut z32);
+        // Same operator up to single-precision rounding of the local solves.
+        let scale = sparse::vector::norm2(&z64).max(1.0);
+        let mut diff = 0.0f64;
+        for (a, b) in z32.iter().zip(z64.iter()) {
+            diff = diff.max((a - b).abs());
+        }
+        assert!(diff / scale < 1e-4, "f32 apply deviates too much: {}", diff / scale);
+        assert!(sparse::vector::dot(&z32, &r) > 0.0, "f32 preconditioner must stay positive");
+        // Timed apply matches the parallel apply bit-for-bit in f32 mode too.
+        let mut z32_timed = vec![0.0; r.len()];
+        let mut timings = gnn::InferenceTimings::default();
+        p32.apply_timed(&r, &mut z32_timed, &mut timings);
+        assert_eq!(z32, z32_timed);
+        assert_eq!(timings.calls as usize, p32.num_subdomains());
+    }
+
+    #[test]
+    fn f32_one_level_name_and_zero_residual() {
+        let fx = fixture();
+        let p32 = DdmGnnPreconditioner::with_precision(
+            &fx.problem,
+            fx.subdomains.clone(),
+            Arc::new(fx.model.clone()),
+            false,
+            gnn::Precision::F32,
+        )
+        .unwrap();
+        assert_eq!(p32.name(), "ddm-gnn-1level-f32");
+        let r = vec![0.0; fx.problem.num_unknowns()];
+        let mut z = vec![1.0; r.len()];
+        p32.apply(&r, &mut z);
+        assert!(z.iter().all(|&v| v == 0.0), "zero residual must give zero correction");
+    }
+
+    #[test]
+    fn pcg_with_f32_ddm_gnn_converges_like_f64() {
+        let fx = fixture();
+        let opts = SolverOptions::with_tolerance(1e-6).max_iterations(500);
+        let solve = |precision| {
+            let precond = DdmGnnPreconditioner::with_precision(
+                &fx.problem,
+                fx.subdomains.clone(),
+                Arc::new(fx.model.clone()),
+                true,
+                precision,
+            )
+            .unwrap();
+            preconditioned_conjugate_gradient(
+                &fx.problem.matrix,
+                &fx.problem.rhs,
+                None,
+                &precond,
+                &opts,
+            )
+        };
+        let r64 = solve(gnn::Precision::F64);
+        let r32 = solve(gnn::Precision::F32);
+        assert!(r64.stats.converged() && r32.stats.converged());
+        assert!(krylov::true_relative_residual(&fx.problem.matrix, &r32.x, &fx.problem.rhs) < 1e-5);
+        // The flexible outer Krylov method absorbs the f32 perturbation:
+        // iteration counts stay within +10% of the f64 baseline.
+        let cap = r64.stats.iterations + r64.stats.iterations.div_ceil(10);
+        assert!(
+            r32.stats.iterations <= cap,
+            "f32 iterations {} exceed f64 {} + 10%",
+            r32.stats.iterations,
+            r64.stats.iterations
+        );
     }
 
     #[test]

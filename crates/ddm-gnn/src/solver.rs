@@ -14,7 +14,7 @@ use std::time::Instant;
 
 use ddm::{AdditiveSchwarz, AsmLevel};
 use fem::PoissonProblem;
-use gnn::DssModel;
+use gnn::{DssModel, Precision};
 use krylov::{
     conjugate_gradient, preconditioned_conjugate_gradient, Ic0Preconditioner, Preconditioner,
     SolveStats, SolverOptions,
@@ -170,7 +170,7 @@ pub fn solve_ddm_lu(
     })
 }
 
-/// Solve with PCG preconditioned by DDM-GNN.
+/// Solve with PCG preconditioned by DDM-GNN (double-precision inference).
 pub fn solve_ddm_gnn(
     problem: &PoissonProblem,
     subdomains: Vec<Vec<usize>>,
@@ -178,10 +178,24 @@ pub fn solve_ddm_gnn(
     two_level: bool,
     opts: &SolverOptions,
 ) -> sparse::Result<SolveOutcome> {
+    solve_ddm_gnn_with_precision(problem, subdomains, model, two_level, Precision::F64, opts)
+}
+
+/// [`solve_ddm_gnn`] with an explicit inference precision for the local DSS
+/// solves (`Precision::F32` runs the single-precision SIMD engine).
+pub fn solve_ddm_gnn_with_precision(
+    problem: &PoissonProblem,
+    subdomains: Vec<Vec<usize>>,
+    model: Arc<DssModel>,
+    two_level: bool,
+    precision: Precision,
+    opts: &SolverOptions,
+) -> sparse::Result<SolveOutcome> {
     let num_subdomains = subdomains.len();
     let setup_start = Instant::now();
-    let precond =
-        TimedPreconditioner::new(DdmGnnPreconditioner::new(problem, subdomains, model, two_level)?);
+    let precond = TimedPreconditioner::new(DdmGnnPreconditioner::with_precision(
+        problem, subdomains, model, two_level, precision,
+    )?);
     let setup_seconds = setup_start.elapsed().as_secs_f64();
     let start = Instant::now();
     let result =
@@ -212,6 +226,10 @@ pub struct HybridSolverConfig {
     pub max_iterations: usize,
     /// Seed for the partitioner.
     pub partition_seed: u64,
+    /// Scalar precision of the DSS inference inside the preconditioner
+    /// (`Precision::F32` opts into the single-precision SIMD engine; the
+    /// flexible outer PCG keeps its convergence guarantee either way).
+    pub precision: Precision,
 }
 
 impl Default for HybridSolverConfig {
@@ -223,6 +241,7 @@ impl Default for HybridSolverConfig {
             tolerance: 1e-6,
             max_iterations: 5000,
             partition_seed: 0,
+            precision: Precision::F64,
         }
     }
 }
@@ -259,7 +278,14 @@ impl HybridSolver {
         );
         let opts = SolverOptions::with_tolerance(self.config.tolerance)
             .max_iterations(self.config.max_iterations);
-        solve_ddm_gnn(problem, subdomains, Arc::clone(&self.model), self.config.two_level, &opts)
+        solve_ddm_gnn_with_precision(
+            problem,
+            subdomains,
+            Arc::clone(&self.model),
+            self.config.two_level,
+            self.config.precision,
+            &opts,
+        )
     }
 
     /// Solve the same problem with the exact (DDM-LU) preconditioner — handy
@@ -339,6 +365,33 @@ mod tests {
         assert!(exact.stats.iterations <= outcome.stats.iterations);
         assert!(
             krylov::true_relative_residual(&fx.problem.matrix, &outcome.x, &fx.problem.rhs) < 1e-5
+        );
+    }
+
+    #[test]
+    fn hybrid_solver_f32_precision_converges() {
+        let fx = fixture();
+        let base = HybridSolverConfig {
+            subdomain_size: 250,
+            overlap: 2,
+            tolerance: 1e-6,
+            ..Default::default()
+        };
+        let f64_solver = HybridSolver::new(fx.model.clone(), base.clone());
+        let f32_solver = HybridSolver::new(
+            fx.model.clone(),
+            HybridSolverConfig { precision: Precision::F32, ..base },
+        );
+        let o64 = f64_solver.solve(&fx.problem).unwrap();
+        let o32 = f32_solver.solve(&fx.problem).unwrap();
+        assert!(o64.stats.converged() && o32.stats.converged());
+        assert!(sparse::vector::relative_error(&o32.x, &o64.x) < 1e-4);
+        let cap = o64.stats.iterations + o64.stats.iterations.div_ceil(10);
+        assert!(
+            o32.stats.iterations <= cap,
+            "f32 iterations {} exceed f64 {} + 10%",
+            o32.stats.iterations,
+            o64.stats.iterations
         );
     }
 

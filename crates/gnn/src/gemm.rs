@@ -191,6 +191,228 @@ fn gemm_core<const ACC: bool>(
     }
 }
 
+// ---------------------------------------------------------------------------
+// Single-precision kernels (the f32 inference engine)
+// ---------------------------------------------------------------------------
+//
+// The f32 path serves *inference only* (the preconditioner's hot loop); it
+// never touches training numerics, so it is free to pick the layout that
+// vectorises best.  Weights come in **transposed** (`in_dim × out_dim`
+// row-major, i.e. one row per *input* feature): for every shared-axis step
+// `i` the `out_dim` weights are contiguous, and the inner loop is a pure
+// 8-lane axpy `acc[k] += x_i · wt[i][k]` the compiler maps straight onto
+// SIMD registers.  A 4-row panel keeps four independent accumulator tiles in
+// flight so the loop is throughput- rather than latency-bound — the `wide`
+// crate's 4×8 f32 tile written out by hand.
+//
+// Accumulation order per output element is ascending `i` from the initial
+// value, exactly like the f64 kernels, so the f32 results are reproducible
+// across batch sizes and tile shapes (they differ from f64 only by rounding).
+
+/// SIMD lane count of the f32 inner loops (two SSE / one AVX register).
+pub const F32_LANES: usize = 8;
+
+/// `acc[k] += s * w[k]` over one row, 8 lanes at a time.
+#[inline(always)]
+fn axpy_f32(acc: &mut [f32], w: &[f32], s: f32) {
+    let mut ac = acc.chunks_exact_mut(F32_LANES);
+    let mut wc = w.chunks_exact(F32_LANES);
+    for (a, b) in ac.by_ref().zip(wc.by_ref()) {
+        let a: &mut [f32; F32_LANES] = a.try_into().unwrap();
+        let b: &[f32; F32_LANES] = b.try_into().unwrap();
+        #[cfg(feature = "portable-simd")]
+        {
+            use std::simd::f32x8;
+            let r = f32x8::from_array(*a) + f32x8::splat(s) * f32x8::from_array(*b);
+            *a = r.to_array();
+        }
+        #[cfg(not(feature = "portable-simd"))]
+        for k in 0..F32_LANES {
+            a[k] += s * b[k];
+        }
+    }
+    for (a, b) in ac.into_remainder().iter_mut().zip(wc.remainder()) {
+        *a += s * *b;
+    }
+}
+
+/// `Y = X Wᵀ + bias` with a transposed (`in_dim × out_dim`) f32 weight.
+pub fn gemm_t_bias_into_f32(
+    x: &[f32],
+    n: usize,
+    in_dim: usize,
+    out_dim: usize,
+    wt: &[f32],
+    bias: &[f32],
+    y: &mut [f32],
+) {
+    debug_assert_eq!(bias.len(), out_dim);
+    gemm_t_core_f32::<false>(x, n, in_dim, out_dim, wt, bias, y);
+}
+
+/// `Y = X Wᵀ` with a transposed f32 weight (outputs start from zero).
+pub fn gemm_t_into_f32(
+    x: &[f32],
+    n: usize,
+    in_dim: usize,
+    out_dim: usize,
+    wt: &[f32],
+    y: &mut [f32],
+) {
+    gemm_t_core_f32::<false>(x, n, in_dim, out_dim, wt, &[], y);
+}
+
+/// `Y += X Wᵀ` with a transposed f32 weight (accumulates onto `Y`).
+pub fn gemm_t_acc_into_f32(
+    x: &[f32],
+    n: usize,
+    in_dim: usize,
+    out_dim: usize,
+    wt: &[f32],
+    y: &mut [f32],
+) {
+    gemm_t_core_f32::<true>(x, n, in_dim, out_dim, wt, &[], y);
+}
+
+/// Rows per f32 register panel.
+const MR32: usize = 4;
+
+/// Shared f32 kernel: a 4-row panel of 8-lane column tiles over the
+/// transposed weight.  `ACC = true` reads the initial accumulator from `y`,
+/// otherwise it comes from `bias` (or zero when `bias` is empty).
+fn gemm_t_core_f32<const ACC: bool>(
+    x: &[f32],
+    n: usize,
+    in_dim: usize,
+    out_dim: usize,
+    wt: &[f32],
+    bias: &[f32],
+    y: &mut [f32],
+) {
+    debug_assert_eq!(x.len(), n * in_dim);
+    debug_assert_eq!(wt.len(), in_dim * out_dim);
+    debug_assert_eq!(y.len(), n * out_dim);
+    let init_tile = |y: &[f32], r: usize, o: usize| -> [f32; F32_LANES] {
+        let mut t = [0.0f32; F32_LANES];
+        if ACC {
+            t.copy_from_slice(&y[r * out_dim + o..][..F32_LANES]);
+        } else if !bias.is_empty() {
+            t.copy_from_slice(&bias[o..o + F32_LANES]);
+        }
+        t
+    };
+    let init_scalar = |y: &[f32], r: usize, o: usize| -> f32 {
+        if ACC {
+            y[r * out_dim + o]
+        } else if bias.is_empty() {
+            0.0
+        } else {
+            bias[o]
+        }
+    };
+
+    let mr_end = n - n % MR32;
+    let nr_end = out_dim - out_dim % F32_LANES;
+    let mut r = 0;
+    while r < mr_end {
+        let x0 = &x[r * in_dim..][..in_dim];
+        let x1 = &x[(r + 1) * in_dim..][..in_dim];
+        let x2 = &x[(r + 2) * in_dim..][..in_dim];
+        let x3 = &x[(r + 3) * in_dim..][..in_dim];
+        let mut o = 0;
+        while o < nr_end {
+            let mut a0 = init_tile(y, r, o);
+            let mut a1 = init_tile(y, r + 1, o);
+            let mut a2 = init_tile(y, r + 2, o);
+            let mut a3 = init_tile(y, r + 3, o);
+            for i in 0..in_dim {
+                let w: &[f32; F32_LANES] = wt[i * out_dim + o..][..F32_LANES].try_into().unwrap();
+                let (s0, s1, s2, s3) = (x0[i], x1[i], x2[i], x3[i]);
+                for k in 0..F32_LANES {
+                    a0[k] += s0 * w[k];
+                    a1[k] += s1 * w[k];
+                    a2[k] += s2 * w[k];
+                    a3[k] += s3 * w[k];
+                }
+            }
+            y[r * out_dim + o..][..F32_LANES].copy_from_slice(&a0);
+            y[(r + 1) * out_dim + o..][..F32_LANES].copy_from_slice(&a1);
+            y[(r + 2) * out_dim + o..][..F32_LANES].copy_from_slice(&a2);
+            y[(r + 3) * out_dim + o..][..F32_LANES].copy_from_slice(&a3);
+            o += F32_LANES;
+        }
+        // Half-width (4-lane) column tile for mid-size remainders (e.g. the
+        // direction-fused `2d = 20` rows: 2×8 full tiles + one 4-lane tile).
+        while o + F32_LANES / 2 <= out_dim {
+            const H: usize = F32_LANES / 2;
+            let init_half = |y: &[f32], r: usize, o: usize| -> [f32; H] {
+                let mut t = [0.0f32; H];
+                if ACC {
+                    t.copy_from_slice(&y[r * out_dim + o..][..H]);
+                } else if !bias.is_empty() {
+                    t.copy_from_slice(&bias[o..o + H]);
+                }
+                t
+            };
+            let mut a0 = init_half(y, r, o);
+            let mut a1 = init_half(y, r + 1, o);
+            let mut a2 = init_half(y, r + 2, o);
+            let mut a3 = init_half(y, r + 3, o);
+            for i in 0..in_dim {
+                let w: &[f32; H] = wt[i * out_dim + o..][..H].try_into().unwrap();
+                let (s0, s1, s2, s3) = (x0[i], x1[i], x2[i], x3[i]);
+                for k in 0..H {
+                    a0[k] += s0 * w[k];
+                    a1[k] += s1 * w[k];
+                    a2[k] += s2 * w[k];
+                    a3[k] += s3 * w[k];
+                }
+            }
+            y[r * out_dim + o..][..H].copy_from_slice(&a0);
+            y[(r + 1) * out_dim + o..][..H].copy_from_slice(&a1);
+            y[(r + 2) * out_dim + o..][..H].copy_from_slice(&a2);
+            y[(r + 3) * out_dim + o..][..H].copy_from_slice(&a3);
+            o += H;
+        }
+        // Remainder outputs: one column across the 4-row panel.
+        while o < out_dim {
+            let mut a0 = init_scalar(y, r, o);
+            let mut a1 = init_scalar(y, r + 1, o);
+            let mut a2 = init_scalar(y, r + 2, o);
+            let mut a3 = init_scalar(y, r + 3, o);
+            for i in 0..in_dim {
+                let q = wt[i * out_dim + o];
+                a0 += q * x0[i];
+                a1 += q * x1[i];
+                a2 += q * x2[i];
+                a3 += q * x3[i];
+            }
+            y[r * out_dim + o] = a0;
+            y[(r + 1) * out_dim + o] = a1;
+            y[(r + 2) * out_dim + o] = a2;
+            y[(r + 3) * out_dim + o] = a3;
+            o += 1;
+        }
+        r += MR32;
+    }
+    // Remainder rows: per-row 8-lane axpy sweep (same accumulation order).
+    while r < n {
+        let xr = &x[r * in_dim..][..in_dim];
+        let yr = &mut y[r * out_dim..][..out_dim];
+        if !ACC {
+            if bias.is_empty() {
+                yr.fill(0.0);
+            } else {
+                yr.copy_from_slice(bias);
+            }
+        }
+        for (i, &s) in xr.iter().enumerate() {
+            axpy_f32(yr, &wt[i * out_dim..][..out_dim], s);
+        }
+        r += 1;
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -275,5 +497,95 @@ mod tests {
         let first = naive(&xa, n, din, dout, &wa, &bias, &[], false);
         let both = naive(&xb, n, din, dout, &wb, &[], &first, true);
         assert_eq!(y, both);
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn naive_f32(
+        x: &[f32],
+        n: usize,
+        in_dim: usize,
+        out_dim: usize,
+        wt: &[f32],
+        bias: &[f32],
+        y0: &[f32],
+        acc: bool,
+    ) -> Vec<f32> {
+        let mut y = vec![0.0f32; n * out_dim];
+        for r in 0..n {
+            for o in 0..out_dim {
+                let mut a = if acc {
+                    y0[r * out_dim + o]
+                } else if bias.is_empty() {
+                    0.0
+                } else {
+                    bias[o]
+                };
+                for i in 0..in_dim {
+                    a += wt[i * out_dim + o] * x[r * in_dim + i];
+                }
+                y[r * out_dim + o] = a;
+            }
+        }
+        y
+    }
+
+    #[test]
+    fn f32_panel_matches_naive_bit_for_bit_across_shapes() {
+        let mut rng = StdRng::seed_from_u64(17);
+        // Span full/partial 4-row panels and full/partial 8-lane column tiles.
+        for &n in &[0usize, 1, 3, 4, 5, 8, 9, 17] {
+            for &out_dim in &[1usize, 2, 7, 8, 9, 10, 16, 19] {
+                for &in_dim in &[0usize, 1, 3, 10, 23] {
+                    let x: Vec<f32> =
+                        (0..n * in_dim).map(|_| rng.gen_range(-2.0..2.0) as f32).collect();
+                    let wt: Vec<f32> =
+                        (0..in_dim * out_dim).map(|_| rng.gen_range(-1.0..1.0) as f32).collect();
+                    let b: Vec<f32> =
+                        (0..out_dim).map(|_| rng.gen_range(-1.0..1.0) as f32).collect();
+
+                    let mut y = vec![0.0f32; n * out_dim];
+                    gemm_t_bias_into_f32(&x, n, in_dim, out_dim, &wt, &b, &mut y);
+                    assert_eq!(y, naive_f32(&x, n, in_dim, out_dim, &wt, &b, &[], false));
+
+                    let mut y = vec![0.0f32; n * out_dim];
+                    gemm_t_into_f32(&x, n, in_dim, out_dim, &wt, &mut y);
+                    assert_eq!(y, naive_f32(&x, n, in_dim, out_dim, &wt, &[], &[], false));
+
+                    let y0: Vec<f32> =
+                        (0..n * out_dim).map(|_| rng.gen_range(-1.0..1.0) as f32).collect();
+                    let mut y = y0.clone();
+                    gemm_t_acc_into_f32(&x, n, in_dim, out_dim, &wt, &mut y);
+                    assert_eq!(y, naive_f32(&x, n, in_dim, out_dim, &wt, &[], &y0, true));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn f32_kernel_tracks_f64_kernel_closely() {
+        // The f32 kernels must agree with their f64 counterparts to single
+        // precision: same math, different rounding.
+        let mut rng = StdRng::seed_from_u64(29);
+        let (n, in_dim, out_dim) = (13, 10, 10);
+        let x: Vec<f64> = (0..n * in_dim).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let w: Vec<f64> = (0..out_dim * in_dim).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let b: Vec<f64> = (0..out_dim).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let mut y64 = vec![0.0; n * out_dim];
+        gemm_bias_into(&x, n, in_dim, out_dim, &w, &b, &mut y64);
+
+        let x32: Vec<f32> = x.iter().map(|&v| v as f32).collect();
+        // Transpose the row-major out×in weight into in×out.
+        let mut wt = vec![0.0f32; in_dim * out_dim];
+        for o in 0..out_dim {
+            for i in 0..in_dim {
+                wt[i * out_dim + o] = w[o * in_dim + i] as f32;
+            }
+        }
+        let b32: Vec<f32> = b.iter().map(|&v| v as f32).collect();
+        let mut y32 = vec![0.0f32; n * out_dim];
+        gemm_t_bias_into_f32(&x32, n, in_dim, out_dim, &wt, &b32, &mut y32);
+        for (a, b) in y32.iter().zip(y64.iter()) {
+            assert!((*a as f64 - b).abs() < 1e-5, "f32 {a} vs f64 {b}");
+        }
     }
 }

@@ -5,7 +5,10 @@
 //! stack exists for Rust, so this crate implements the full pipeline natively:
 //!
 //! * [`gemm`] — register-blocked batch GEMM micro-kernels with a strict
-//!   per-element accumulation-order (bit-identity) contract,
+//!   per-element accumulation-order (bit-identity) contract, plus explicit
+//!   8-lane f32 kernels over transposed weights for the single-precision
+//!   inference engine (enable the `portable-simd` feature on nightly to use
+//!   `std::simd` instead of the autovectorised manual lanes),
 //! * [`layers`] — linear layers and two-layer MLPs with exact reverse-mode
 //!   gradients (validated against finite differences in the test-suite),
 //! * [`plan`] — per-graph inference plans: split first-layer weights,
@@ -30,6 +33,8 @@
 //! The architecture hyper-parameters reproduce the paper's weight counts
 //! exactly (e.g. `k̄ = 30, d = 10` → 37 530 weights, Table II).
 
+#![cfg_attr(feature = "portable-simd", feature(portable_simd))]
+
 pub mod adam;
 pub mod dataset;
 pub mod gemm;
@@ -45,5 +50,7 @@ pub use adam::{Adam, AdamConfig};
 pub use dataset::{extract_local_problems, DatasetConfig, TrainingSample};
 pub use graph::LocalGraph;
 pub use model::{DssConfig, DssModel, InferScratch};
-pub use plan::{InferencePlan, InferenceTimings, ScratchPool};
+pub use plan::{
+    InferScratchF32, InferencePlan, InferencePlanF32, InferenceTimings, Precision, ScratchPool,
+};
 pub use trainer::{evaluate, train, EvalMetrics, TrainingConfig, TrainingReport};

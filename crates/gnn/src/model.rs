@@ -28,7 +28,9 @@ use crate::gemm;
 use crate::graph::LocalGraph;
 use crate::layers::Mlp;
 use crate::loss::residual_loss_and_grad;
-use crate::plan::{InferencePlan, InferenceTimings, ScratchPool};
+use crate::plan::{
+    InferScratchF32, InferencePlan, InferencePlanF32, InferenceTimings, ScratchPool,
+};
 
 /// Hyper-parameters of the DSS model.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -275,6 +277,50 @@ impl DssModel {
     /// of the setup/apply split — see [`InferencePlan`]).
     pub fn build_plan(&self, graph: &LocalGraph) -> InferencePlan {
         InferencePlan::new(self, graph)
+    }
+
+    /// Build the *single-precision* inference plan of this model for one
+    /// graph (see [`InferencePlanF32`]).  The splits and compositions are
+    /// computed in f64 and rounded once; the forward pass then runs entirely
+    /// in f32 with the residual converted on entry and the output widened
+    /// back to f64.
+    pub fn build_plan_f32(&self, graph: &LocalGraph) -> InferencePlanF32 {
+        InferencePlanF32::new(self, graph)
+    }
+
+    /// Run the single-precision engine on a prebuilt f32 plan — the f32
+    /// sibling of [`DssModel::infer_with_plan_into`].
+    pub fn infer_with_plan_f32_into(
+        &self,
+        plan: &InferencePlanF32,
+        input: &[f64],
+        scratch: &mut InferScratchF32,
+        out: &mut [f64],
+    ) {
+        self.check_plan_f32(plan);
+        plan.infer_into(input, scratch, out);
+    }
+
+    /// [`DssModel::infer_with_plan_f32_into`] with a per-stage wall-clock
+    /// breakdown accumulated into `timings`.
+    pub fn infer_with_plan_f32_timed(
+        &self,
+        plan: &InferencePlanF32,
+        input: &[f64],
+        scratch: &mut InferScratchF32,
+        out: &mut [f64],
+        timings: &mut InferenceTimings,
+    ) {
+        self.check_plan_f32(plan);
+        plan.infer_timed(input, scratch, out, timings);
+    }
+
+    fn check_plan_f32(&self, plan: &InferencePlanF32) {
+        assert_eq!(
+            plan.latent_dim, self.config.latent_dim,
+            "plan built for a different latent dimension"
+        );
+        assert_eq!(plan.num_blocks, self.blocks.len(), "plan built for a different model depth");
     }
 
     /// Convenience inference without a prebuilt plan: builds a throwaway
@@ -908,6 +954,58 @@ mod tests {
             let expected = model.infer_with_input(&graph, &input);
             assert_eq!(out, expected, "scale {scale}");
         }
+    }
+
+    #[test]
+    fn f32_plan_tracks_f64_plan_closely_and_is_deterministic() {
+        let graph = tiny_graph();
+        let model = DssModel::new(DssConfig { num_blocks: 4, latent_dim: 6, alpha: 1e-2 }, 17);
+        let plan64 = model.build_plan(&graph);
+        let plan32 = model.build_plan_f32(&graph);
+        assert_eq!(plan32.num_nodes(), graph.num_nodes());
+        assert_eq!(plan32.num_edges(), graph.num_edges());
+        assert!(plan32.memory_bytes() > 0);
+        assert!(
+            plan32.memory_bytes() < plan64.memory_bytes(),
+            "f32 plan must be smaller than the f64 plan"
+        );
+        let mut s64 = InferScratch::new();
+        let mut s32 = crate::plan::InferScratchF32::new();
+        let mut out64 = vec![0.0; graph.num_nodes()];
+        let mut out32 = vec![0.0; graph.num_nodes()];
+        let mut out32_again = vec![0.0; graph.num_nodes()];
+        for scale in [1.0, -0.4, 0.7] {
+            let input: Vec<f64> = graph.input.iter().map(|c| c * scale + 0.05).collect();
+            model.infer_with_plan_into(&plan64, &input, &mut s64, &mut out64);
+            model.infer_with_plan_f32_into(&plan32, &input, &mut s32, &mut out32);
+            model.infer_with_plan_f32_into(&plan32, &input, &mut s32, &mut out32_again);
+            assert_eq!(out32, out32_again, "f32 inference must be deterministic");
+            let norm = out64.iter().map(|v| v * v).sum::<f64>().sqrt().max(1.0);
+            for (a, b) in out32.iter().zip(out64.iter()) {
+                assert!((a - b).abs() <= 1e-4 * norm, "scale {scale}: f32 {a} vs f64 {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn f32_timed_inference_is_identical_and_counts_calls() {
+        let graph = tiny_graph();
+        let model = DssModel::new(DssConfig { num_blocks: 3, latent_dim: 5, alpha: 1e-2 }, 29);
+        let plan = model.build_plan_f32(&graph);
+        let mut scratch = crate::plan::InferScratchF32::new();
+        let mut out = vec![0.0; graph.num_nodes()];
+        let mut timed_out = vec![0.0; graph.num_nodes()];
+        let mut timings = crate::plan::InferenceTimings::default();
+        model.infer_with_plan_f32_into(&plan, &graph.input, &mut scratch, &mut out);
+        model.infer_with_plan_f32_timed(
+            &plan,
+            &graph.input,
+            &mut scratch,
+            &mut timed_out,
+            &mut timings,
+        );
+        assert_eq!(out, timed_out);
+        assert_eq!(timings.calls, 1);
     }
 
     #[test]

@@ -25,11 +25,58 @@
 //! [`LocalGraph::edge_ptr`]), so message aggregation in the planned forward
 //! pass is a contiguous per-node gather.
 
-use std::sync::Mutex;
+use std::sync::{Mutex, MutexGuard, PoisonError};
+use std::time::Instant;
 
+use crate::gemm;
 use crate::graph::LocalGraph;
 use crate::layers::Linear;
 use crate::model::{Block, DssModel, InferScratch};
+
+/// Scalar precision of the inference engine.
+///
+/// The preconditioner output only feeds a *flexible* outer Krylov method, so
+/// reduced inference precision cannot break convergence — it merely perturbs
+/// the preconditioner slightly (the observation that lets graph neural
+/// preconditioners run inference in low precision).  `F64` is the default
+/// and remains the correctness anchor; `F32` trades ~1e-6 relative output
+/// error for SIMD width and halved memory traffic on the hot path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Precision {
+    /// Double-precision inference (bit-reproducible engine, the default).
+    #[default]
+    F64,
+    /// Single-precision inference with explicit 8-lane SIMD kernels.
+    F32,
+}
+
+impl Precision {
+    /// Lower-case name used in benchmark reports and env configuration.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            Precision::F64 => "f64",
+            Precision::F32 => "f32",
+        }
+    }
+}
+
+impl std::fmt::Display for Precision {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl std::str::FromStr for Precision {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "f64" | "double" => Ok(Precision::F64),
+            "f32" | "single" => Ok(Precision::F32),
+            other => Err(format!("unknown precision '{other}' (expected f64 or f32)")),
+        }
+    }
+}
 
 /// Split weights and precomputed static terms of one message-passing block.
 ///
@@ -216,6 +263,372 @@ impl InferencePlan {
     }
 }
 
+/// Cast a slice of doubles to single precision.
+fn cast_f32(v: &[f64]) -> Vec<f32> {
+    v.iter().map(|&x| x as f32).collect()
+}
+
+/// Transpose a row-major `out_dim × in_dim` matrix into the f32 kernels'
+/// `in_dim × out_dim` layout (one contiguous row of output weights per input
+/// feature), casting to single precision.
+fn transpose_cast_f32(w: &[f64], out_dim: usize, in_dim: usize) -> Vec<f32> {
+    debug_assert_eq!(w.len(), out_dim * in_dim);
+    let mut wt = vec![0.0f32; in_dim * out_dim];
+    for o in 0..out_dim {
+        for i in 0..in_dim {
+            wt[i * out_dim + o] = w[o * in_dim + i] as f32;
+        }
+    }
+    wt
+}
+
+/// Single-precision counterpart of [`PlanBlock`].
+///
+/// All matrices consumed by the f32 GEMM kernels are stored transposed
+/// (`in × out`); everything is derived from the f64 [`PlanBlock`] — the
+/// splits and compositions are computed in double precision and rounded
+/// once, so the f32 plan carries no extra composition error.  Unlike the
+/// f64 plan, the f32 plan also snapshots Ψ's second layer: the f32 forward
+/// pass never reads the model at all.
+///
+/// On top of the f64 plan's splits, the f32 layout **fuses the two message
+/// directions**: the `Φ→`/`Φ←` weight splits, static edge terms and per-node
+/// hidden sums are concatenated column-wise (`[fwd | bwd]`, row width `2d`).
+/// One node GEMM then produces both directions' terms, one edge sweep
+/// aggregates both (halving the per-edge index overhead and running the
+/// SIMD lanes over `2d` contiguous floats), and the two composed Ψ message
+/// GEMMs collapse into a single `2d × d` product whose ascending-input
+/// accumulation order equals the sequential fwd-then-bwd pair.
+struct PlanBlockF32 {
+    /// `[W_dst,→ | W_dst,←]` transposed: `d × 2d`.
+    w_dst_cat_t: Vec<f32>,
+    /// `[W_src,→ | W_src,←]` transposed: `d × 2d`.
+    w_src_cat_t: Vec<f32>,
+    /// `[geo→ | geo←]` per destination-sorted edge: `e × 2d`.
+    geo_cat: Vec<f32>,
+    /// `Ψ` first-layer columns acting on `h`, transposed: `d × d`.
+    psi_w_h_t: Vec<f32>,
+    /// `Ψ` first-layer column acting on the node input `c` (length `d`).
+    psi_w_c: Vec<f32>,
+    /// `[W_Ψ,→ W₂→ ; W_Ψ,← W₂←]` transposed: `2d × d`.
+    psi_m_cat_t: Vec<f32>,
+    /// Per-node static `Ψ` pre-activation (`n × d`).
+    psi_static: Vec<f32>,
+    /// Ψ second layer, transposed weight + bias.
+    psi_l2_wt: Vec<f32>,
+    psi_l2_b: Vec<f32>,
+}
+
+/// Concatenate two row-major `d × d` matrices column-wise and transpose the
+/// pair into the f32 kernels' `in × out` layout: row `i` holds
+/// `[a[·][i] | b[·][i]]`, `2d` outputs wide.
+fn cat_transpose_cast_f32(a: &[f64], b: &[f64], d: usize) -> Vec<f32> {
+    debug_assert_eq!(a.len(), d * d);
+    debug_assert_eq!(b.len(), d * d);
+    let mut wt = vec![0.0f32; d * 2 * d];
+    for o in 0..d {
+        for i in 0..d {
+            wt[i * 2 * d + o] = a[o * d + i] as f32;
+            wt[i * 2 * d + d + o] = b[o * d + i] as f32;
+        }
+    }
+    wt
+}
+
+impl PlanBlockF32 {
+    fn new(block: &Block, graph: &LocalGraph, d: usize) -> Self {
+        let pb = PlanBlock::new(block, graph, d);
+        let e = graph.num_edges();
+        let mut geo_cat = vec![0.0f32; e * 2 * d];
+        for slot in 0..e {
+            for k in 0..d {
+                geo_cat[slot * 2 * d + k] = pb.geo_fwd[slot * d + k] as f32;
+                geo_cat[slot * 2 * d + d + k] = pb.geo_bwd[slot * d + k] as f32;
+            }
+        }
+        // The composed message matrices stack as GEMM *inputs*: input row i
+        // of the transposed layout is the i-th forward hidden dimension for
+        // i < d and the (i-d)-th backward one otherwise.
+        let mut psi_m_cat_t = vec![0.0f32; 2 * d * d];
+        for i in 0..d {
+            for o in 0..d {
+                psi_m_cat_t[i * d + o] = pb.psi_m_fwd[o * d + i] as f32;
+                psi_m_cat_t[(d + i) * d + o] = pb.psi_m_bwd[o * d + i] as f32;
+            }
+        }
+        PlanBlockF32 {
+            w_dst_cat_t: cat_transpose_cast_f32(&pb.w_dst_fwd, &pb.w_dst_bwd, d),
+            w_src_cat_t: cat_transpose_cast_f32(&pb.w_src_fwd, &pb.w_src_bwd, d),
+            geo_cat,
+            psi_w_h_t: transpose_cast_f32(&pb.psi_w_h, d, d),
+            psi_w_c: cast_f32(&pb.psi_w_c),
+            psi_m_cat_t,
+            psi_static: cast_f32(&pb.psi_static),
+            psi_l2_wt: block.psi.l2.weight_t_f32(),
+            psi_l2_b: block.psi.l2.bias_f32(),
+        }
+    }
+
+    fn memory_bytes(&self) -> usize {
+        std::mem::size_of::<f32>()
+            * (self.w_dst_cat_t.len()
+                + self.w_src_cat_t.len()
+                + self.geo_cat.len()
+                + self.psi_w_h_t.len()
+                + self.psi_w_c.len()
+                + self.psi_m_cat_t.len()
+                + self.psi_static.len()
+                + self.psi_l2_wt.len()
+                + self.psi_l2_b.len())
+    }
+}
+
+/// Final-block decoder in single precision.
+struct DecoderF32 {
+    l1_wt: Vec<f32>,
+    l1_b: Vec<f32>,
+    /// Second-layer weight row (`out_dim = 1`).
+    l2_w: Vec<f32>,
+    l2_b: f32,
+}
+
+/// Reusable buffers for the f32 inference path ([`InferencePlanF32`]).
+///
+/// Mirrors [`InferScratch`]: create once, pass to every call; buffers are
+/// sized lazily and reused.  Contents are fully overwritten per inference.
+/// The direction-fused buffers (`a_dst`, `a_src`, `hsum`) are `n × 2d`.
+#[derive(Debug, Default)]
+pub struct InferScratchF32 {
+    input: Vec<f32>,
+    h: Vec<f32>,
+    a_dst: Vec<f32>,
+    a_src: Vec<f32>,
+    hsum: Vec<f32>,
+    psi_hidden: Vec<f32>,
+    update: Vec<f32>,
+    hidden: Vec<f32>,
+}
+
+impl InferScratchF32 {
+    /// Empty scratch; buffers are allocated on first use.
+    pub fn new() -> Self {
+        InferScratchF32::default()
+    }
+}
+
+/// `acc[k] += max(g[k] + adj[k] + asj[k], 0)` — the fused edge sweep body.
+/// Equal-length slices let LLVM fold the four bounds checks and vectorise
+/// the whole row.
+#[inline(always)]
+fn relu_sum3_acc_f32(acc: &mut [f32], g: &[f32], adj: &[f32], asj: &[f32]) {
+    let d = acc.len();
+    let (g, adj, asj) = (&g[..d], &adj[..d], &asj[..d]);
+    for k in 0..d {
+        acc[k] += (g[k] + adj[k] + asj[k]).max(0.0);
+    }
+}
+
+/// A per-graph single-precision inference plan: the f32 sibling of
+/// [`InferencePlan`].
+///
+/// Built once per sub-domain graph via [`DssModel::build_plan_f32`]; the
+/// forward pass ([`InferencePlanF32::infer_into`]) runs entirely in f32 —
+/// the caller's residual is converted on entry and the decoded output is
+/// widened back to f64 on exit, so the surrounding solver stays in double
+/// precision.  The plan snapshots *all* weights it needs (including Ψ's
+/// second layer and the final decoder), making the apply independent of the
+/// model object.
+pub struct InferencePlanF32 {
+    pub(crate) num_nodes: usize,
+    pub(crate) num_edges: usize,
+    pub(crate) latent_dim: usize,
+    pub(crate) num_blocks: usize,
+    alpha: f32,
+    /// Source node of every destination-sorted edge (u32: sub-domain graphs
+    /// are far below 2³² nodes, and the narrower index halves gather
+    /// traffic).
+    edge_src: Vec<u32>,
+    /// Destination offsets into the sorted edge list (`n + 1` entries).
+    edge_ptr: Vec<usize>,
+    blocks: Vec<PlanBlockF32>,
+    decoder: Option<DecoderF32>,
+}
+
+impl InferencePlanF32 {
+    /// Build an f32 plan for `model` on `graph`.
+    pub fn new(model: &DssModel, graph: &LocalGraph) -> Self {
+        let config = model.config();
+        let d = config.latent_dim;
+        let n = graph.num_nodes();
+        let e = graph.num_edges();
+        assert_eq!(graph.edge_ptr.len(), n + 1, "stale incidence: run rebuild_incidence");
+        assert_eq!(graph.edge_order.len(), e, "stale incidence: run rebuild_incidence");
+        let edge_src: Vec<u32> =
+            graph.edge_order.iter().map(|&ei| graph.edges[ei].src as u32).collect();
+        let blocks: Vec<PlanBlockF32> =
+            model.blocks().iter().map(|b| PlanBlockF32::new(b, graph, d)).collect();
+        let decoder = model.blocks().last().map(|b| DecoderF32 {
+            l1_wt: b.decoder.l1.weight_t_f32(),
+            l1_b: b.decoder.l1.bias_f32(),
+            l2_w: cast_f32(&b.decoder.l2.weight),
+            l2_b: b.decoder.l2.bias[0] as f32,
+        });
+        InferencePlanF32 {
+            num_nodes: n,
+            num_edges: e,
+            latent_dim: d,
+            num_blocks: config.num_blocks,
+            alpha: config.alpha as f32,
+            edge_src,
+            edge_ptr: graph.edge_ptr.clone(),
+            blocks,
+            decoder,
+        }
+    }
+
+    /// Number of nodes of the graph this plan was built for.
+    pub fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+
+    /// Number of directed edges of the graph this plan was built for.
+    pub fn num_edges(&self) -> usize {
+        self.num_edges
+    }
+
+    /// Heap footprint of the precomputed data in bytes (about half the f64
+    /// plan's: the dominant static edge terms are stored single-precision).
+    pub fn memory_bytes(&self) -> usize {
+        self.blocks.iter().map(PlanBlockF32::memory_bytes).sum::<usize>()
+            + self.decoder.as_ref().map_or(0, |dec| {
+                std::mem::size_of::<f32>() * (dec.l1_wt.len() + dec.l1_b.len() + dec.l2_w.len() + 1)
+            })
+            + std::mem::size_of::<u32>() * self.edge_src.len()
+            + std::mem::size_of::<usize>() * self.edge_ptr.len()
+    }
+
+    /// Run the single-precision engine: `input` (the normalised residual) is
+    /// converted to f32 on entry, the decoded output is widened back into
+    /// `out`.  All intermediates live in `scratch`; the steady state
+    /// allocates nothing.
+    pub fn infer_into(&self, input: &[f64], scratch: &mut InferScratchF32, out: &mut [f64]) {
+        self.infer_core(input, scratch, out, None);
+    }
+
+    /// [`InferencePlanF32::infer_into`] with a per-stage wall-clock breakdown
+    /// accumulated into `timings`.
+    pub fn infer_timed(
+        &self,
+        input: &[f64],
+        scratch: &mut InferScratchF32,
+        out: &mut [f64],
+        timings: &mut InferenceTimings,
+    ) {
+        self.infer_core(input, scratch, out, Some(timings));
+    }
+
+    fn infer_core(
+        &self,
+        input: &[f64],
+        scratch: &mut InferScratchF32,
+        out: &mut [f64],
+        mut timings: Option<&mut InferenceTimings>,
+    ) {
+        let d = self.latent_dim;
+        let n = self.num_nodes;
+        assert_eq!(input.len(), n, "input length mismatch");
+        assert_eq!(out.len(), n, "output length mismatch");
+
+        let InferScratchF32 { input: input32, h, a_dst, a_src, hsum, psi_hidden, update, hidden } =
+            scratch;
+        input32.clear();
+        input32.extend(input.iter().map(|&v| v as f32));
+        h.clear();
+        h.resize(n * d, 0.0);
+        let d2 = 2 * d;
+        a_dst.resize(n * d2, 0.0);
+        a_src.resize(n * d2, 0.0);
+        hsum.resize(n * d2, 0.0);
+        psi_hidden.resize(n * d, 0.0);
+        update.resize(n * d, 0.0);
+        hidden.resize(n * d, 0.0);
+
+        let mut last = Instant::now();
+        macro_rules! tick {
+            ($field:ident) => {
+                if let Some(t) = timings.as_deref_mut() {
+                    let now = Instant::now();
+                    t.$field += now.duration_since(last).as_nanos() as u64;
+                    last = now;
+                }
+            };
+        }
+
+        for pb in &self.blocks {
+            // Node-level GEMMs, both message directions at once (`n × 2d`).
+            gemm::gemm_t_into_f32(h, n, d, d2, &pb.w_dst_cat_t, a_dst);
+            gemm::gemm_t_into_f32(h, n, d, d2, &pb.w_src_cat_t, a_src);
+            tick!(node_gemm_ns);
+            // Fused edge sweep over both directions: one pass, `2d`-wide rows.
+            for j in 0..n {
+                let adj = &a_dst[j * d2..(j + 1) * d2];
+                let acc = &mut hsum[j * d2..(j + 1) * d2];
+                acc.fill(0.0);
+                for slot in self.edge_ptr[j]..self.edge_ptr[j + 1] {
+                    let src = self.edge_src[slot] as usize;
+                    relu_sum3_acc_f32(
+                        acc,
+                        &pb.geo_cat[slot * d2..(slot + 1) * d2],
+                        adj,
+                        &a_src[src * d2..(src + 1) * d2],
+                    );
+                }
+            }
+            tick!(edge_gather_ns);
+            for j in 0..n {
+                let c = input32[j];
+                let stat = &pb.psi_static[j * d..(j + 1) * d];
+                let row = &mut psi_hidden[j * d..(j + 1) * d];
+                for k in 0..d {
+                    row[k] = stat[k] + pb.psi_w_c[k] * c;
+                }
+            }
+            gemm::gemm_t_acc_into_f32(h, n, d, d, &pb.psi_w_h_t, psi_hidden);
+            gemm::gemm_t_acc_into_f32(hsum, n, d2, d, &pb.psi_m_cat_t, psi_hidden);
+            for v in psi_hidden.iter_mut() {
+                *v = v.max(0.0);
+            }
+            gemm::gemm_t_bias_into_f32(psi_hidden, n, d, d, &pb.psi_l2_wt, &pb.psi_l2_b, update);
+            for (hv, uv) in h.iter_mut().zip(update.iter()) {
+                *hv += self.alpha * *uv;
+            }
+            tick!(psi_update_ns);
+        }
+        match &self.decoder {
+            Some(dec) => {
+                gemm::gemm_t_bias_into_f32(h, n, d, d, &dec.l1_wt, &dec.l1_b, hidden);
+                for v in hidden.iter_mut() {
+                    *v = v.max(0.0);
+                }
+                for j in 0..n {
+                    let row = &hidden[j * d..(j + 1) * d];
+                    let mut acc = dec.l2_b;
+                    for k in 0..d {
+                        acc += dec.l2_w[k] * row[k];
+                    }
+                    out[j] = acc as f64;
+                }
+            }
+            None => out.fill(0.0),
+        }
+        tick!(decoder_ns);
+        let _ = last; // the final tick's stamp is intentionally unused
+        if let Some(t) = timings {
+            t.calls += 1;
+        }
+    }
+}
+
 /// Wall-clock breakdown of planned inference, one bucket per pipeline stage.
 ///
 /// Filled by [`DssModel::infer_with_plan_timed`]; buckets accumulate across
@@ -272,9 +685,30 @@ impl InferenceTimings {
 /// long-lived pool makes repeated [`DssModel::infer_batch_with_pool`] calls
 /// allocation-free in the steady state.  The pool never influences results —
 /// scratch contents are fully overwritten by every inference.
+///
+/// Two robustness properties:
+///
+/// * **Bounded retention.**  Idle buffers are capped at the high-water mark
+///   of *concurrent* borrows ever observed — more idle buffers than peak
+///   concurrency can never be useful, so buffers released beyond that cap
+///   are dropped instead of retained forever.
+/// * **Panic tolerance.**  The internal mutex recovers from poisoning: a
+///   worker that panics between `acquire` and `release` must not cascade
+///   into poison-panics on every later pool operation.  The guarded state
+///   (a list of interchangeable buffers plus counters) has no invariant a
+///   mid-panic writer could break.
 #[derive(Debug, Default)]
 pub struct ScratchPool {
-    slots: Mutex<Vec<InferScratch>>,
+    state: Mutex<PoolState>,
+}
+
+#[derive(Debug, Default)]
+struct PoolState {
+    idle: Vec<InferScratch>,
+    /// Buffers currently borrowed (acquired and not yet released).
+    outstanding: usize,
+    /// Maximum `outstanding` ever observed — the idle-retention cap.
+    high_water: usize,
 }
 
 impl ScratchPool {
@@ -283,18 +717,107 @@ impl ScratchPool {
         ScratchPool::default()
     }
 
-    /// Take a scratch out of the pool (or create a fresh one).
-    pub fn acquire(&self) -> InferScratch {
-        self.slots.lock().unwrap().pop().unwrap_or_default()
+    /// Lock the pool state, recovering from a poisoned mutex (see the type
+    /// docs: every reachable state is valid).
+    fn lock(&self) -> MutexGuard<'_, PoolState> {
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
     }
 
-    /// Return a scratch to the pool for reuse.
+    /// Take a scratch out of the pool (or create a fresh one).
+    pub fn acquire(&self) -> InferScratch {
+        let mut st = self.lock();
+        st.outstanding += 1;
+        st.high_water = st.high_water.max(st.outstanding);
+        st.idle.pop().unwrap_or_default()
+    }
+
+    /// Return a scratch to the pool for reuse.  Buffers beyond the
+    /// high-water concurrent-borrow count are dropped.
     pub fn release(&self, scratch: InferScratch) {
-        self.slots.lock().unwrap().push(scratch);
+        let mut st = self.lock();
+        // Saturating: a panicked worker may never have reported its release,
+        // and foreign buffers can legitimately be donated to the pool.
+        st.outstanding = st.outstanding.saturating_sub(1);
+        if st.idle.len() < st.high_water {
+            st.idle.push(scratch);
+        }
     }
 
     /// Number of idle buffers currently pooled.
     pub fn idle(&self) -> usize {
-        self.slots.lock().unwrap().len()
+        self.lock().idle.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn precision_parses_and_displays() {
+        assert_eq!("f32".parse::<Precision>().unwrap(), Precision::F32);
+        assert_eq!("F64".parse::<Precision>().unwrap(), Precision::F64);
+        assert_eq!("single".parse::<Precision>().unwrap(), Precision::F32);
+        assert!("f16".parse::<Precision>().is_err());
+        assert_eq!(Precision::F32.to_string(), "f32");
+        assert_eq!(Precision::default(), Precision::F64);
+    }
+
+    #[test]
+    fn pool_caps_idle_buffers_at_high_water_borrows() {
+        let pool = ScratchPool::new();
+        // Peak of three concurrent borrows.
+        let (a, b, c) = (pool.acquire(), pool.acquire(), pool.acquire());
+        pool.release(a);
+        pool.release(b);
+        pool.release(c);
+        assert_eq!(pool.idle(), 3);
+        // Donating extra buffers must not grow the pool past the high-water
+        // mark of 3.
+        pool.release(InferScratch::new());
+        pool.release(InferScratch::new());
+        assert_eq!(pool.idle(), 3, "idle buffers must stay capped at peak concurrency");
+        // Steady-state reuse keeps the count stable.
+        let s = pool.acquire();
+        pool.release(s);
+        assert_eq!(pool.idle(), 3);
+    }
+
+    #[test]
+    fn pool_sequential_use_retains_a_single_buffer() {
+        let pool = ScratchPool::new();
+        for _ in 0..5 {
+            let s = pool.acquire();
+            pool.release(s);
+        }
+        assert_eq!(pool.idle(), 1, "sequential borrows never need more than one idle buffer");
+    }
+
+    #[test]
+    fn pool_survives_mutex_poisoning() {
+        let pool = ScratchPool::new();
+        let s = pool.acquire();
+        pool.release(s);
+        // Poison the mutex: panic while holding the guard.
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _guard = pool.state.lock().unwrap();
+            panic!("worker panic while holding the pool lock");
+        }));
+        assert!(result.is_err());
+        assert!(pool.state.lock().is_err(), "mutex must actually be poisoned");
+        // Every pool operation must keep working.
+        assert_eq!(pool.idle(), 1);
+        let s = pool.acquire();
+        pool.release(s);
+        assert_eq!(pool.idle(), 1);
+    }
+
+    #[test]
+    fn pool_release_of_unacquired_buffer_is_safe() {
+        let pool = ScratchPool::new();
+        // outstanding is 0; release must not underflow and (with no borrow
+        // history) must not retain the buffer.
+        pool.release(InferScratch::new());
+        assert_eq!(pool.idle(), 0);
     }
 }

@@ -8,8 +8,12 @@
 //! agreement to ≤ 1e-12 relative error on random graphs and random weights,
 //! and verify that the training path (`backward`) still matches finite
 //! differences, i.e. that the refactor left the gradients untouched.
+//!
+//! The single-precision engine (`InferencePlanF32`) is pinned against the
+//! f64 plan path at ≤ 1e-4 relative error over the same random graph
+//! distribution — the bound the DDM-GNN preconditioner's f32 mode relies on.
 
-use gnn::{DssConfig, DssModel, InferScratch, LocalGraph, ScratchPool};
+use gnn::{DssConfig, DssModel, InferScratch, InferScratchF32, LocalGraph, ScratchPool};
 use meshgen::Point2;
 use proptest::prelude::*;
 use sparse::CooMatrix;
@@ -110,6 +114,70 @@ proptest! {
         let batched = model.infer_batch_with_pool(&graphs, &pool);
         for (g, got) in graphs_outputs(&graphs, &batched) {
             prop_assert_eq!(got, &model.infer(g));
+        }
+    }
+
+    /// The f32 engine tracks the f64 plan path to ≤ 1e-4 relative error on
+    /// random sub-domain graphs, random weights and unit-normalised inputs
+    /// (the preconditioner always feeds the network unit-norm residuals).
+    #[test]
+    fn f32_engine_matches_f64_within_1e4(
+        n in 4usize..40,
+        extra in proptest::collection::vec((0usize..40, 0usize..40), 0..30),
+        geo_seed in 0u64..1000,
+        rhs_seed in 0u64..1000,
+        model_seed in 0u64..1000,
+        num_blocks in 1usize..5,
+        latent in 2usize..12,
+    ) {
+        let graph = random_graph(n, &extra, geo_seed, rhs_seed);
+        let model = DssModel::new(
+            DssConfig { num_blocks, latent_dim: latent, alpha: 1e-2 },
+            model_seed,
+        );
+        // Unit-normalise the input like the preconditioner does.
+        let norm = graph.input.iter().map(|v| v * v).sum::<f64>().sqrt().max(1e-30);
+        let input: Vec<f64> = graph.input.iter().map(|v| v / norm).collect();
+
+        let plan64 = model.build_plan(&graph);
+        let plan32 = model.build_plan_f32(&graph);
+        let mut s64 = InferScratch::new();
+        let mut s32 = InferScratchF32::new();
+        let mut out64 = vec![0.0; graph.num_nodes()];
+        let mut out32 = vec![0.0; graph.num_nodes()];
+        model.infer_with_plan_into(&plan64, &input, &mut s64, &mut out64);
+        model.infer_with_plan_f32_into(&plan32, &input, &mut s32, &mut out32);
+        let dev = max_relative_deviation(&out32, &out64);
+        prop_assert!(dev <= 1e-4, "f32 deviation {} exceeds 1e-4", dev);
+    }
+
+    /// An f32 plan reused across inputs and scratch states is bit-stable:
+    /// results depend only on (plan, input), never on buffer history.
+    #[test]
+    fn f32_plan_reuse_is_bit_stable(
+        n in 4usize..24,
+        extra in proptest::collection::vec((0usize..24, 0usize..24), 0..12),
+        geo_seed in 0u64..1000,
+        rhs_seed in 0u64..1000,
+        model_seed in 0u64..1000,
+    ) {
+        let graph = random_graph(n, &extra, geo_seed, rhs_seed);
+        let model = DssModel::new(DssConfig { num_blocks: 3, latent_dim: 6, alpha: 1e-2 }, model_seed);
+        let plan = model.build_plan_f32(&graph);
+        let mut scratch = InferScratchF32::new();
+        let mut out = vec![0.0; graph.num_nodes()];
+        let mut baseline: Vec<Vec<f64>> = Vec::new();
+        for scale in [1.0, -0.4] {
+            let input: Vec<f64> = graph.input.iter().map(|c| c * scale + 0.01).collect();
+            model.infer_with_plan_f32_into(&plan, &input, &mut scratch, &mut out);
+            baseline.push(out.clone());
+        }
+        // Re-run in reverse order with a fresh scratch: identical bits.
+        let mut fresh = InferScratchF32::new();
+        for (i, scale) in [1.0, -0.4].iter().enumerate().rev() {
+            let input: Vec<f64> = graph.input.iter().map(|c| c * scale + 0.01).collect();
+            model.infer_with_plan_f32_into(&plan, &input, &mut fresh, &mut out);
+            prop_assert_eq!(&out, &baseline[i]);
         }
     }
 

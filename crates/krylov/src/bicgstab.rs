@@ -8,7 +8,7 @@
 use sparse::vector::{dot, norm2};
 use sparse::CsrMatrix;
 
-use crate::history::{ConvergenceHistory, SolveStats, StopReason};
+use crate::history::{relative_residual_norm, ConvergenceHistory, SolveStats, StopReason};
 use crate::preconditioner::Preconditioner;
 use crate::{SolveResult, SolverOptions};
 
@@ -48,7 +48,7 @@ pub fn bicgstab(
             stats: SolveStats {
                 iterations: 0,
                 final_residual: rnorm,
-                final_relative_residual: if bnorm > 0.0 { rnorm / bnorm } else { rnorm },
+                final_relative_residual: relative_residual_norm(rnorm, bnorm),
                 stop_reason: StopReason::Converged,
                 history,
             },
@@ -146,7 +146,7 @@ pub fn bicgstab(
         stats: SolveStats {
             iterations,
             final_residual: rnorm,
-            final_relative_residual: if bnorm > 0.0 { rnorm / bnorm } else { rnorm },
+            final_relative_residual: relative_residual_norm(rnorm, bnorm),
             stop_reason: stop,
             history,
         },

@@ -3,7 +3,7 @@
 use sparse::vector::{axpby, axpy, dot, norm2};
 use sparse::CsrMatrix;
 
-use crate::history::{ConvergenceHistory, SolveStats, StopReason};
+use crate::history::{relative_residual_norm, ConvergenceHistory, SolveStats, StopReason};
 use crate::{SolveResult, SolverOptions};
 
 /// Solve the SPD system `A x = b` with the Conjugate Gradient method.
@@ -45,7 +45,7 @@ pub fn conjugate_gradient(
             stats: SolveStats {
                 iterations: 0,
                 final_residual: rnorm,
-                final_relative_residual: if bnorm > 0.0 { rnorm / bnorm } else { rnorm },
+                final_relative_residual: relative_residual_norm(rnorm, bnorm),
                 stop_reason: StopReason::Converged,
                 history,
             },
@@ -95,7 +95,7 @@ pub fn conjugate_gradient(
         stats: SolveStats {
             iterations,
             final_residual: rnorm,
-            final_relative_residual: if bnorm > 0.0 { rnorm / bnorm } else { rnorm },
+            final_relative_residual: relative_residual_norm(rnorm, bnorm),
             stop_reason: stop,
             history,
         },

@@ -8,7 +8,7 @@
 use sparse::vector::norm2;
 use sparse::CsrMatrix;
 
-use crate::history::{ConvergenceHistory, SolveStats, StopReason};
+use crate::history::{relative_residual_norm, ConvergenceHistory, SolveStats, StopReason};
 use crate::preconditioner::Preconditioner;
 use crate::{SolveResult, SolverOptions};
 
@@ -87,11 +87,14 @@ pub fn gmres(
             }
             let hnext = norm2(&w);
             hess[j + 1][j] = hnext;
-            if hnext > 0.0 {
+            // Happy breakdown: `w` lies entirely in the current subspace, so
+            // the Krylov space is invariant and the least-squares solution in
+            // it is exact.  No new basis vector exists — solve and leave the
+            // inner loop immediately instead of pushing a zero vector and
+            // orthogonalising against it for the rest of the restart cycle.
+            let happy = hnext == 0.0;
+            if !happy {
                 basis.push(w.iter().map(|v| v / hnext).collect());
-            } else {
-                // Happy breakdown: exact solution in the current subspace.
-                basis.push(vec![0.0; n]);
             }
 
             // Apply previous Givens rotations to the new column.
@@ -126,7 +129,7 @@ pub fn gmres(
             if opts.record_history {
                 history.push(inner_res);
             }
-            if inner_res <= threshold {
+            if happy || inner_res <= threshold {
                 stop = StopReason::Converged;
                 break;
             }
@@ -148,7 +151,7 @@ pub fn gmres(
         stats: SolveStats {
             iterations: total_iterations,
             final_residual: rnorm,
-            final_relative_residual: if bnorm > 0.0 { rnorm / bnorm } else { rnorm },
+            final_relative_residual: relative_residual_norm(rnorm, bnorm),
             stop_reason: stop,
             history,
         },

@@ -1,5 +1,28 @@
 //! Convergence bookkeeping shared by all Krylov drivers.
 
+/// Relative residual norm `‖r‖ / ‖b‖` with explicit zero-rhs semantics.
+///
+/// For `‖b‖ = 0` the quotient is ill-defined, and silently substituting the
+/// absolute residual (as the solvers used to) makes the field lie about its
+/// own definition.  The convention, used by every solver in this crate and by
+/// [`crate::true_relative_residual`]:
+///
+/// * `bnorm > 0` → `rnorm / bnorm` (the ordinary definition);
+/// * `bnorm == 0`, `rnorm == 0` → `0.0` (the exact solution `x = 0` of
+///   `A x = 0` was found);
+/// * `bnorm == 0`, `rnorm > 0` → [`f64::INFINITY`] (no nonzero residual is
+///   "relatively small" against a zero right-hand side — judge such solves
+///   by the absolute residual and the absolute tolerance instead).
+pub fn relative_residual_norm(rnorm: f64, bnorm: f64) -> f64 {
+    if bnorm > 0.0 {
+        rnorm / bnorm
+    } else if rnorm == 0.0 {
+        0.0
+    } else {
+        f64::INFINITY
+    }
+}
+
 /// Why the iteration stopped.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum StopReason {
@@ -77,7 +100,11 @@ pub struct SolveStats {
     pub iterations: usize,
     /// Final (preconditioned-solver reported) residual norm.
     pub final_residual: f64,
-    /// Final residual norm relative to the right-hand side norm.
+    /// Final residual norm relative to the right-hand side norm, with the
+    /// zero-rhs semantics of [`relative_residual_norm`]: for `‖b‖ = 0` this
+    /// is `0.0` when the final residual is exactly zero and
+    /// [`f64::INFINITY`] otherwise (a zero-rhs solve should be judged by
+    /// [`SolveStats::final_residual`] against the absolute tolerance).
     pub final_relative_residual: f64,
     /// Why the solver stopped.
     pub stop_reason: StopReason,

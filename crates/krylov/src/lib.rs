@@ -21,7 +21,7 @@ pub mod preconditioner;
 pub use bicgstab::bicgstab;
 pub use cg::conjugate_gradient;
 pub use gmres::gmres;
-pub use history::{ConvergenceHistory, SolveStats, StopReason};
+pub use history::{relative_residual_norm, ConvergenceHistory, SolveStats, StopReason};
 pub use pcg::preconditioned_conjugate_gradient;
 pub use preconditioner::{
     Ic0Preconditioner, IdentityPreconditioner, JacobiPreconditioner, Preconditioner,
@@ -80,17 +80,13 @@ pub struct SolveResult {
     pub stats: SolveStats,
 }
 
-/// Compute the true relative residual `‖b - A x‖ / ‖b‖` (absolute when b = 0).
+/// Compute the true relative residual `‖b - A x‖ / ‖b‖`, with the zero-rhs
+/// semantics of [`relative_residual_norm`] (0 for a zero residual, infinite
+/// otherwise).
 pub fn true_relative_residual(a: &CsrMatrix, x: &[f64], b: &[f64]) -> f64 {
     let mut r = vec![0.0; b.len()];
     a.residual_into(b, x, &mut r);
-    let bnorm = sparse::vector::norm2(b);
-    let rnorm = sparse::vector::norm2(&r);
-    if bnorm <= f64::EPSILON {
-        rnorm
-    } else {
-        rnorm / bnorm
-    }
+    relative_residual_norm(sparse::vector::norm2(&r), sparse::vector::norm2(b))
 }
 
 #[cfg(test)]

@@ -22,7 +22,7 @@
 use sparse::vector::{axpby, axpy, dot, norm2};
 use sparse::CsrMatrix;
 
-use crate::history::{ConvergenceHistory, SolveStats, StopReason};
+use crate::history::{relative_residual_norm, ConvergenceHistory, SolveStats, StopReason};
 use crate::preconditioner::Preconditioner;
 use crate::{SolveResult, SolverOptions};
 
@@ -69,7 +69,7 @@ pub fn preconditioned_conjugate_gradient(
             stats: SolveStats {
                 iterations: 0,
                 final_residual: rnorm,
-                final_relative_residual: if bnorm > 0.0 { rnorm / bnorm } else { rnorm },
+                final_relative_residual: relative_residual_norm(rnorm, bnorm),
                 stop_reason: StopReason::Converged,
                 history,
             },
@@ -144,7 +144,7 @@ pub fn preconditioned_conjugate_gradient(
         stats: SolveStats {
             iterations,
             final_residual: rnorm,
-            final_relative_residual: if bnorm > 0.0 { rnorm / bnorm } else { rnorm },
+            final_relative_residual: relative_residual_norm(rnorm, bnorm),
             stop_reason: stop,
             history,
         },

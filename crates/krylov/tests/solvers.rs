@@ -141,3 +141,97 @@ fn zero_rhs_yields_zero_solution_immediately() {
     assert!(result.stats.converged());
     assert!(result.x.iter().all(|&v| v.abs() < 1e-14));
 }
+
+/// Zero-rhs semantics regression (all four solvers): `final_relative_residual`
+/// must follow the documented convention — `0.0` for an exactly-zero final
+/// residual, `f64::INFINITY` for a nonzero one — never the silent absolute
+/// residual it used to report.
+#[test]
+fn zero_rhs_relative_residual_semantics_across_all_solvers() {
+    let a = laplacian_2d(5, 5);
+    let n = a.nrows();
+    let b = vec![0.0; n];
+    let id = IdentityPreconditioner::new(n);
+    let opts = SolverOptions::default();
+
+    // From the zero initial guess every solver converges immediately with an
+    // exactly-zero residual: the relative residual must be 0.0, not NaN and
+    // not "the absolute residual" by accident.
+    let stats = [
+        conjugate_gradient(&a, &b, None, &opts).stats,
+        preconditioned_conjugate_gradient(&a, &b, None, &id, &opts).stats,
+        bicgstab(&a, &b, None, &id, &opts).stats,
+        gmres(&a, &b, None, &id, 20, &opts).stats,
+    ];
+    for s in &stats {
+        assert!(s.converged());
+        assert_eq!(s.iterations, 0);
+        assert_eq!(s.final_residual, 0.0);
+        assert_eq!(s.final_relative_residual, 0.0, "zero residual against zero rhs is 0.0");
+    }
+
+    // From a nonzero initial guess the solvers iterate x → 0 under the
+    // absolute tolerance; whatever tiny residual remains, the reported
+    // relative residual must be 0.0 (exact) or +∞ (nonzero) — and must agree
+    // with the final absolute residual, not shadow it.
+    let x0: Vec<f64> = (0..n).map(|i| ((i % 7) as f64) * 0.25 - 0.75).collect();
+    let stats = [
+        conjugate_gradient(&a, &b, Some(&x0), &opts).stats,
+        preconditioned_conjugate_gradient(&a, &b, Some(&x0), &id, &opts).stats,
+        bicgstab(&a, &b, Some(&x0), &id, &opts).stats,
+        gmres(&a, &b, Some(&x0), &id, 25, &opts).stats,
+    ];
+    for s in &stats {
+        assert!(s.converged(), "zero-rhs solve from nonzero guess must converge: {:?}", s);
+        assert!(s.final_residual <= opts.abs_tolerance);
+        if s.final_residual == 0.0 {
+            assert_eq!(s.final_relative_residual, 0.0);
+        } else {
+            assert!(
+                s.final_relative_residual.is_infinite(),
+                "nonzero residual against zero rhs must report infinity, got {}",
+                s.final_relative_residual
+            );
+        }
+    }
+
+    // The shared helper itself.
+    assert_eq!(krylov::relative_residual_norm(1e-3, 2.0), 5e-4);
+    assert_eq!(krylov::relative_residual_norm(0.0, 0.0), 0.0);
+    assert!(krylov::relative_residual_norm(1e-300, 0.0).is_infinite());
+}
+
+/// Happy breakdown: when the Krylov space becomes invariant (`h_{j+1,j} = 0`)
+/// GMRES must solve in the current subspace and exit the inner loop as
+/// `Converged` immediately — not keep orthogonalising against a zero basis
+/// vector for the rest of the restart cycle.
+#[test]
+fn gmres_happy_breakdown_exits_immediately_with_converged() {
+    // A x = b with A = I: the first Arnoldi step gives w = v0, which
+    // orthogonalises to exactly zero — a guaranteed happy breakdown at j = 0.
+    let n = 12;
+    let mut coo = CooMatrix::new(n, n);
+    for i in 0..n {
+        coo.push(i, i, 1.0).unwrap();
+    }
+    let a = coo.to_csr();
+    let b: Vec<f64> = (0..n).map(|i| (i as f64) - 4.5).collect();
+    let id = IdentityPreconditioner::new(n);
+    let result = gmres(&a, &b, None, &id, 10, &SolverOptions::with_tolerance(1e-12));
+    assert!(result.stats.converged());
+    assert_eq!(result.stats.iterations, 1, "identity system must solve in one inner step");
+    assert!(sparse::vector::relative_error(&result.x, &b) < 1e-14);
+
+    // A matrix with exactly two distinct eigenvalues: the Krylov space is
+    // invariant after two steps, so the breakdown fires at j = 1 well before
+    // the restart length is exhausted.
+    let mut coo = CooMatrix::new(n, n);
+    for i in 0..n {
+        coo.push(i, i, if i % 2 == 0 { 2.0 } else { 5.0 }).unwrap();
+    }
+    let a2 = coo.to_csr();
+    let result = gmres(&a2, &b, None, &id, 10, &SolverOptions::with_tolerance(1e-12));
+    assert!(result.stats.converged());
+    assert_eq!(result.stats.iterations, 2, "two-eigenvalue system must solve in two inner steps");
+    assert!(krylov::true_relative_residual(&a2, &result.x, &b) < 1e-13);
+}

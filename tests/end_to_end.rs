@@ -238,3 +238,53 @@ fn small_gnn_smoke_with_pretrained_model() {
     .expect("DDM-GNN solve");
     assert!(outcome.stats.converged());
 }
+
+/// The f32 inference engine inside the preconditioner: on a fresh ~1800-node
+/// problem the single-precision hybrid solver must converge with an iteration
+/// count within +10% of the f64 baseline (the acceptance bound of the f32
+/// mode — the flexible outer PCG absorbs the single-precision perturbation),
+/// and its solution must agree with the f64 one to well below the solver
+/// tolerance.
+#[test]
+#[cfg_attr(
+    debug_assertions,
+    ignore = "heavy end-to-end test: opt in with `cargo test --release -- --include-ignored`"
+)]
+fn f32_preconditioner_iteration_count_within_ten_percent_of_f64() {
+    let model = Arc::new(
+        ddm_gnn::load_pretrained()
+            .unwrap_or_else(|| ddm_gnn::train_model(&ddm_gnn::PipelineConfig::default()).model),
+    );
+    let problem = ddm_gnn::generate_problem(991, 1800);
+    let subdomains = partition_mesh_with_overlap(&problem.mesh, 200, 2, 0);
+    let opts = SolverOptions::with_tolerance(1e-6).max_iterations(20_000);
+    let o64 = ddm_gnn::solve_ddm_gnn_with_precision(
+        &problem,
+        subdomains.clone(),
+        Arc::clone(&model),
+        true,
+        ddm_gnn::Precision::F64,
+        &opts,
+    )
+    .expect("f64 DDM-GNN solve");
+    let o32 = ddm_gnn::solve_ddm_gnn_with_precision(
+        &problem,
+        subdomains,
+        Arc::clone(&model),
+        true,
+        ddm_gnn::Precision::F32,
+        &opts,
+    )
+    .expect("f32 DDM-GNN solve");
+    assert!(o64.stats.converged() && o32.stats.converged());
+    let cap = o64.stats.iterations + o64.stats.iterations.div_ceil(10);
+    assert!(
+        o32.stats.iterations <= cap,
+        "f32 preconditioner took {} iterations vs f64 {} (+10% cap {})",
+        o32.stats.iterations,
+        o64.stats.iterations,
+        cap
+    );
+    assert!(krylov::true_relative_residual(&problem.matrix, &o32.x, &problem.rhs) < 1e-5);
+    assert!(sparse::vector::relative_error(&o32.x, &o64.x) < 1e-4);
+}
