@@ -19,9 +19,10 @@
 //! [`DdmGnnPreconditioner::apply_timed`] over whole preconditioner
 //! applications.  Every GNN measurement (apply kernel, per-layer stages,
 //! plan memory, e2e solve) runs once per inference precision — the f64
-//! engine and the f32/SIMD engine — and the rows are tagged
-//! `precision=f64|f32`; the per-layer report closes with the per-problem
-//! f32-vs-f64 apply speedup.
+//! engine, the f32/SIMD engine and the quantised int8/bf16 engine — and the
+//! rows are tagged `precision=f64|f32|int8`; the per-layer report closes
+//! with the per-problem f32-vs-f64 and int8-vs-f32 apply speedups and the
+//! int8-vs-f32 plan-memory ratios.
 //!
 //! Usage:
 //!   cargo run --release -p bench --bin perf_suite
@@ -30,7 +31,7 @@
 //!   PERF_SUITE_SIZES     comma-separated target node counts
 //!                        (default "3000,9000,24000")
 //!   PERF_SUITE_PRECISIONS comma-separated GNN inference precisions
-//!                        (default "f64,f32")
+//!                        (default "f64,f32,int8")
 //!   PERF_SUITE_OUT       output path (default "BENCH_parallel.json")
 //!   PERF_SUITE_GNN_OUT   per-layer report path (default "BENCH_gnn_inference.json")
 //!   PERF_SUITE_SMOKE     when set: tiny problem, two thread counts, short
@@ -55,7 +56,7 @@ fn smoke_mode() -> bool {
 }
 
 /// GNN inference precisions to measure (`PERF_SUITE_PRECISIONS`, default
-/// both).
+/// all three).
 fn precision_list() -> Vec<Precision> {
     std::env::var("PERF_SUITE_PRECISIONS")
         .ok()
@@ -65,7 +66,7 @@ fn precision_list() -> Vec<Precision> {
                 .collect::<Vec<Precision>>()
         })
         .filter(|v| !v.is_empty())
-        .unwrap_or_else(|| vec![Precision::F64, Precision::F32])
+        .unwrap_or_else(|| vec![Precision::F64, Precision::F32, Precision::Int8])
 }
 
 fn main() {
@@ -241,6 +242,7 @@ fn child() {
                 let solver_name = match precision {
                     Precision::F64 => "pcg-ddm-gnn-2level",
                     Precision::F32 => "pcg-ddm-gnn-2level-f32",
+                    Precision::Int8 => "pcg-ddm-gnn-2level-int8",
                 };
                 e2e(solver_name, &precond);
             }
@@ -361,6 +363,7 @@ fn parent() {
             ("pcg-ddm-lu-2level", speedup("pcg-ddm-lu-2level")),
             ("pcg-ddm-gnn-2level", speedup("pcg-ddm-gnn-2level")),
             ("pcg-ddm-gnn-2level-f32", speedup("pcg-ddm-gnn-2level-f32")),
+            ("pcg-ddm-gnn-2level-int8", speedup("pcg-ddm-gnn-2level-int8")),
         ],
     );
     std::fs::write(&out_path, json).expect("cannot write benchmark report");
@@ -376,8 +379,9 @@ fn parent() {
 /// Render the per-layer GNN inference report.  Stage timings come from
 /// sequential `apply_timed` runs, so they are thread-count independent; the
 /// records of the lowest measured thread count are kept.  Every row carries
-/// a `precision` tag (`"f64"` / `"f32"`), and the report closes with the
-/// per-problem f32-vs-f64 `gnn_apply` speedup.
+/// a `precision` tag (`"f64"` / `"f32"` / `"int8"`), and the report closes
+/// with the per-problem f32-vs-f64 and int8-vs-f32 `gnn_apply` speedups and
+/// the int8-vs-f32 plan-memory ratios.
 fn render_gnn_inference_json(thread_counts: &[usize], records: &[Record]) -> String {
     let base_threads = thread_counts.iter().min().copied().unwrap_or(1).to_string();
     let precision_of = |rec: &Record| -> String {
@@ -455,27 +459,66 @@ fn render_gnn_inference_json(thread_counts: &[usize], records: &[Record]) -> Str
         );
     }
     let _ = writeln!(s, "  ],");
-    // Per-problem f32 speedup over f64 on the apply kernel (median / median).
+    // Per-problem apply-kernel speedups between precision pairs
+    // (median / median).
     let mut medians: BTreeMap<(String, String), (String, u64)> = BTreeMap::new();
     for rec in &apply_recs {
         if let Ok(ns) = rec["median_ns"].parse::<u64>() {
             medians.insert((rec["idx"].clone(), precision_of(rec)), (rec["n"].clone(), ns));
         }
     }
-    let speedup_rows: Vec<(String, String, f64)> = medians
+    let speedup_rows = |base: &str, fast: &str| -> Vec<(String, String, f64)> {
+        medians
+            .iter()
+            .filter(|((_, p), _)| p == base)
+            .filter_map(|((idx, _), (n, ns_base))| {
+                let (_, ns_fast) = medians.get(&(idx.clone(), fast.to_string()))?;
+                (*ns_fast > 0).then(|| (idx.clone(), n.clone(), *ns_base as f64 / *ns_fast as f64))
+            })
+            .collect()
+    };
+    let write_ratio_section =
+        |s: &mut String, key: &str, field: &str, rows: &[(String, String, f64)], last: bool| {
+            let _ = writeln!(s, "  \"{key}\": [");
+            for (i, (idx, n, ratio)) in rows.iter().enumerate() {
+                let comma = if i + 1 < rows.len() { "," } else { "" };
+                let _ = writeln!(
+                    s,
+                    "    {{ \"idx\": {idx}, \"n\": {n}, \"{field}\": {ratio:.3} }}{comma}"
+                );
+            }
+            let _ = writeln!(s, "  ]{}", if last { "" } else { "," });
+        };
+    write_ratio_section(
+        &mut s,
+        "gnn_apply_speedup_f32_vs_f64",
+        "speedup",
+        &speedup_rows("f64", "f32"),
+        false,
+    );
+    write_ratio_section(
+        &mut s,
+        "gnn_apply_speedup_q_vs_f32",
+        "speedup",
+        &speedup_rows("f32", "int8"),
+        false,
+    );
+    // Per-problem plan-memory ratio of the quantised plans vs the f32 plans.
+    let mut plan_bytes: BTreeMap<(String, String), (String, u64)> = BTreeMap::new();
+    for rec in &plan_recs {
+        if let Ok(b) = rec["plan_bytes"].parse::<u64>() {
+            plan_bytes.insert((rec["idx"].clone(), precision_of(rec)), (rec["n"].clone(), b));
+        }
+    }
+    let memory_rows: Vec<(String, String, f64)> = plan_bytes
         .iter()
-        .filter(|((_, p), _)| p == "f64")
-        .filter_map(|((idx, _), (n, ns64))| {
-            let (_, ns32) = medians.get(&(idx.clone(), "f32".to_string()))?;
-            (*ns32 > 0).then(|| (idx.clone(), n.clone(), *ns64 as f64 / *ns32 as f64))
+        .filter(|((_, p), _)| p == "f32")
+        .filter_map(|((idx, _), (n, b32))| {
+            let (_, bq) = plan_bytes.get(&(idx.clone(), "int8".to_string()))?;
+            (*b32 > 0).then(|| (idx.clone(), n.clone(), *bq as f64 / *b32 as f64))
         })
         .collect();
-    let _ = writeln!(s, "  \"gnn_apply_speedup_f32_vs_f64\": [");
-    for (i, (idx, n, ratio)) in speedup_rows.iter().enumerate() {
-        let comma = if i + 1 < speedup_rows.len() { "," } else { "" };
-        let _ = writeln!(s, "    {{ \"idx\": {idx}, \"n\": {n}, \"speedup\": {ratio:.3} }}{comma}");
-    }
-    let _ = writeln!(s, "  ]");
+    write_ratio_section(&mut s, "plan_memory_ratio_q_vs_f32", "ratio", &memory_rows, true);
     let _ = writeln!(s, "}}");
     s
 }

@@ -14,8 +14,8 @@
 use ddm::{Decomposition, NicolaidesCoarseSpace, Restriction};
 use fem::PoissonProblem;
 use gnn::{
-    dataset::build_local_graphs, DssModel, InferScratch, InferScratchF32, InferencePlan,
-    InferencePlanF32, InferenceTimings, LocalGraph, Precision,
+    dataset::build_local_graphs, DssModel, InferScratch, InferScratchF32, InferScratchQ,
+    InferencePlan, InferencePlanF32, InferencePlanQ, InferenceTimings, LocalGraph, Precision,
 };
 use krylov::Preconditioner;
 use rayon::prelude::*;
@@ -25,14 +25,15 @@ use std::sync::{Arc, Mutex};
 /// Reusable per-sub-domain buffers for one preconditioner application: the
 /// restricted (then normalised in place) residual, the DSS output, the norm
 /// used to undo the normalisation at gluing time, and the full GNN inference
-/// scratch (f64 and f32 — only the active precision's buffers ever grow).
-/// Pre-sizing these makes `apply` allocation-free per iteration.
+/// scratch (f64, f32 and quantised — only the active precision's buffers
+/// ever grow).  Pre-sizing these makes `apply` allocation-free per iteration.
 struct SubdomainScratch {
     local_r: Vec<f64>,
     correction: Vec<f64>,
     norm: f64,
     infer: InferScratch,
     infer32: InferScratchF32,
+    inferq: InferScratchQ,
 }
 
 impl SubdomainScratch {
@@ -43,6 +44,7 @@ impl SubdomainScratch {
             norm: 0.0,
             infer: InferScratch::new(),
             infer32: InferScratchF32::new(),
+            inferq: InferScratchQ::new(),
         })
     }
 }
@@ -51,6 +53,7 @@ impl SubdomainScratch {
 enum PlanSet {
     F64(Vec<InferencePlan>),
     F32(Vec<InferencePlanF32>),
+    Int8(Vec<InferencePlanQ>),
 }
 
 /// The multi-level GNN preconditioner.
@@ -97,6 +100,13 @@ impl DdmGnnPreconditioner {
     /// step.  Because the preconditioner only feeds a *flexible* outer
     /// Krylov method, the ~1e-6 relative perturbation cannot break
     /// convergence — it typically leaves iteration counts unchanged.
+    ///
+    /// `Precision::Int8` goes one step further: the weights are quantised
+    /// **once at setup** from the f64 model (int8 with per-output f32
+    /// scales) and the static edge/bias streams are stored bf16, with every
+    /// accumulation still in f32.  The residual conversion and the gluing
+    /// are identical to the f32 mode; the quantised plan needs roughly half
+    /// the f32 plan's memory.
     pub fn with_precision(
         problem: &PoissonProblem,
         subdomains: Vec<Vec<usize>>,
@@ -164,6 +174,9 @@ impl DdmGnnPreconditioner {
             Precision::F32 => {
                 PlanSet::F32(graphs.iter().map(|g| model.build_plan_f32(g)).collect())
             }
+            Precision::Int8 => {
+                PlanSet::Int8(graphs.iter().map(|g| model.build_plan_q(g)).collect())
+            }
         };
         Ok(DdmGnnPreconditioner {
             restrictions: decomposition.restrictions,
@@ -202,6 +215,7 @@ impl DdmGnnPreconditioner {
         match &self.plans {
             PlanSet::F64(_) => Precision::F64,
             PlanSet::F32(_) => Precision::F32,
+            PlanSet::Int8(_) => Precision::Int8,
         }
     }
 
@@ -210,6 +224,7 @@ impl DdmGnnPreconditioner {
         match &self.plans {
             PlanSet::F64(plans) => plans.iter().map(InferencePlan::memory_bytes).sum(),
             PlanSet::F32(plans) => plans.iter().map(InferencePlanF32::memory_bytes).sum(),
+            PlanSet::Int8(plans) => plans.iter().map(InferencePlanQ::memory_bytes).sum(),
         }
     }
 
@@ -217,7 +232,7 @@ impl DdmGnnPreconditioner {
     /// optionally accumulating per-stage timings.
     fn solve_local(&self, i: usize, r: &[f64], timings: Option<&mut InferenceTimings>) {
         let mut guard = self.scratch[i].lock().unwrap();
-        let SubdomainScratch { local_r, correction, norm, infer, infer32 } = &mut *guard;
+        let SubdomainScratch { local_r, correction, norm, infer, infer32, inferq } = &mut *guard;
         self.restrictions[i].restrict_into(r, local_r);
         *norm = sparse::vector::norm2(local_r);
         if *norm <= f64::MIN_POSITIVE {
@@ -239,6 +254,12 @@ impl DdmGnnPreconditioner {
             }
             (PlanSet::F32(plans), None) => {
                 self.model.infer_with_plan_f32_into(&plans[i], local_r, infer32, correction)
+            }
+            (PlanSet::Int8(plans), Some(t)) => {
+                self.model.infer_with_plan_q_timed(&plans[i], local_r, inferq, correction, t)
+            }
+            (PlanSet::Int8(plans), None) => {
+                self.model.infer_with_plan_q_into(&plans[i], local_r, inferq, correction)
             }
         }
     }
@@ -303,6 +324,8 @@ impl Preconditioner for DdmGnnPreconditioner {
             (false, Precision::F64) => "ddm-gnn-1level",
             (true, Precision::F32) => "ddm-gnn-2level-f32",
             (false, Precision::F32) => "ddm-gnn-1level-f32",
+            (true, Precision::Int8) => "ddm-gnn-2level-int8",
+            (false, Precision::Int8) => "ddm-gnn-1level-int8",
         }
     }
 }
@@ -460,6 +483,115 @@ mod tests {
         let mut z = vec![1.0; r.len()];
         p32.apply(&r, &mut z);
         assert!(z.iter().all(|&v| v == 0.0), "zero residual must give zero correction");
+    }
+
+    #[test]
+    fn int8_precision_metadata_and_closeness_to_f64() {
+        let fx = fixture();
+        let p64 = DdmGnnPreconditioner::new(
+            &fx.problem,
+            fx.subdomains.clone(),
+            Arc::new(fx.model.clone()),
+            true,
+        )
+        .unwrap();
+        let p32 = DdmGnnPreconditioner::with_precision(
+            &fx.problem,
+            fx.subdomains.clone(),
+            Arc::new(fx.model.clone()),
+            true,
+            gnn::Precision::F32,
+        )
+        .unwrap();
+        let pq = DdmGnnPreconditioner::with_precision(
+            &fx.problem,
+            fx.subdomains.clone(),
+            Arc::new(fx.model.clone()),
+            true,
+            gnn::Precision::Int8,
+        )
+        .unwrap();
+        assert_eq!(pq.precision(), gnn::Precision::Int8);
+        assert_eq!(pq.name(), "ddm-gnn-2level-int8");
+        assert!(
+            pq.plan_memory_bytes() < p32.plan_memory_bytes(),
+            "int8 plans must use less memory than f32: {} vs {}",
+            pq.plan_memory_bytes(),
+            p32.plan_memory_bytes()
+        );
+        let r = fx.problem.rhs.clone();
+        let mut z64 = vec![0.0; r.len()];
+        let mut zq = vec![0.0; r.len()];
+        p64.apply(&r, &mut z64);
+        pq.apply(&r, &mut zq);
+        // Same operator up to the quantisation error of the local solves.
+        let scale = sparse::vector::norm2(&z64).max(1.0);
+        let mut diff = 0.0f64;
+        for (a, b) in zq.iter().zip(z64.iter()) {
+            diff = diff.max((a - b).abs());
+        }
+        assert!(diff / scale < 5e-2, "int8 apply deviates too much: {}", diff / scale);
+        assert!(sparse::vector::dot(&zq, &r) > 0.0, "int8 preconditioner must stay positive");
+        // Timed apply matches the parallel apply bit-for-bit in int8 mode too.
+        let mut zq_timed = vec![0.0; r.len()];
+        let mut timings = gnn::InferenceTimings::default();
+        pq.apply_timed(&r, &mut zq_timed, &mut timings);
+        assert_eq!(zq, zq_timed);
+        assert_eq!(timings.calls as usize, pq.num_subdomains());
+    }
+
+    #[test]
+    fn int8_one_level_name_and_zero_residual() {
+        let fx = fixture();
+        let pq = DdmGnnPreconditioner::with_precision(
+            &fx.problem,
+            fx.subdomains.clone(),
+            Arc::new(fx.model.clone()),
+            false,
+            gnn::Precision::Int8,
+        )
+        .unwrap();
+        assert_eq!(pq.name(), "ddm-gnn-1level-int8");
+        let r = vec![0.0; fx.problem.num_unknowns()];
+        let mut z = vec![1.0; r.len()];
+        pq.apply(&r, &mut z);
+        assert!(z.iter().all(|&v| v == 0.0), "zero residual must give zero correction");
+    }
+
+    #[test]
+    fn pcg_with_int8_ddm_gnn_converges_like_f64() {
+        let fx = fixture();
+        let opts = SolverOptions::with_tolerance(1e-6).max_iterations(500);
+        let solve = |precision| {
+            let precond = DdmGnnPreconditioner::with_precision(
+                &fx.problem,
+                fx.subdomains.clone(),
+                Arc::new(fx.model.clone()),
+                true,
+                precision,
+            )
+            .unwrap();
+            preconditioned_conjugate_gradient(
+                &fx.problem.matrix,
+                &fx.problem.rhs,
+                None,
+                &precond,
+                &opts,
+            )
+        };
+        let r64 = solve(gnn::Precision::F64);
+        let rq = solve(gnn::Precision::Int8);
+        assert!(r64.stats.converged() && rq.stats.converged());
+        assert!(krylov::true_relative_residual(&fx.problem.matrix, &rq.x, &fx.problem.rhs) < 1e-5);
+        // The flexible outer Krylov method absorbs the quantisation
+        // perturbation: iteration counts stay within +15% of f64.
+        let cap = r64.stats.iterations + (15 * r64.stats.iterations).div_ceil(100);
+        assert!(
+            rq.stats.iterations <= cap,
+            "int8 iterations {} exceed f64 {} + 15%",
+            rq.stats.iterations,
+            r64.stats.iterations
+        );
     }
 
     #[test]

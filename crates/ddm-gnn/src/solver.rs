@@ -182,7 +182,8 @@ pub fn solve_ddm_gnn(
 }
 
 /// [`solve_ddm_gnn`] with an explicit inference precision for the local DSS
-/// solves (`Precision::F32` runs the single-precision SIMD engine).
+/// solves (`Precision::F32` runs the single-precision SIMD engine,
+/// `Precision::Int8` the quantised int8-weight / bf16-stream engine).
 pub fn solve_ddm_gnn_with_precision(
     problem: &PoissonProblem,
     subdomains: Vec<Vec<usize>>,
@@ -227,8 +228,10 @@ pub struct HybridSolverConfig {
     /// Seed for the partitioner.
     pub partition_seed: u64,
     /// Scalar precision of the DSS inference inside the preconditioner
-    /// (`Precision::F32` opts into the single-precision SIMD engine; the
-    /// flexible outer PCG keeps its convergence guarantee either way).
+    /// (`Precision::F32` opts into the single-precision SIMD engine,
+    /// `Precision::Int8` into the quantised int8/bf16 engine — weights are
+    /// quantised once at setup from the f64 model; the flexible outer PCG
+    /// keeps its convergence guarantee in every mode).
     pub precision: Precision,
 }
 
@@ -391,6 +394,33 @@ mod tests {
             o32.stats.iterations <= cap,
             "f32 iterations {} exceed f64 {} + 10%",
             o32.stats.iterations,
+            o64.stats.iterations
+        );
+    }
+
+    #[test]
+    fn hybrid_solver_int8_precision_converges() {
+        let fx = fixture();
+        let base = HybridSolverConfig {
+            subdomain_size: 250,
+            overlap: 2,
+            tolerance: 1e-6,
+            ..Default::default()
+        };
+        let f64_solver = HybridSolver::new(fx.model.clone(), base.clone());
+        let q_solver = HybridSolver::new(
+            fx.model.clone(),
+            HybridSolverConfig { precision: Precision::Int8, ..base },
+        );
+        let o64 = f64_solver.solve(&fx.problem).unwrap();
+        let oq = q_solver.solve(&fx.problem).unwrap();
+        assert!(o64.stats.converged() && oq.stats.converged());
+        assert!(sparse::vector::relative_error(&oq.x, &o64.x) < 1e-4);
+        let cap = o64.stats.iterations + (15 * o64.stats.iterations).div_ceil(100);
+        assert!(
+            oq.stats.iterations <= cap,
+            "int8 iterations {} exceed f64 {} + 15%",
+            oq.stats.iterations,
             o64.stats.iterations
         );
     }

@@ -413,6 +413,301 @@ fn gemm_t_core_f32<const ACC: bool>(
     }
 }
 
+// ---------------------------------------------------------------------------
+// Quantised kernels (the int8-weight / bf16-stream inference engine)
+// ---------------------------------------------------------------------------
+//
+// The quantised path stores weight matrices as **int8 with one f32 scale per
+// output** (per-output-row of the original `out × in` weight, i.e. per column
+// of the transposed layout the kernels consume) and the large precomputed
+// streams as **bf16** (the top 16 bits of an f32, rounded to nearest-even).
+// Activations stay f32 and every dot product accumulates in an f32 register:
+// the kernels widen each int8 weight lane to f32, accumulate `x_i · q[i][k]`
+// in ascending `i` order exactly like the f32 kernels, and apply the output's
+// scale once at the end — so per-output results are `scale[o] · Σᵢ xᵢ q[i][o]`
+// plus the initial value, deterministic across batch sizes and tile shapes.
+//
+// bf16 is encoded by hand (no external crates): a `u16` holding the sign,
+// the 8 exponent bits and the top 7 mantissa bits of the f32 it was rounded
+// from.  Decoding is a 16-bit shift — essentially free next to the memory
+// traffic it halves.
+
+/// Convert an `f32` to bf16 (`u16`) by truncation with round-to-nearest-even.
+#[inline(always)]
+pub fn f32_to_bf16(x: f32) -> u16 {
+    let bits = x.to_bits();
+    if x.is_nan() {
+        // Keep NaNs NaN: truncation alone could zero the payload bits and
+        // produce an infinity pattern.
+        return ((bits >> 16) as u16) | 0x0040;
+    }
+    let round = ((bits >> 16) & 1) + 0x7fff;
+    (bits.wrapping_add(round) >> 16) as u16
+}
+
+/// Decode a bf16 value (see [`f32_to_bf16`]) back to `f32`.
+#[inline(always)]
+pub fn bf16_to_f32(b: u16) -> f32 {
+    f32::from_bits((b as u32) << 16)
+}
+
+/// Gather a bf16 row into an f32 buffer (`dst[k] = decode(src[k])`).
+#[inline(always)]
+pub fn gather_bf16(src: &[u16], dst: &mut [f32]) {
+    for (d, &s) in dst.iter_mut().zip(src.iter()) {
+        *d = bf16_to_f32(s);
+    }
+}
+
+/// Store an f32 row as bf16 (`dst[k] = encode(src[k])`).
+#[inline(always)]
+pub fn store_bf16(src: &[f32], dst: &mut [u16]) {
+    for (d, &s) in dst.iter_mut().zip(src.iter()) {
+        *d = f32_to_bf16(s);
+    }
+}
+
+/// Activation element of the quantised kernels: `f32`, or `u16` holding a
+/// packed bf16 value (the stored per-node hidden sums).  Widening a packed
+/// value is a 16-bit shift, amortised across all output lanes of a tile.
+pub trait QuantActivation: Copy {
+    /// Widen the stored element to f32.
+    fn widen(self) -> f32;
+}
+
+impl QuantActivation for f32 {
+    #[inline(always)]
+    fn widen(self) -> f32 {
+        self
+    }
+}
+
+impl QuantActivation for u16 {
+    #[inline(always)]
+    fn widen(self) -> f32 {
+        bf16_to_f32(self)
+    }
+}
+
+/// `Y = (X Qᵀ) ∘ scale` with a transposed (`in_dim × out_dim`) int8 weight
+/// and one f32 scale per output (outputs start from zero).  `wbuf` is a
+/// caller-owned scratch the widened weight panel lives in for the duration
+/// of the call (sized lazily, reused across calls — the quantised inference
+/// path keeps one in its scratch so the hot loop never allocates).
+#[allow(clippy::too_many_arguments)]
+pub fn gemm_t_into_i8(
+    x: &[f32],
+    n: usize,
+    in_dim: usize,
+    out_dim: usize,
+    wq: &[i8],
+    scale: &[f32],
+    wbuf: &mut Vec<f32>,
+    y: &mut [f32],
+) {
+    gemm_t_core_i8::<f32, false>(x, n, in_dim, out_dim, wq, scale, wbuf, y);
+}
+
+/// `Y += (X Qᵀ) ∘ scale` with a transposed int8 weight (accumulates onto `Y`).
+#[allow(clippy::too_many_arguments)]
+pub fn gemm_t_acc_into_i8(
+    x: &[f32],
+    n: usize,
+    in_dim: usize,
+    out_dim: usize,
+    wq: &[i8],
+    scale: &[f32],
+    wbuf: &mut Vec<f32>,
+    y: &mut [f32],
+) {
+    gemm_t_core_i8::<f32, true>(x, n, in_dim, out_dim, wq, scale, wbuf, y);
+}
+
+/// [`gemm_t_acc_into_i8`] with **bf16 activations**: `x` is a row-major bf16
+/// batch (e.g. the stored per-node hidden sums), decoded scalar-by-scalar on
+/// load — each decoded value is reused across all output lanes of the tile,
+/// so the convert cost is amortised 8-fold while the read traffic is halved.
+#[allow(clippy::too_many_arguments)]
+pub fn gemm_t_acc_into_i8_bf16(
+    x: &[u16],
+    n: usize,
+    in_dim: usize,
+    out_dim: usize,
+    wq: &[i8],
+    scale: &[f32],
+    wbuf: &mut Vec<f32>,
+    y: &mut [f32],
+) {
+    gemm_t_core_i8::<u16, true>(x, n, in_dim, out_dim, wq, scale, wbuf, y);
+}
+
+/// Rows per int8 register panel.
+const MRQ: usize = 4;
+
+/// Shared int8 kernel.  The quantised weight is **widened once per call**
+/// into `wbuf` (`in_dim × out_dim` f32 values — a few hundred elements that
+/// stay L1-resident, amortised over the whole `n`-row batch), then the f32
+/// core's 4-row panel of 8-lane column tiles sweeps the batch at full f32
+/// speed; the per-output scale is applied once after each sweep, so every
+/// output is `base + scale[o] · Σᵢ xᵢ q[i][o]` with the usual ascending-`i`
+/// accumulation order.  `ACC = true` reads `base` from `y`, else zero.
+#[allow(clippy::too_many_arguments)]
+fn gemm_t_core_i8<E: QuantActivation, const ACC: bool>(
+    x: &[E],
+    n: usize,
+    in_dim: usize,
+    out_dim: usize,
+    wq: &[i8],
+    scale: &[f32],
+    wbuf: &mut Vec<f32>,
+    y: &mut [f32],
+) {
+    debug_assert_eq!(x.len(), n * in_dim);
+    debug_assert_eq!(wq.len(), in_dim * out_dim);
+    debug_assert_eq!(scale.len(), out_dim);
+    debug_assert_eq!(y.len(), n * out_dim);
+
+    // Widen the int8 weight to f32 once; the panels below read only `wt`.
+    wbuf.clear();
+    wbuf.extend(wq.iter().map(|&q| q as f32));
+    let wt: &[f32] = wbuf;
+
+    let mr_end = n - n % MRQ;
+    let nr_end = out_dim - out_dim % F32_LANES;
+    let mut r = 0;
+    while r < mr_end {
+        // Row slices of exactly `in_dim` elements let the bounds checks hoist
+        // out of the inner loop (same trick as the f32 core).
+        let x0 = &x[r * in_dim..][..in_dim];
+        let x1 = &x[(r + 1) * in_dim..][..in_dim];
+        let x2 = &x[(r + 2) * in_dim..][..in_dim];
+        let x3 = &x[(r + 3) * in_dim..][..in_dim];
+        let mut o = 0;
+        while o < nr_end {
+            let mut a0 = [0.0f32; F32_LANES];
+            let mut a1 = [0.0f32; F32_LANES];
+            let mut a2 = [0.0f32; F32_LANES];
+            let mut a3 = [0.0f32; F32_LANES];
+            for i in 0..in_dim {
+                let w: &[f32; F32_LANES] = wt[i * out_dim + o..][..F32_LANES].try_into().unwrap();
+                let (s0, s1, s2, s3) = (x0[i].widen(), x1[i].widen(), x2[i].widen(), x3[i].widen());
+                for k in 0..F32_LANES {
+                    a0[k] += s0 * w[k];
+                    a1[k] += s1 * w[k];
+                    a2[k] += s2 * w[k];
+                    a3[k] += s3 * w[k];
+                }
+            }
+            let sc: &[f32; F32_LANES] = scale[o..o + F32_LANES].try_into().unwrap();
+            let y0: &mut [f32; F32_LANES] =
+                (&mut y[r * out_dim + o..][..F32_LANES]).try_into().unwrap();
+            for k in 0..F32_LANES {
+                let b = if ACC { y0[k] } else { 0.0 };
+                y0[k] = b + a0[k] * sc[k];
+            }
+            let y1: &mut [f32; F32_LANES] =
+                (&mut y[(r + 1) * out_dim + o..][..F32_LANES]).try_into().unwrap();
+            for k in 0..F32_LANES {
+                let b = if ACC { y1[k] } else { 0.0 };
+                y1[k] = b + a1[k] * sc[k];
+            }
+            let y2: &mut [f32; F32_LANES] =
+                (&mut y[(r + 2) * out_dim + o..][..F32_LANES]).try_into().unwrap();
+            for k in 0..F32_LANES {
+                let b = if ACC { y2[k] } else { 0.0 };
+                y2[k] = b + a2[k] * sc[k];
+            }
+            let y3: &mut [f32; F32_LANES] =
+                (&mut y[(r + 3) * out_dim + o..][..F32_LANES]).try_into().unwrap();
+            for k in 0..F32_LANES {
+                let b = if ACC { y3[k] } else { 0.0 };
+                y3[k] = b + a3[k] * sc[k];
+            }
+            o += F32_LANES;
+        }
+        // Half-width (4-lane) column tile for mid-size remainders (e.g. the
+        // direction-fused `2d = 20` rows: 2×8 full tiles + one 4-lane tile),
+        // mirroring the f32 core.
+        while o + F32_LANES / 2 <= out_dim {
+            const H: usize = F32_LANES / 2;
+            let mut a0 = [0.0f32; H];
+            let mut a1 = [0.0f32; H];
+            let mut a2 = [0.0f32; H];
+            let mut a3 = [0.0f32; H];
+            for i in 0..in_dim {
+                let w: &[f32; H] = wt[i * out_dim + o..][..H].try_into().unwrap();
+                let (s0, s1, s2, s3) = (x0[i].widen(), x1[i].widen(), x2[i].widen(), x3[i].widen());
+                for k in 0..H {
+                    a0[k] += s0 * w[k];
+                    a1[k] += s1 * w[k];
+                    a2[k] += s2 * w[k];
+                    a3[k] += s3 * w[k];
+                }
+            }
+            let sc: &[f32; H] = scale[o..o + H].try_into().unwrap();
+            let y0: &mut [f32; H] = (&mut y[r * out_dim + o..][..H]).try_into().unwrap();
+            for k in 0..H {
+                let b = if ACC { y0[k] } else { 0.0 };
+                y0[k] = b + a0[k] * sc[k];
+            }
+            let y1: &mut [f32; H] = (&mut y[(r + 1) * out_dim + o..][..H]).try_into().unwrap();
+            for k in 0..H {
+                let b = if ACC { y1[k] } else { 0.0 };
+                y1[k] = b + a1[k] * sc[k];
+            }
+            let y2: &mut [f32; H] = (&mut y[(r + 2) * out_dim + o..][..H]).try_into().unwrap();
+            for k in 0..H {
+                let b = if ACC { y2[k] } else { 0.0 };
+                y2[k] = b + a2[k] * sc[k];
+            }
+            let y3: &mut [f32; H] = (&mut y[(r + 3) * out_dim + o..][..H]).try_into().unwrap();
+            for k in 0..H {
+                let b = if ACC { y3[k] } else { 0.0 };
+                y3[k] = b + a3[k] * sc[k];
+            }
+            o += H;
+        }
+        // Remainder outputs: one column across the 4-row panel.
+        while o < out_dim {
+            let mut a0 = 0.0f32;
+            let mut a1 = 0.0f32;
+            let mut a2 = 0.0f32;
+            let mut a3 = 0.0f32;
+            for i in 0..in_dim {
+                let q = wt[i * out_dim + o];
+                a0 += q * x0[i].widen();
+                a1 += q * x1[i].widen();
+                a2 += q * x2[i].widen();
+                a3 += q * x3[i].widen();
+            }
+            let s = scale[o];
+            let b0 = if ACC { y[r * out_dim + o] } else { 0.0 };
+            let b1 = if ACC { y[(r + 1) * out_dim + o] } else { 0.0 };
+            let b2 = if ACC { y[(r + 2) * out_dim + o] } else { 0.0 };
+            let b3 = if ACC { y[(r + 3) * out_dim + o] } else { 0.0 };
+            y[r * out_dim + o] = b0 + a0 * s;
+            y[(r + 1) * out_dim + o] = b1 + a1 * s;
+            y[(r + 2) * out_dim + o] = b2 + a2 * s;
+            y[(r + 3) * out_dim + o] = b3 + a3 * s;
+            o += 1;
+        }
+        r += MRQ;
+    }
+    // Remainder rows: per-row sweep (same accumulation order).
+    while r < n {
+        let xr = &x[r * in_dim..][..in_dim];
+        for o in 0..out_dim {
+            let mut acc = 0.0f32;
+            for i in 0..in_dim {
+                acc += wt[i * out_dim + o] * xr[i].widen();
+            }
+            let b = if ACC { y[r * out_dim + o] } else { 0.0 };
+            y[r * out_dim + o] = b + acc * scale[o];
+        }
+        r += 1;
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -586,6 +881,143 @@ mod tests {
         gemm_t_bias_into_f32(&x32, n, in_dim, out_dim, &wt, &b32, &mut y32);
         for (a, b) in y32.iter().zip(y64.iter()) {
             assert!((*a as f64 - b).abs() < 1e-5, "f32 {a} vs f64 {b}");
+        }
+    }
+
+    #[test]
+    fn bf16_roundtrip_properties() {
+        // Values representable in 8 mantissa bits survive the roundtrip
+        // exactly.
+        for v in [0.0f32, -0.0, 1.0, -1.0, 0.5, 2.0, 96.0, -0.015625, 1.5] {
+            assert_eq!(bf16_to_f32(f32_to_bf16(v)), v, "exact value {v} must roundtrip");
+        }
+        // Rounding is to nearest: the roundtrip error is bounded by half a
+        // bf16 ulp (2⁻⁸ relative).
+        let mut rng = StdRng::seed_from_u64(31);
+        for _ in 0..2000 {
+            let v = rng.gen_range(-100.0..100.0) as f32;
+            let r = bf16_to_f32(f32_to_bf16(v));
+            assert!(
+                (r - v).abs() <= v.abs() * (1.0 / 256.0),
+                "bf16 roundtrip of {v} gave {r} (error too large)"
+            );
+        }
+        // Ties round to even (truncation alone would keep the odd mantissa).
+        let odd = f32::from_bits(0x3f81_8000); // mantissa …1, tie
+        assert_eq!(f32_to_bf16(odd), 0x3f82, "ties must round to even");
+        // Specials stay what they are.
+        assert_eq!(bf16_to_f32(f32_to_bf16(f32::INFINITY)), f32::INFINITY);
+        assert_eq!(bf16_to_f32(f32_to_bf16(f32::NEG_INFINITY)), f32::NEG_INFINITY);
+        assert!(bf16_to_f32(f32_to_bf16(f32::NAN)).is_nan(), "NaN must stay NaN");
+        // Overflow saturates to infinity like IEEE round-to-nearest.
+        assert_eq!(bf16_to_f32(f32_to_bf16(f32::MAX)), f32::INFINITY);
+    }
+
+    #[test]
+    fn bf16_gather_and_store_roundtrip() {
+        let src: Vec<f32> = (0..37).map(|i| (i as f32 - 18.0) * 0.37).collect();
+        let mut packed = vec![0u16; src.len()];
+        store_bf16(&src, &mut packed);
+        let mut back = vec![0.0f32; src.len()];
+        gather_bf16(&packed, &mut back);
+        for (a, b) in back.iter().zip(src.iter()) {
+            assert!((a - b).abs() <= b.abs() * (1.0 / 256.0) + 1e-9);
+        }
+    }
+
+    /// Reference for the int8 kernels: per-output scaled dot product over the
+    /// widened quantised weight, plus the initial value.
+    #[allow(clippy::too_many_arguments)]
+    fn naive_i8(
+        x: &[f32],
+        n: usize,
+        in_dim: usize,
+        out_dim: usize,
+        wq: &[i8],
+        scale: &[f32],
+        y0: &[f32],
+        acc: bool,
+    ) -> Vec<f32> {
+        let mut y = vec![0.0f32; n * out_dim];
+        for r in 0..n {
+            for o in 0..out_dim {
+                let mut a = 0.0f32;
+                for i in 0..in_dim {
+                    a += (wq[i * out_dim + o] as f32) * x[r * in_dim + i];
+                }
+                let base = if acc { y0[r * out_dim + o] } else { 0.0 };
+                y[r * out_dim + o] = base + a * scale[o];
+            }
+        }
+        y
+    }
+
+    #[test]
+    fn i8_panel_matches_naive_bit_for_bit_across_shapes() {
+        let mut rng = StdRng::seed_from_u64(53);
+        let mut wbuf = Vec::new();
+        for &n in &[0usize, 1, 3, 4, 5, 8, 9, 17] {
+            for &out_dim in &[1usize, 2, 7, 8, 9, 10, 16, 20] {
+                for &in_dim in &[0usize, 1, 3, 10, 23] {
+                    let x: Vec<f32> =
+                        (0..n * in_dim).map(|_| rng.gen_range(-2.0..2.0) as f32).collect();
+                    let wq: Vec<i8> =
+                        (0..in_dim * out_dim).map(|_| rng.gen_range(-127i32..=127) as i8).collect();
+                    let scale: Vec<f32> =
+                        (0..out_dim).map(|_| rng.gen_range(0.001..0.1) as f32).collect();
+
+                    let mut y = vec![0.0f32; n * out_dim];
+                    gemm_t_into_i8(&x, n, in_dim, out_dim, &wq, &scale, &mut wbuf, &mut y);
+                    assert_eq!(y, naive_i8(&x, n, in_dim, out_dim, &wq, &scale, &[], false));
+
+                    let y0: Vec<f32> =
+                        (0..n * out_dim).map(|_| rng.gen_range(-1.0..1.0) as f32).collect();
+                    let mut y = y0.clone();
+                    gemm_t_acc_into_i8(&x, n, in_dim, out_dim, &wq, &scale, &mut wbuf, &mut y);
+                    assert_eq!(y, naive_i8(&x, n, in_dim, out_dim, &wq, &scale, &y0, true));
+
+                    // bf16-activation variant: decode the packed input first
+                    // and the result must match the f32 kernel on the decoded
+                    // values bit-for-bit.
+                    let packed: Vec<u16> = x.iter().map(|&v| f32_to_bf16(v)).collect();
+                    let decoded: Vec<f32> = packed.iter().map(|&b| bf16_to_f32(b)).collect();
+                    let mut y = y0.clone();
+                    gemm_t_acc_into_i8_bf16(
+                        &packed, n, in_dim, out_dim, &wq, &scale, &mut wbuf, &mut y,
+                    );
+                    assert_eq!(y, naive_i8(&decoded, n, in_dim, out_dim, &wq, &scale, &y0, true));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn i8_kernel_tracks_f32_kernel_within_quantisation_error() {
+        // Quantise an f32 weight per output column and check the int8 kernel
+        // stays within the expected quantisation error of the exact product.
+        let mut rng = StdRng::seed_from_u64(61);
+        let (n, in_dim, out_dim) = (13, 10, 10);
+        let x: Vec<f32> = (0..n * in_dim).map(|_| rng.gen_range(-1.0..1.0) as f32).collect();
+        let wt: Vec<f32> = (0..in_dim * out_dim).map(|_| rng.gen_range(-1.0..1.0) as f32).collect();
+        let mut wq = vec![0i8; wt.len()];
+        let mut scale = vec![0.0f32; out_dim];
+        for o in 0..out_dim {
+            let amax = (0..in_dim).map(|i| wt[i * out_dim + o].abs()).fold(0.0f32, f32::max);
+            let s = if amax == 0.0 { 1.0 } else { amax / 127.0 };
+            scale[o] = s;
+            for i in 0..in_dim {
+                wq[i * out_dim + o] = (wt[i * out_dim + o] / s).round().clamp(-127.0, 127.0) as i8;
+            }
+        }
+        let mut exact = vec![0.0f32; n * out_dim];
+        gemm_t_into_f32(&x, n, in_dim, out_dim, &wt, &mut exact);
+        let mut quant = vec![0.0f32; n * out_dim];
+        let mut wbuf = Vec::new();
+        gemm_t_into_i8(&x, n, in_dim, out_dim, &wq, &scale, &mut wbuf, &mut quant);
+        // Worst case per output: in_dim · (scale/2) · max|x|.
+        for (r, (q, e)) in quant.iter().zip(exact.iter()).enumerate() {
+            let bound = in_dim as f32 * scale[r % out_dim] * 0.5 * 1.0 + 1e-6;
+            assert!((q - e).abs() <= bound, "int8 {q} vs f32 {e} (bound {bound})");
         }
     }
 }

@@ -8,7 +8,9 @@
 //!   per-element accumulation-order (bit-identity) contract, plus explicit
 //!   8-lane f32 kernels over transposed weights for the single-precision
 //!   inference engine (enable the `portable-simd` feature on nightly to use
-//!   `std::simd` instead of the autovectorised manual lanes),
+//!   `std::simd` instead of the autovectorised manual lanes), plus int8
+//!   weight kernels (per-output f32 scales, f32 accumulators) and hand-rolled
+//!   bf16 encode/decode for the quantised engine,
 //! * [`layers`] — linear layers and two-layer MLPs with exact reverse-mode
 //!   gradients (validated against finite differences in the test-suite),
 //! * [`plan`] — per-graph inference plans: split first-layer weights,
@@ -49,8 +51,9 @@ pub mod trainer;
 pub use adam::{Adam, AdamConfig};
 pub use dataset::{extract_local_problems, DatasetConfig, TrainingSample};
 pub use graph::LocalGraph;
-pub use model::{DssConfig, DssModel, InferScratch};
+pub use model::{BatchPools, DssConfig, DssModel, InferScratch};
 pub use plan::{
-    InferScratchF32, InferencePlan, InferencePlanF32, InferenceTimings, Precision, ScratchPool,
+    InferScratchF32, InferScratchQ, InferencePlan, InferencePlanF32, InferencePlanQ,
+    InferenceTimings, Precision, ScratchPool,
 };
 pub use trainer::{evaluate, train, EvalMetrics, TrainingConfig, TrainingReport};

@@ -18,6 +18,7 @@
 //! per-block activation recomputation so the memory footprint stays at one
 //! latent state per block.
 
+use std::sync::Arc;
 use std::time::Instant;
 
 use rand::prelude::*;
@@ -29,7 +30,8 @@ use crate::graph::LocalGraph;
 use crate::layers::Mlp;
 use crate::loss::residual_loss_and_grad;
 use crate::plan::{
-    InferScratchF32, InferencePlan, InferencePlanF32, InferenceTimings, ScratchPool,
+    InferScratchF32, InferScratchQ, InferencePlan, InferencePlanF32, InferencePlanQ,
+    InferenceTimings, ScratchPool,
 };
 
 /// Hyper-parameters of the DSS model.
@@ -130,11 +132,47 @@ impl InferScratch {
     }
 }
 
+/// Long-lived scratch pools retained by a [`DssModel`] for its batched
+/// inference entry points ([`DssModel::infer_batch`] and
+/// [`DssModel::infer_batch_f32`]).
+///
+/// The pools live behind an `Arc`, so clones of a model share them — which is
+/// always safe: pooled scratch never influences results (every buffer is
+/// fully overwritten per inference) and the pool caps its idle buffers at the
+/// peak concurrent-borrow count.  Retaining the pools on the model lets
+/// *repeated* `infer_batch` calls reuse their scratch buffers instead of
+/// reallocating them per call (each call still builds throwaway per-graph
+/// plans and output vectors — batch callers that also want the setup cost
+/// amortised should hold prebuilt plans and use
+/// [`DssModel::infer_with_plan_into`] directly, like the preconditioner
+/// does).  Callers that want explicit control pass their own pool to the
+/// `_with_pool` variants; [`BatchPools::clear`] releases retained buffers.
+#[derive(Debug, Default)]
+pub struct BatchPools {
+    /// Scratch pool of the f64 engine.
+    pub f64_pool: ScratchPool<InferScratch>,
+    /// Scratch pool of the f32 engine.
+    pub f32_pool: ScratchPool<InferScratchF32>,
+}
+
+impl BatchPools {
+    /// Release every retained idle buffer in both pools.  Useful after a
+    /// one-off large batch: retained buffers are sized to the largest graph
+    /// they ever served and would otherwise live as long as the model (and
+    /// all its clones).
+    pub fn clear(&self) {
+        self.f64_pool.clear();
+        self.f32_pool.clear();
+    }
+}
+
 /// The Deep Statistical Solver.
 #[derive(Debug, Clone)]
 pub struct DssModel {
     config: DssConfig,
     blocks: Vec<Block>,
+    /// Retained scratch pools for batched inference (shared across clones).
+    batch_pools: Arc<BatchPools>,
 }
 
 impl DssModel {
@@ -143,7 +181,7 @@ impl DssModel {
         let mut rng = ChaCha8Rng::seed_from_u64(seed);
         let blocks =
             (0..config.num_blocks).map(|_| Block::xavier(config.latent_dim, &mut rng)).collect();
-        DssModel { config, blocks }
+        DssModel { config, blocks, batch_pools: Arc::default() }
     }
 
     /// The model hyper-parameters.
@@ -161,6 +199,7 @@ impl DssModel {
         DssModel {
             config: self.config,
             blocks: self.blocks.iter().map(Block::zeros_like).collect(),
+            batch_pools: Arc::default(),
         }
     }
 
@@ -323,6 +362,50 @@ impl DssModel {
         assert_eq!(plan.num_blocks, self.blocks.len(), "plan built for a different model depth");
     }
 
+    /// Build the **quantised** inference plan of this model for one graph
+    /// (see [`InferencePlanQ`]): int8 weights with per-output f32 scales,
+    /// bf16 static edge terms and hidden sums, f32 accumulators.  The splits
+    /// and compositions are computed in f64 and quantised once; the forward
+    /// pass converts the residual on entry and widens the output back to f64.
+    pub fn build_plan_q(&self, graph: &LocalGraph) -> InferencePlanQ {
+        InferencePlanQ::new(self, graph)
+    }
+
+    /// Run the quantised engine on a prebuilt plan — the int8/bf16 sibling of
+    /// [`DssModel::infer_with_plan_into`].
+    pub fn infer_with_plan_q_into(
+        &self,
+        plan: &InferencePlanQ,
+        input: &[f64],
+        scratch: &mut InferScratchQ,
+        out: &mut [f64],
+    ) {
+        self.check_plan_q(plan);
+        plan.infer_into(input, scratch, out);
+    }
+
+    /// [`DssModel::infer_with_plan_q_into`] with a per-stage wall-clock
+    /// breakdown accumulated into `timings`.
+    pub fn infer_with_plan_q_timed(
+        &self,
+        plan: &InferencePlanQ,
+        input: &[f64],
+        scratch: &mut InferScratchQ,
+        out: &mut [f64],
+        timings: &mut InferenceTimings,
+    ) {
+        self.check_plan_q(plan);
+        plan.infer_timed(input, scratch, out, timings);
+    }
+
+    fn check_plan_q(&self, plan: &InferencePlanQ) {
+        assert_eq!(
+            plan.latent_dim, self.config.latent_dim,
+            "plan built for a different latent dimension"
+        );
+        assert_eq!(plan.num_blocks, self.blocks.len(), "plan built for a different model depth");
+    }
+
     /// Convenience inference without a prebuilt plan: builds a throwaway
     /// [`InferencePlan`] and runs the optimised engine.  Hot callers (the
     /// DDM-GNN preconditioner, batched inference) should build the plan once
@@ -478,10 +561,16 @@ impl DssModel {
 
     /// Run the model on a batch of graphs in parallel (the CPU analogue of the
     /// paper's batched GPU inference of Eq. 14), recycling inference scratch
-    /// through a per-call [`ScratchPool`].
+    /// through the model's retained [`BatchPools`] — repeated calls reuse the
+    /// same buffers instead of re-allocating a pool per call.
     pub fn infer_batch(&self, graphs: &[LocalGraph]) -> Vec<Vec<f64>> {
-        let pool = ScratchPool::new();
-        self.infer_batch_with_pool(graphs, &pool)
+        self.infer_batch_with_pool(graphs, &self.batch_pools.f64_pool)
+    }
+
+    /// The scratch pools retained for batched inference (shared by clones of
+    /// this model; exposed so callers and tests can observe buffer reuse).
+    pub fn batch_pools(&self) -> &BatchPools {
+        &self.batch_pools
     }
 
     /// Batched inference with a caller-owned scratch pool: buffers are reused
@@ -492,7 +581,7 @@ impl DssModel {
     pub fn infer_batch_with_pool(
         &self,
         graphs: &[LocalGraph],
-        pool: &ScratchPool,
+        pool: &ScratchPool<InferScratch>,
     ) -> Vec<Vec<f64>> {
         graphs
             .par_iter()
@@ -501,6 +590,32 @@ impl DssModel {
                 let mut scratch = pool.acquire();
                 let mut out = vec![0.0; g.num_nodes()];
                 self.infer_plan_core(&plan, &g.input, &mut scratch, &mut out, None);
+                pool.release(scratch);
+                out
+            })
+            .collect()
+    }
+
+    /// Batched inference through the **f32 engine**, recycling
+    /// [`InferScratchF32`] buffers through the model's retained pool the same
+    /// way [`DssModel::infer_batch`] recycles the f64 scratch.
+    pub fn infer_batch_f32(&self, graphs: &[LocalGraph]) -> Vec<Vec<f64>> {
+        self.infer_batch_f32_with_pool(graphs, &self.batch_pools.f32_pool)
+    }
+
+    /// [`DssModel::infer_batch_f32`] with a caller-owned scratch pool.
+    pub fn infer_batch_f32_with_pool(
+        &self,
+        graphs: &[LocalGraph],
+        pool: &ScratchPool<InferScratchF32>,
+    ) -> Vec<Vec<f64>> {
+        graphs
+            .par_iter()
+            .map(|g| {
+                let plan = InferencePlanF32::new(self, g);
+                let mut scratch = pool.acquire();
+                let mut out = vec![0.0; g.num_nodes()];
+                plan.infer_into(&g.input, &mut scratch, &mut out);
                 pool.release(scratch);
                 out
             })
@@ -1032,6 +1147,114 @@ mod tests {
         assert_eq!(merged.calls, 2);
         assert_eq!(merged.total_ns(), 2 * timings.total_ns());
         assert_eq!(timings.stages().len(), 4);
+    }
+
+    #[test]
+    fn quantised_plan_tracks_f64_plan_closely_and_is_deterministic() {
+        let graph = tiny_graph();
+        let model = DssModel::new(DssConfig { num_blocks: 4, latent_dim: 6, alpha: 1e-2 }, 17);
+        let plan64 = model.build_plan(&graph);
+        let plan32 = model.build_plan_f32(&graph);
+        let planq = model.build_plan_q(&graph);
+        assert_eq!(planq.num_nodes(), graph.num_nodes());
+        assert_eq!(planq.num_edges(), graph.num_edges());
+        assert!(planq.memory_bytes() > 0);
+        assert!(
+            planq.memory_bytes() < plan32.memory_bytes(),
+            "quantised plan must be smaller than the f32 plan: {} vs {}",
+            planq.memory_bytes(),
+            plan32.memory_bytes()
+        );
+        let mut s64 = InferScratch::new();
+        let mut sq = crate::plan::InferScratchQ::new();
+        let mut out64 = vec![0.0; graph.num_nodes()];
+        let mut outq = vec![0.0; graph.num_nodes()];
+        let mut outq_again = vec![0.0; graph.num_nodes()];
+        for scale in [1.0, -0.4, 0.7] {
+            let input: Vec<f64> = graph.input.iter().map(|c| c * scale + 0.05).collect();
+            model.infer_with_plan_into(&plan64, &input, &mut s64, &mut out64);
+            model.infer_with_plan_q_into(&planq, &input, &mut sq, &mut outq);
+            model.infer_with_plan_q_into(&planq, &input, &mut sq, &mut outq_again);
+            assert_eq!(outq, outq_again, "quantised inference must be deterministic");
+            let norm = out64.iter().map(|v| v * v).sum::<f64>().sqrt().max(1.0);
+            for (a, b) in outq.iter().zip(out64.iter()) {
+                assert!((a - b).abs() <= 1e-2 * norm, "scale {scale}: int8 {a} vs f64 {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn quantised_timed_inference_is_identical_and_counts_calls() {
+        let graph = tiny_graph();
+        let model = DssModel::new(DssConfig { num_blocks: 3, latent_dim: 5, alpha: 1e-2 }, 29);
+        let plan = model.build_plan_q(&graph);
+        let mut scratch = crate::plan::InferScratchQ::new();
+        let mut out = vec![0.0; graph.num_nodes()];
+        let mut timed_out = vec![0.0; graph.num_nodes()];
+        let mut timings = crate::plan::InferenceTimings::default();
+        model.infer_with_plan_q_into(&plan, &graph.input, &mut scratch, &mut out);
+        model.infer_with_plan_q_timed(
+            &plan,
+            &graph.input,
+            &mut scratch,
+            &mut timed_out,
+            &mut timings,
+        );
+        assert_eq!(out, timed_out);
+        assert_eq!(timings.calls, 1);
+    }
+
+    #[test]
+    fn infer_batch_recycles_the_retained_pool_across_calls() {
+        // The bug this pins down: `infer_batch` used to construct a fresh
+        // `ScratchPool` per call, so no buffer ever survived between calls.
+        let graphs: Vec<LocalGraph> = (0..5).map(|_| tiny_graph()).collect();
+        let model = DssModel::new(DssConfig::new(3, 4), 5);
+        assert_eq!(model.batch_pools().f64_pool.idle(), 0);
+        let first = model.infer_batch(&graphs);
+        let idle = model.batch_pools().f64_pool.idle();
+        assert!(idle >= 1, "the retained pool must keep released buffers");
+        let second = model.infer_batch(&graphs);
+        // Idle buffers persist across calls; later calls may add a few when
+        // the scheduler reaches a higher concurrent-borrow peak, but never
+        // more than one per batch item (the concurrency ceiling here).
+        let idle_after = model.batch_pools().f64_pool.idle();
+        assert!(
+            (idle..=graphs.len()).contains(&idle_after),
+            "buffers must be recycled, not rebuilt from scratch: {idle} -> {idle_after}"
+        );
+        assert_eq!(first, second);
+        // Clones share the pools, so a clone's batches reuse the same buffers.
+        let clone = model.clone();
+        clone.infer_batch(&graphs);
+        assert!(clone.batch_pools().f64_pool.idle() >= idle);
+        // Releasing the retained buffers is the caller's explicit choice.
+        model.batch_pools().clear();
+        assert_eq!(model.batch_pools().f64_pool.idle(), 0);
+        assert_eq!(clone.batch_pools().f64_pool.idle(), 0, "clones share the cleared pools");
+    }
+
+    #[test]
+    fn infer_batch_f32_matches_per_graph_f32_plan_and_recycles() {
+        let graphs: Vec<LocalGraph> = (0..4).map(|_| tiny_graph()).collect();
+        let model = DssModel::new(DssConfig::new(3, 4), 5);
+        let batched = model.infer_batch_f32(&graphs);
+        let idle = model.batch_pools().f32_pool.idle();
+        assert!(idle >= 1);
+        for (g, out) in graphs.iter().zip(batched.iter()) {
+            let plan = model.build_plan_f32(g);
+            let mut scratch = crate::plan::InferScratchF32::new();
+            let mut expected = vec![0.0; g.num_nodes()];
+            model.infer_with_plan_f32_into(&plan, &g.input, &mut scratch, &mut expected);
+            assert_eq!(out, &expected);
+        }
+        let again = model.infer_batch_f32(&graphs);
+        let idle_after = model.batch_pools().f32_pool.idle();
+        assert!(
+            (idle..=graphs.len()).contains(&idle_after),
+            "f32 buffers must be recycled: {idle} -> {idle_after}"
+        );
+        assert_eq!(batched, again);
     }
 
     #[test]

@@ -40,7 +40,10 @@ use crate::model::{Block, DssModel, InferScratch};
 /// the preconditioner slightly (the observation that lets graph neural
 /// preconditioners run inference in low precision).  `F64` is the default
 /// and remains the correctness anchor; `F32` trades ~1e-6 relative output
-/// error for SIMD width and halved memory traffic on the hot path.
+/// error for SIMD width and halved memory traffic on the hot path; `Int8`
+/// additionally quantises the weights to int8 (per-output f32 scales) and the
+/// large static streams to bf16, trading ~1e-3 relative output error for
+/// roughly half the f32 plan's memory footprint.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum Precision {
     /// Double-precision inference (bit-reproducible engine, the default).
@@ -48,6 +51,9 @@ pub enum Precision {
     F64,
     /// Single-precision inference with explicit 8-lane SIMD kernels.
     F32,
+    /// Quantised inference: int8 weights with per-output f32 scales, bf16
+    /// static edge terms and hidden sums, f32 accumulators throughout.
+    Int8,
 }
 
 impl Precision {
@@ -56,6 +62,7 @@ impl Precision {
         match self {
             Precision::F64 => "f64",
             Precision::F32 => "f32",
+            Precision::Int8 => "int8",
         }
     }
 }
@@ -73,7 +80,8 @@ impl std::str::FromStr for Precision {
         match s.trim().to_ascii_lowercase().as_str() {
             "f64" | "double" => Ok(Precision::F64),
             "f32" | "single" => Ok(Precision::F32),
-            other => Err(format!("unknown precision '{other}' (expected f64 or f32)")),
+            "int8" | "i8" | "quantised" | "quantized" => Ok(Precision::Int8),
+            other => Err(format!("unknown precision '{other}' (expected f64, f32 or int8)")),
         }
     }
 }
@@ -629,6 +637,434 @@ impl InferencePlanF32 {
     }
 }
 
+/// Per-output-column int8 quantisation of a transposed (`in × out`) f64
+/// matrix: `scale[o] = max_i |wt[i][o]| / 127` (1.0 for all-zero columns, so
+/// the quantised values stay 0), `q[i][o] = round(wt[i][o] / scale[o])`.
+///
+/// One scale per *output* equals one scale per row of the original
+/// `out × in` weight — the per-output-row scheme: each output's dot product
+/// is exact up to a single rounding per weight, and dequantisation is one
+/// multiply per output after the shared-axis sweep.
+fn quantise_cols_i8(wt: &[f64], in_dim: usize, out_dim: usize) -> (Vec<i8>, Vec<f32>) {
+    debug_assert_eq!(wt.len(), in_dim * out_dim);
+    let mut q = vec![0i8; wt.len()];
+    let mut scale = vec![0.0f32; out_dim];
+    for o in 0..out_dim {
+        let amax = (0..in_dim).map(|i| wt[i * out_dim + o].abs()).fold(0.0f64, f64::max);
+        let s = if amax == 0.0 { 1.0 } else { amax / 127.0 };
+        scale[o] = s as f32;
+        for i in 0..in_dim {
+            q[i * out_dim + o] = (wt[i * out_dim + o] / s).round().clamp(-127.0, 127.0) as i8;
+        }
+    }
+    (q, scale)
+}
+
+/// Transpose a row-major `out × in` f64 matrix into the kernels' `in × out`
+/// layout, staying in f64 (quantisation happens afterwards, once).
+fn transpose_f64(w: &[f64], out_dim: usize, in_dim: usize) -> Vec<f64> {
+    debug_assert_eq!(w.len(), out_dim * in_dim);
+    let mut wt = vec![0.0f64; in_dim * out_dim];
+    for o in 0..out_dim {
+        for i in 0..in_dim {
+            wt[i * out_dim + o] = w[o * in_dim + i];
+        }
+    }
+    wt
+}
+
+/// Concatenate two row-major `d × d` f64 matrices column-wise and transpose
+/// the pair into `in × out` (`d × 2d`) — the f64 twin of
+/// [`cat_transpose_cast_f32`], feeding the quantiser.
+fn cat_transpose_f64(a: &[f64], b: &[f64], d: usize) -> Vec<f64> {
+    debug_assert_eq!(a.len(), d * d);
+    debug_assert_eq!(b.len(), d * d);
+    let mut wt = vec![0.0f64; d * 2 * d];
+    for o in 0..d {
+        for i in 0..d {
+            wt[i * 2 * d + o] = a[o * d + i];
+            wt[i * 2 * d + d + o] = b[o * d + i];
+        }
+    }
+    wt
+}
+
+/// Quantised counterpart of [`PlanBlockF32`]: same direction-fused layout,
+/// with the weight matrices stored as int8 + per-output f32 scales and the
+/// two dominant memory streams — the `[fwd | bwd]` static geo/bias edge
+/// terms (`e × 2d`) and the per-node static Ψ pre-activation (`n × d`) —
+/// stored as bf16.  The tiny Ψ `W_c` column, Ψ's second layer and the
+/// decoder stay f32: they are negligible in both memory and error budget.
+/// All splits/compositions are computed in f64 (via [`PlanBlock`]) and
+/// quantised exactly once.
+struct PlanBlockQ {
+    /// `[W_dst,→ | W_dst,←]` transposed, int8: `d × 2d` + `2d` scales.
+    w_dst_cat_q: Vec<i8>,
+    w_dst_cat_scale: Vec<f32>,
+    /// `[W_src,→ | W_src,←]` transposed, int8.
+    w_src_cat_q: Vec<i8>,
+    w_src_cat_scale: Vec<f32>,
+    /// `[geo→ | geo←]` per destination-sorted edge, bf16: `e × 2d`.
+    geo_cat: Vec<u16>,
+    /// `Ψ` first-layer columns acting on `h`, transposed int8: `d × d`.
+    psi_w_h_q: Vec<i8>,
+    psi_w_h_scale: Vec<f32>,
+    /// `Ψ` first-layer column acting on the node input `c` (length `d`, f32).
+    psi_w_c: Vec<f32>,
+    /// `[W_Ψ,→ W₂→ ; W_Ψ,← W₂←]` transposed int8: `2d × d`.
+    psi_m_cat_q: Vec<i8>,
+    psi_m_cat_scale: Vec<f32>,
+    /// Per-node static `Ψ` pre-activation, bf16 (`n × d`).
+    psi_static: Vec<u16>,
+    /// Ψ second layer, transposed weight + bias (f32).
+    psi_l2_wt: Vec<f32>,
+    psi_l2_b: Vec<f32>,
+}
+
+impl PlanBlockQ {
+    fn new(block: &Block, graph: &LocalGraph, d: usize) -> Self {
+        let pb = PlanBlock::new(block, graph, d);
+        let e = graph.num_edges();
+        // bf16 static edge terms, direction-fused exactly like the f32 plan.
+        let mut geo_cat = vec![0u16; e * 2 * d];
+        for slot in 0..e {
+            for k in 0..d {
+                geo_cat[slot * 2 * d + k] = gemm::f32_to_bf16(pb.geo_fwd[slot * d + k] as f32);
+                geo_cat[slot * 2 * d + d + k] = gemm::f32_to_bf16(pb.geo_bwd[slot * d + k] as f32);
+            }
+        }
+        let psi_static: Vec<u16> =
+            pb.psi_static.iter().map(|&v| gemm::f32_to_bf16(v as f32)).collect();
+        // Composed message matrices stacked as GEMM inputs (fwd rows then bwd
+        // rows of the transposed layout), then quantised per output column.
+        let mut psi_m_cat_t = vec![0.0f64; 2 * d * d];
+        for i in 0..d {
+            for o in 0..d {
+                psi_m_cat_t[i * d + o] = pb.psi_m_fwd[o * d + i];
+                psi_m_cat_t[(d + i) * d + o] = pb.psi_m_bwd[o * d + i];
+            }
+        }
+        let (w_dst_cat_q, w_dst_cat_scale) =
+            quantise_cols_i8(&cat_transpose_f64(&pb.w_dst_fwd, &pb.w_dst_bwd, d), d, 2 * d);
+        let (w_src_cat_q, w_src_cat_scale) =
+            quantise_cols_i8(&cat_transpose_f64(&pb.w_src_fwd, &pb.w_src_bwd, d), d, 2 * d);
+        let (psi_w_h_q, psi_w_h_scale) = quantise_cols_i8(&transpose_f64(&pb.psi_w_h, d, d), d, d);
+        let (psi_m_cat_q, psi_m_cat_scale) = quantise_cols_i8(&psi_m_cat_t, 2 * d, d);
+        PlanBlockQ {
+            w_dst_cat_q,
+            w_dst_cat_scale,
+            w_src_cat_q,
+            w_src_cat_scale,
+            geo_cat,
+            psi_w_h_q,
+            psi_w_h_scale,
+            psi_w_c: cast_f32(&pb.psi_w_c),
+            psi_m_cat_q,
+            psi_m_cat_scale,
+            psi_static,
+            psi_l2_wt: block.psi.l2.weight_t_f32(),
+            psi_l2_b: block.psi.l2.bias_f32(),
+        }
+    }
+
+    fn memory_bytes(&self) -> usize {
+        self.w_dst_cat_q.len()
+            + self.w_src_cat_q.len()
+            + self.psi_w_h_q.len()
+            + self.psi_m_cat_q.len()
+            + std::mem::size_of::<u16>() * (self.geo_cat.len() + self.psi_static.len())
+            + std::mem::size_of::<f32>()
+                * (self.w_dst_cat_scale.len()
+                    + self.w_src_cat_scale.len()
+                    + self.psi_w_h_scale.len()
+                    + self.psi_m_cat_scale.len()
+                    + self.psi_w_c.len()
+                    + self.psi_l2_wt.len()
+                    + self.psi_l2_b.len())
+    }
+}
+
+/// Reusable buffers for the quantised inference path ([`InferencePlanQ`]).
+///
+/// Mirrors [`InferScratchF32`], with two differences: the per-node hidden
+/// sums are *stored* bf16 (`n × 2d` `u16`s — halving the read traffic of the
+/// Ψ message GEMM) and a single `2d`-wide f32 row (`acc`) accumulates each
+/// node's edge sweep before it is rounded to bf16 once.
+#[derive(Debug, Default)]
+pub struct InferScratchQ {
+    input: Vec<f32>,
+    h: Vec<f32>,
+    a_dst: Vec<f32>,
+    a_src: Vec<f32>,
+    /// Per-node hidden sums, bf16-packed (`n × 2d`).
+    hsum: Vec<u16>,
+    /// f32 accumulator row for one node's edge sweep (`2d`).
+    acc: Vec<f32>,
+    /// Widened-weight panel of the int8 GEMM kernels (`≤ 2d × 2d`).
+    wbuf: Vec<f32>,
+    psi_hidden: Vec<f32>,
+    update: Vec<f32>,
+    hidden: Vec<f32>,
+}
+
+impl InferScratchQ {
+    /// Empty scratch; buffers are allocated on first use.
+    pub fn new() -> Self {
+        InferScratchQ::default()
+    }
+}
+
+/// `acc[k] += max(decode(g[k]) + adj[k] + asj[k], 0)` — the fused edge-sweep
+/// body with bf16 static terms decoded on the fly (a 16-bit shift per lane).
+#[inline(always)]
+fn relu_sum3_acc_bf16_geo(acc: &mut [f32], g: &[u16], adj: &[f32], asj: &[f32]) {
+    let d = acc.len();
+    let (g, adj, asj) = (&g[..d], &adj[..d], &asj[..d]);
+    for k in 0..d {
+        acc[k] += (gemm::bf16_to_f32(g[k]) + adj[k] + asj[k]).max(0.0);
+    }
+}
+
+/// A per-graph **quantised** inference plan: int8 weights (per-output f32
+/// scales), bf16 static streams, f32 accumulators — the third member of the
+/// [`InferencePlan`] / [`InferencePlanF32`] family.
+///
+/// Built once per sub-domain graph via [`DssModel::build_plan_q`]; the
+/// forward pass ([`InferencePlanQ::infer_into`]) keeps all *state* (latent
+/// `H`, node GEMM outputs, Ψ pre-activations) in f32 and dequantises weights
+/// inside the GEMM kernels, so accuracy degrades only by the weight rounding
+/// (≤ 2⁻⁸ relative per weight) and the bf16 rounding of the static streams
+/// (≤ 2⁻⁹ relative each) — in practice ~1e-3 relative on the decoded output,
+/// far below what the flexible outer Krylov method notices.  The residual is
+/// converted on entry and the decoded output widened back to f64 on exit,
+/// exactly like the f32 engine.
+///
+/// The plan's memory footprint is roughly **half the f32 plan's** (the
+/// dominant `e × 2d` static edge stream and the `n × d` static Ψ term are
+/// 2-byte, the weights 1-byte), which is what the bandwidth-bound edge sweep
+/// actually pays for.
+pub struct InferencePlanQ {
+    pub(crate) num_nodes: usize,
+    pub(crate) num_edges: usize,
+    pub(crate) latent_dim: usize,
+    pub(crate) num_blocks: usize,
+    alpha: f32,
+    /// Source node of every destination-sorted edge (u32, like the f32 plan).
+    edge_src: Vec<u32>,
+    /// Destination offsets into the sorted edge list (`n + 1` entries).
+    edge_ptr: Vec<usize>,
+    blocks: Vec<PlanBlockQ>,
+    decoder: Option<DecoderF32>,
+}
+
+impl InferencePlanQ {
+    /// Build a quantised plan for `model` on `graph`.
+    pub fn new(model: &DssModel, graph: &LocalGraph) -> Self {
+        let config = model.config();
+        let d = config.latent_dim;
+        let n = graph.num_nodes();
+        let e = graph.num_edges();
+        assert_eq!(graph.edge_ptr.len(), n + 1, "stale incidence: run rebuild_incidence");
+        assert_eq!(graph.edge_order.len(), e, "stale incidence: run rebuild_incidence");
+        let edge_src: Vec<u32> =
+            graph.edge_order.iter().map(|&ei| graph.edges[ei].src as u32).collect();
+        let blocks: Vec<PlanBlockQ> =
+            model.blocks().iter().map(|b| PlanBlockQ::new(b, graph, d)).collect();
+        let decoder = model.blocks().last().map(|b| DecoderF32 {
+            l1_wt: b.decoder.l1.weight_t_f32(),
+            l1_b: b.decoder.l1.bias_f32(),
+            l2_w: cast_f32(&b.decoder.l2.weight),
+            l2_b: b.decoder.l2.bias[0] as f32,
+        });
+        InferencePlanQ {
+            num_nodes: n,
+            num_edges: e,
+            latent_dim: d,
+            num_blocks: config.num_blocks,
+            alpha: config.alpha as f32,
+            edge_src,
+            edge_ptr: graph.edge_ptr.clone(),
+            blocks,
+            decoder,
+        }
+    }
+
+    /// Number of nodes of the graph this plan was built for.
+    pub fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+
+    /// Number of directed edges of the graph this plan was built for.
+    pub fn num_edges(&self) -> usize {
+        self.num_edges
+    }
+
+    /// Heap footprint of the precomputed data in bytes (about half the f32
+    /// plan's: the dominant static streams are 2-byte, the weights 1-byte).
+    pub fn memory_bytes(&self) -> usize {
+        self.blocks.iter().map(PlanBlockQ::memory_bytes).sum::<usize>()
+            + self.decoder.as_ref().map_or(0, |dec| {
+                std::mem::size_of::<f32>() * (dec.l1_wt.len() + dec.l1_b.len() + dec.l2_w.len() + 1)
+            })
+            + std::mem::size_of::<u32>() * self.edge_src.len()
+            + std::mem::size_of::<usize>() * self.edge_ptr.len()
+    }
+
+    /// Run the quantised engine: `input` (the normalised residual) is
+    /// converted to f32 on entry, the decoded output is widened back into
+    /// `out`.  All intermediates live in `scratch`; the steady state
+    /// allocates nothing.
+    pub fn infer_into(&self, input: &[f64], scratch: &mut InferScratchQ, out: &mut [f64]) {
+        self.infer_core(input, scratch, out, None);
+    }
+
+    /// [`InferencePlanQ::infer_into`] with a per-stage wall-clock breakdown
+    /// accumulated into `timings`.
+    pub fn infer_timed(
+        &self,
+        input: &[f64],
+        scratch: &mut InferScratchQ,
+        out: &mut [f64],
+        timings: &mut InferenceTimings,
+    ) {
+        self.infer_core(input, scratch, out, Some(timings));
+    }
+
+    fn infer_core(
+        &self,
+        input: &[f64],
+        scratch: &mut InferScratchQ,
+        out: &mut [f64],
+        mut timings: Option<&mut InferenceTimings>,
+    ) {
+        let d = self.latent_dim;
+        let n = self.num_nodes;
+        assert_eq!(input.len(), n, "input length mismatch");
+        assert_eq!(out.len(), n, "output length mismatch");
+
+        let InferScratchQ {
+            input: input32,
+            h,
+            a_dst,
+            a_src,
+            hsum,
+            acc,
+            wbuf,
+            psi_hidden,
+            update,
+            hidden,
+        } = scratch;
+        input32.clear();
+        input32.extend(input.iter().map(|&v| v as f32));
+        h.clear();
+        h.resize(n * d, 0.0);
+        let d2 = 2 * d;
+        a_dst.resize(n * d2, 0.0);
+        a_src.resize(n * d2, 0.0);
+        hsum.resize(n * d2, 0);
+        acc.resize(d2, 0.0);
+        psi_hidden.resize(n * d, 0.0);
+        update.resize(n * d, 0.0);
+        hidden.resize(n * d, 0.0);
+
+        let mut last = Instant::now();
+        macro_rules! tick {
+            ($field:ident) => {
+                if let Some(t) = timings.as_deref_mut() {
+                    let now = Instant::now();
+                    t.$field += now.duration_since(last).as_nanos() as u64;
+                    last = now;
+                }
+            };
+        }
+
+        for pb in &self.blocks {
+            // Node-level int8 GEMMs, both message directions at once
+            // (`n × 2d`): the weights dequantise inside the kernel, the
+            // outputs land in f32.
+            gemm::gemm_t_into_i8(h, n, d, d2, &pb.w_dst_cat_q, &pb.w_dst_cat_scale, wbuf, a_dst);
+            gemm::gemm_t_into_i8(h, n, d, d2, &pb.w_src_cat_q, &pb.w_src_cat_scale, wbuf, a_src);
+            tick!(node_gemm_ns);
+            // Fused edge sweep: bf16 static terms decoded on the fly, f32
+            // accumulation into one row, rounded to bf16 once per node.
+            for j in 0..n {
+                let adj = &a_dst[j * d2..(j + 1) * d2];
+                acc.fill(0.0);
+                for slot in self.edge_ptr[j]..self.edge_ptr[j + 1] {
+                    let src = self.edge_src[slot] as usize;
+                    relu_sum3_acc_bf16_geo(
+                        acc,
+                        &pb.geo_cat[slot * d2..(slot + 1) * d2],
+                        adj,
+                        &a_src[src * d2..(src + 1) * d2],
+                    );
+                }
+                gemm::store_bf16(acc, &mut hsum[j * d2..(j + 1) * d2]);
+            }
+            tick!(edge_gather_ns);
+            for j in 0..n {
+                let c = input32[j];
+                let stat = &pb.psi_static[j * d..(j + 1) * d];
+                let row = &mut psi_hidden[j * d..(j + 1) * d];
+                gemm::gather_bf16(stat, row);
+                for k in 0..d {
+                    row[k] += pb.psi_w_c[k] * c;
+                }
+            }
+            gemm::gemm_t_acc_into_i8(
+                h,
+                n,
+                d,
+                d,
+                &pb.psi_w_h_q,
+                &pb.psi_w_h_scale,
+                wbuf,
+                psi_hidden,
+            );
+            gemm::gemm_t_acc_into_i8_bf16(
+                hsum,
+                n,
+                d2,
+                d,
+                &pb.psi_m_cat_q,
+                &pb.psi_m_cat_scale,
+                wbuf,
+                psi_hidden,
+            );
+            for v in psi_hidden.iter_mut() {
+                *v = v.max(0.0);
+            }
+            gemm::gemm_t_bias_into_f32(psi_hidden, n, d, d, &pb.psi_l2_wt, &pb.psi_l2_b, update);
+            for (hv, uv) in h.iter_mut().zip(update.iter()) {
+                *hv += self.alpha * *uv;
+            }
+            tick!(psi_update_ns);
+        }
+        match &self.decoder {
+            Some(dec) => {
+                gemm::gemm_t_bias_into_f32(h, n, d, d, &dec.l1_wt, &dec.l1_b, hidden);
+                for v in hidden.iter_mut() {
+                    *v = v.max(0.0);
+                }
+                for j in 0..n {
+                    let row = &hidden[j * d..(j + 1) * d];
+                    let mut acc = dec.l2_b;
+                    for k in 0..d {
+                        acc += dec.l2_w[k] * row[k];
+                    }
+                    out[j] = acc as f64;
+                }
+            }
+            None => out.fill(0.0),
+        }
+        tick!(decoder_ns);
+        let _ = last; // the final tick's stamp is intentionally unused
+        if let Some(t) = timings {
+            t.calls += 1;
+        }
+    }
+}
+
 /// Wall-clock breakdown of planned inference, one bucket per pipeline stage.
 ///
 /// Filled by [`DssModel::infer_with_plan_timed`]; buckets accumulate across
@@ -677,7 +1113,9 @@ impl InferenceTimings {
     }
 }
 
-/// A lock-protected pool of [`InferScratch`] buffers for batched inference.
+/// A lock-protected pool of scratch buffers for batched inference, generic
+/// over the scratch type (`InferScratch` by default; [`InferScratchF32`] and
+/// [`InferScratchQ`] pool the same way for the reduced-precision engines).
 ///
 /// `acquire` pops a warmed-up scratch (or creates an empty one when the pool
 /// is dry); `release` returns it.  Buffers grow to the largest graph they
@@ -698,20 +1136,26 @@ impl InferenceTimings {
 ///   (a list of interchangeable buffers plus counters) has no invariant a
 ///   mid-panic writer could break.
 #[derive(Debug, Default)]
-pub struct ScratchPool {
-    state: Mutex<PoolState>,
+pub struct ScratchPool<T = InferScratch> {
+    state: Mutex<PoolState<T>>,
 }
 
-#[derive(Debug, Default)]
-struct PoolState {
-    idle: Vec<InferScratch>,
+#[derive(Debug)]
+struct PoolState<T> {
+    idle: Vec<T>,
     /// Buffers currently borrowed (acquired and not yet released).
     outstanding: usize,
     /// Maximum `outstanding` ever observed — the idle-retention cap.
     high_water: usize,
 }
 
-impl ScratchPool {
+impl<T> Default for PoolState<T> {
+    fn default() -> Self {
+        PoolState { idle: Vec::new(), outstanding: 0, high_water: 0 }
+    }
+}
+
+impl<T: Default> ScratchPool<T> {
     /// An empty pool; buffers are created on demand.
     pub fn new() -> Self {
         ScratchPool::default()
@@ -719,12 +1163,12 @@ impl ScratchPool {
 
     /// Lock the pool state, recovering from a poisoned mutex (see the type
     /// docs: every reachable state is valid).
-    fn lock(&self) -> MutexGuard<'_, PoolState> {
+    fn lock(&self) -> MutexGuard<'_, PoolState<T>> {
         self.state.lock().unwrap_or_else(PoisonError::into_inner)
     }
 
     /// Take a scratch out of the pool (or create a fresh one).
-    pub fn acquire(&self) -> InferScratch {
+    pub fn acquire(&self) -> T {
         let mut st = self.lock();
         st.outstanding += 1;
         st.high_water = st.high_water.max(st.outstanding);
@@ -733,7 +1177,7 @@ impl ScratchPool {
 
     /// Return a scratch to the pool for reuse.  Buffers beyond the
     /// high-water concurrent-borrow count are dropped.
-    pub fn release(&self, scratch: InferScratch) {
+    pub fn release(&self, scratch: T) {
         let mut st = self.lock();
         // Saturating: a panicked worker may never have reported its release,
         // and foreign buffers can legitimately be donated to the pool.
@@ -747,6 +1191,16 @@ impl ScratchPool {
     pub fn idle(&self) -> usize {
         self.lock().idle.len()
     }
+
+    /// Drop every idle buffer and reset the idle-retention cap, releasing
+    /// the memory a past high-concurrency (or large-graph) burst grew the
+    /// pool to.  Outstanding borrows are unaffected; the pool refills on
+    /// demand.
+    pub fn clear(&self) {
+        let mut st = self.lock();
+        st.idle.clear();
+        st.high_water = st.outstanding;
+    }
 }
 
 #[cfg(test)]
@@ -758,14 +1212,34 @@ mod tests {
         assert_eq!("f32".parse::<Precision>().unwrap(), Precision::F32);
         assert_eq!("F64".parse::<Precision>().unwrap(), Precision::F64);
         assert_eq!("single".parse::<Precision>().unwrap(), Precision::F32);
+        assert_eq!("int8".parse::<Precision>().unwrap(), Precision::Int8);
+        assert_eq!("I8".parse::<Precision>().unwrap(), Precision::Int8);
+        assert_eq!("quantised".parse::<Precision>().unwrap(), Precision::Int8);
         assert!("f16".parse::<Precision>().is_err());
         assert_eq!(Precision::F32.to_string(), "f32");
+        assert_eq!(Precision::Int8.to_string(), "int8");
         assert_eq!(Precision::default(), Precision::F64);
     }
 
     #[test]
+    fn quantise_cols_i8_is_exact_per_column_scale() {
+        // A 3×2 transposed matrix: column 0 has amax 2.0, column 1 is zero.
+        let wt = vec![2.0, 0.0, -1.0, 0.0, 0.5, 0.0];
+        let (q, scale) = quantise_cols_i8(&wt, 3, 2);
+        assert_eq!(scale[1], 1.0, "all-zero columns get scale 1.0");
+        assert!(q.iter().skip(1).step_by(2).all(|&v| v == 0));
+        assert_eq!(q[0], 127, "the column max quantises to ±127");
+        assert!((scale[0] as f64 - 2.0 / 127.0).abs() < 1e-8, "scale stored in f32");
+        // Dequantised values stay within half a quantisation step.
+        for i in 0..3 {
+            let deq = q[i * 2] as f64 * scale[0] as f64;
+            assert!((deq - wt[i * 2]).abs() <= scale[0] as f64 * 0.5 + 1e-12);
+        }
+    }
+
+    #[test]
     fn pool_caps_idle_buffers_at_high_water_borrows() {
-        let pool = ScratchPool::new();
+        let pool: ScratchPool = ScratchPool::new();
         // Peak of three concurrent borrows.
         let (a, b, c) = (pool.acquire(), pool.acquire(), pool.acquire());
         pool.release(a);
@@ -785,7 +1259,7 @@ mod tests {
 
     #[test]
     fn pool_sequential_use_retains_a_single_buffer() {
-        let pool = ScratchPool::new();
+        let pool: ScratchPool = ScratchPool::new();
         for _ in 0..5 {
             let s = pool.acquire();
             pool.release(s);
@@ -795,7 +1269,7 @@ mod tests {
 
     #[test]
     fn pool_survives_mutex_poisoning() {
-        let pool = ScratchPool::new();
+        let pool: ScratchPool = ScratchPool::new();
         let s = pool.acquire();
         pool.release(s);
         // Poison the mutex: panic while holding the guard.
@@ -814,7 +1288,7 @@ mod tests {
 
     #[test]
     fn pool_release_of_unacquired_buffer_is_safe() {
-        let pool = ScratchPool::new();
+        let pool: ScratchPool = ScratchPool::new();
         // outstanding is 0; release must not underflow and (with no borrow
         // history) must not retain the buffer.
         pool.release(InferScratch::new());

@@ -12,8 +12,15 @@
 //! The single-precision engine (`InferencePlanF32`) is pinned against the
 //! f64 plan path at ≤ 1e-4 relative error over the same random graph
 //! distribution — the bound the DDM-GNN preconditioner's f32 mode relies on.
+//!
+//! The quantised engine (`InferencePlanQ`: int8 weights with per-output f32
+//! scales, bf16 static streams, f32 accumulators) is pinned at ≤ 1e-2
+//! relative error against the f64 plan path — the documented tolerance of
+//! the `Precision::Int8` preconditioner mode.
 
-use gnn::{DssConfig, DssModel, InferScratch, InferScratchF32, LocalGraph, ScratchPool};
+use gnn::{
+    DssConfig, DssModel, InferScratch, InferScratchF32, InferScratchQ, LocalGraph, ScratchPool,
+};
 use meshgen::Point2;
 use proptest::prelude::*;
 use sparse::CooMatrix;
@@ -177,6 +184,80 @@ proptest! {
         for (i, scale) in [1.0, -0.4].iter().enumerate().rev() {
             let input: Vec<f64> = graph.input.iter().map(|c| c * scale + 0.01).collect();
             model.infer_with_plan_f32_into(&plan, &input, &mut fresh, &mut out);
+            prop_assert_eq!(&out, &baseline[i]);
+        }
+    }
+
+    /// The quantised int8/bf16 engine tracks the f64 plan path to ≤ 1e-2
+    /// relative error on random sub-domain graphs, random weights and
+    /// unit-normalised inputs — the documented accuracy contract of
+    /// `Precision::Int8` (weight rounding ≤ 2⁻⁸ relative per weight, bf16
+    /// stream rounding ≤ 2⁻⁹, f32 accumulation).
+    #[test]
+    fn quantised_engine_matches_f64_within_1e2(
+        n in 4usize..40,
+        extra in proptest::collection::vec((0usize..40, 0usize..40), 0..30),
+        geo_seed in 0u64..1000,
+        rhs_seed in 0u64..1000,
+        model_seed in 0u64..1000,
+        num_blocks in 1usize..5,
+        latent in 2usize..12,
+    ) {
+        let graph = random_graph(n, &extra, geo_seed, rhs_seed);
+        let model = DssModel::new(
+            DssConfig { num_blocks, latent_dim: latent, alpha: 1e-2 },
+            model_seed,
+        );
+        // Unit-normalise the input like the preconditioner does.
+        let norm = graph.input.iter().map(|v| v * v).sum::<f64>().sqrt().max(1e-30);
+        let input: Vec<f64> = graph.input.iter().map(|v| v / norm).collect();
+
+        let plan64 = model.build_plan(&graph);
+        let planq = model.build_plan_q(&graph);
+        let plan32 = model.build_plan_f32(&graph);
+        prop_assert!(
+            planq.memory_bytes() < plan32.memory_bytes(),
+            "quantised plan ({}) must be smaller than the f32 plan ({})",
+            planq.memory_bytes(),
+            plan32.memory_bytes()
+        );
+        let mut s64 = InferScratch::new();
+        let mut sq = InferScratchQ::new();
+        let mut out64 = vec![0.0; graph.num_nodes()];
+        let mut outq = vec![0.0; graph.num_nodes()];
+        model.infer_with_plan_into(&plan64, &input, &mut s64, &mut out64);
+        model.infer_with_plan_q_into(&planq, &input, &mut sq, &mut outq);
+        let dev = max_relative_deviation(&outq, &out64);
+        prop_assert!(dev <= 1e-2, "quantised deviation {} exceeds 1e-2", dev);
+    }
+
+    /// A quantised plan reused across inputs and scratch states is
+    /// bit-stable: results depend only on (plan, input), never on buffer
+    /// history.
+    #[test]
+    fn quantised_plan_reuse_is_bit_stable(
+        n in 4usize..24,
+        extra in proptest::collection::vec((0usize..24, 0usize..24), 0..12),
+        geo_seed in 0u64..1000,
+        rhs_seed in 0u64..1000,
+        model_seed in 0u64..1000,
+    ) {
+        let graph = random_graph(n, &extra, geo_seed, rhs_seed);
+        let model = DssModel::new(DssConfig { num_blocks: 3, latent_dim: 6, alpha: 1e-2 }, model_seed);
+        let plan = model.build_plan_q(&graph);
+        let mut scratch = InferScratchQ::new();
+        let mut out = vec![0.0; graph.num_nodes()];
+        let mut baseline: Vec<Vec<f64>> = Vec::new();
+        for scale in [1.0, -0.4] {
+            let input: Vec<f64> = graph.input.iter().map(|c| c * scale + 0.01).collect();
+            model.infer_with_plan_q_into(&plan, &input, &mut scratch, &mut out);
+            baseline.push(out.clone());
+        }
+        // Re-run in reverse order with a fresh scratch: identical bits.
+        let mut fresh = InferScratchQ::new();
+        for (i, scale) in [1.0, -0.4].iter().enumerate().rev() {
+            let input: Vec<f64> = graph.input.iter().map(|c| c * scale + 0.01).collect();
+            model.infer_with_plan_q_into(&plan, &input, &mut fresh, &mut out);
             prop_assert_eq!(&out, &baseline[i]);
         }
     }

@@ -185,6 +185,33 @@ mod tests {
     }
 
     #[test]
+    fn degenerate_k_ge_n_partition_flows_through_overlap() {
+        // `partition_graph` with k >= n yields one vertex per part and empty
+        // tail parts; `grow_overlap` must accept that assignment (all indices
+        // are in range) and return empty node lists for the empty parts
+        // instead of panicking or fabricating members.
+        let g = grid_graph(2, 2);
+        let k = 9;
+        let parts = partition_graph(&g, &PartitionOptions { num_parts: k, ..Default::default() });
+        let sds = grow_overlap(&g, &parts, k, 1);
+        assert_eq!(sds.len(), k);
+        for (p, sd) in sds.iter().enumerate().take(4) {
+            // Singleton core + 1 overlap layer = the vertex and its
+            // neighbours; every grid vertex has degree 2 here.
+            assert_eq!(sd.len(), 3, "part {p}: {sd:?}");
+            assert!(sd.contains(&p), "part {p} must contain its core vertex");
+            assert!(sd.windows(2).all(|w| w[0] < w[1]), "sorted/unique");
+        }
+        for sd in &sds[4..] {
+            assert!(sd.is_empty(), "tail parts past the vertex count must stay empty");
+        }
+        // The non-empty sub-domains together cover the whole graph.
+        let sizes = overlap_sizes(&sds, 4);
+        assert_eq!(sizes.len(), k);
+        assert!(sizes[..4].iter().all(|&s| s > 0), "singleton cores fully overlap");
+    }
+
+    #[test]
     fn overlap_sizes_metric() {
         let g = grid_graph(10, 10);
         let parts = partition_graph(&g, &PartitionOptions { num_parts: 4, ..Default::default() });

@@ -40,10 +40,24 @@ impl Default for PartitionOptions {
 
 /// Partition the graph into `opts.num_parts` parts of roughly equal size.
 ///
-/// Returns the part index of every vertex.  Panics if the graph is empty and
-/// more than zero parts are requested with `num_parts > num_vertices`
-/// degenerating gracefully (parts may end up empty only when there are fewer
-/// vertices than parts).
+/// Returns the part index of every vertex (`result[v] ∈ 0..num_parts`).
+/// This function **never panics**; the degenerate shapes are defined as:
+///
+/// * an **empty graph** returns an empty assignment (regardless of
+///   `num_parts`),
+/// * `num_parts == 0` is treated as 1 (every vertex lands in part 0),
+/// * `num_parts >= num_vertices` degenerates to one vertex per part —
+///   vertex `v` is assigned to part `v` — so with `k > n` the parts
+///   `n..k` are **empty**.  Downstream consumers receive empty node lists
+///   for those parts: [`crate::overlap::grow_overlap`] returns empty
+///   sub-domains for them (BFS from an empty core), and callers building
+///   Schwarz restrictions or a Nicolaides coarse space must either
+///   tolerate or filter empty sub-domains.  Part indices are always in
+///   range, so no consumer ever sees an out-of-bounds part.
+///
+/// (Note: [`crate::partition_mesh_with_overlap`] always requests
+/// `k = ceil(n / target_size) ≤ n` parts, so the empty-part shape only
+/// arises when calling this function directly.)
 pub fn partition_graph(graph: &Graph, opts: &PartitionOptions) -> Partition {
     let n = graph.num_vertices();
     let k = opts.num_parts.max(1);
@@ -293,6 +307,41 @@ mod tests {
         let opts = PartitionOptions { num_parts: 10, ..Default::default() };
         let parts = partition_graph(&g, &opts);
         assert_eq!(parts, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn zero_parts_is_treated_as_one() {
+        let g = grid_graph(3, 3);
+        let parts = partition_graph(&g, &PartitionOptions { num_parts: 0, ..Default::default() });
+        assert!(parts.iter().all(|&p| p == 0));
+        // Empty graph + zero parts: still just an empty assignment.
+        let empty = Graph::from_adjacency(&[]);
+        assert!(partition_graph(&empty, &PartitionOptions { num_parts: 0, ..Default::default() })
+            .is_empty());
+    }
+
+    #[test]
+    fn exactly_one_part_per_vertex_when_k_equals_n() {
+        let g = grid_graph(3, 2);
+        let parts = partition_graph(&g, &PartitionOptions { num_parts: 6, ..Default::default() });
+        assert_eq!(parts, vec![0, 1, 2, 3, 4, 5], "k == n assigns vertex v to part v");
+    }
+
+    #[test]
+    fn k_greater_than_n_part_indices_stay_in_range() {
+        // The doc contract: part indices are always < num_parts, even in the
+        // degenerate one-vertex-per-part shape with empty tail parts.
+        let g = grid_graph(2, 3);
+        let k = 17;
+        let parts = partition_graph(&g, &PartitionOptions { num_parts: k, ..Default::default() });
+        assert_eq!(parts.len(), 6);
+        assert!(parts.iter().all(|&p| p < k), "part index out of range: {parts:?}");
+        let mut counts = vec![0usize; k];
+        for &p in &parts {
+            counts[p] += 1;
+        }
+        assert!(counts[..6].iter().all(|&c| c == 1));
+        assert!(counts[6..].iter().all(|&c| c == 0), "tail parts must be empty, not aliased");
     }
 
     #[test]

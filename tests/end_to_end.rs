@@ -216,6 +216,44 @@ fn small_pipeline_smoke() {
     assert!(krylov::true_relative_residual(&problem.matrix, &result.x, &problem.rhs) < 1e-7);
 }
 
+/// The degenerate `k == n` partition (one vertex per part — the shape
+/// `partition_graph` produces whenever `num_parts >= num_vertices`) must flow
+/// through the whole downstream pipeline: overlap growth, Schwarz
+/// decomposition, the Nicolaides coarse space and a preconditioned solve.
+/// Guards the `partition_graph` doc contract end to end — no out-of-range
+/// part indices, no panics on singleton cores.
+#[test]
+fn singleton_partition_flows_through_decomposition_and_coarse_space() {
+    let domain = RandomBlobDomain::generate(5, 14, 1.0);
+    let h = meshgen::generator::element_size_for_target_nodes(&domain, 70);
+    let mesh = generate_mesh(&domain, &MeshingOptions::with_element_size(h).seed(5));
+    let problem = PoissonProblem::with_random_data(mesh, 6);
+    // target_size 1 ⇒ k == n parts, every core a single vertex.
+    let subdomains = partition_mesh_with_overlap(&problem.mesh, 1, 1, 0);
+    assert_eq!(subdomains.len(), problem.mesh.num_nodes());
+    for sd in &subdomains {
+        assert!(!sd.is_empty(), "k == n cores are singletons, never empty");
+        assert!(sd.windows(2).all(|w| w[0] < w[1]), "sorted/unique node lists");
+    }
+    // The full two-level Schwarz pipeline accepts the degenerate shape…
+    let asm = AdditiveSchwarz::new(&problem.matrix, subdomains.clone(), AsmLevel::TwoLevel)
+        .expect("two-level ASM must accept singleton sub-domains");
+    // …including the Nicolaides coarse space built directly from it.
+    let decomp = ddm::Decomposition::new(&problem.matrix, subdomains);
+    let coarse = ddm::NicolaidesCoarseSpace::new(&problem.matrix, &decomp.restrictions)
+        .expect("coarse space must accept singleton sub-domains");
+    assert_eq!(coarse.dim(), decomp.num_subdomains());
+    let result = preconditioned_conjugate_gradient(
+        &problem.matrix,
+        &problem.rhs,
+        None,
+        &asm,
+        &SolverOptions::with_tolerance(1e-8),
+    );
+    assert!(result.stats.converged(), "singleton-sub-domain ASM solve must converge");
+    assert!(krylov::true_relative_residual(&problem.matrix, &result.x, &problem.rhs) < 1e-7);
+}
+
 /// The hybrid GNN-preconditioned solve at smoke-test size, exercised with the
 /// shipped pre-trained model when present (skipped-by-fallback otherwise: an
 /// untrained fallback would make this test slow, which is the heavy tests'
@@ -287,4 +325,54 @@ fn f32_preconditioner_iteration_count_within_ten_percent_of_f64() {
     );
     assert!(krylov::true_relative_residual(&problem.matrix, &o32.x, &problem.rhs) < 1e-5);
     assert!(sparse::vector::relative_error(&o32.x, &o64.x) < 1e-4);
+}
+
+/// The quantised (int8-weight / bf16-stream) inference engine inside the
+/// preconditioner: on a fresh ~1800-node problem the quantised hybrid solver
+/// must converge with an iteration count within +15% of the f64 baseline
+/// (the acceptance bound of the int8 mode — the ~1e-3 relative quantisation
+/// perturbation is absorbed by the flexible outer PCG), and its solution
+/// must agree with the f64 one to well below the solver tolerance.
+#[test]
+#[cfg_attr(
+    debug_assertions,
+    ignore = "heavy end-to-end test: opt in with `cargo test --release -- --include-ignored`"
+)]
+fn int8_preconditioner_iteration_count_within_fifteen_percent_of_f64() {
+    let model = Arc::new(
+        ddm_gnn::load_pretrained()
+            .unwrap_or_else(|| ddm_gnn::train_model(&ddm_gnn::PipelineConfig::default()).model),
+    );
+    let problem = ddm_gnn::generate_problem(991, 1800);
+    let subdomains = partition_mesh_with_overlap(&problem.mesh, 200, 2, 0);
+    let opts = SolverOptions::with_tolerance(1e-6).max_iterations(20_000);
+    let o64 = ddm_gnn::solve_ddm_gnn_with_precision(
+        &problem,
+        subdomains.clone(),
+        Arc::clone(&model),
+        true,
+        ddm_gnn::Precision::F64,
+        &opts,
+    )
+    .expect("f64 DDM-GNN solve");
+    let oq = ddm_gnn::solve_ddm_gnn_with_precision(
+        &problem,
+        subdomains,
+        Arc::clone(&model),
+        true,
+        ddm_gnn::Precision::Int8,
+        &opts,
+    )
+    .expect("int8 DDM-GNN solve");
+    assert!(o64.stats.converged() && oq.stats.converged());
+    let cap = o64.stats.iterations + (15 * o64.stats.iterations).div_ceil(100);
+    assert!(
+        oq.stats.iterations <= cap,
+        "int8 preconditioner took {} iterations vs f64 {} (+15% cap {})",
+        oq.stats.iterations,
+        o64.stats.iterations,
+        cap
+    );
+    assert!(krylov::true_relative_residual(&problem.matrix, &oq.x, &problem.rhs) < 1e-5);
+    assert!(sparse::vector::relative_error(&oq.x, &o64.x) < 1e-4);
 }
