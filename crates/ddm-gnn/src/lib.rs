@@ -24,6 +24,7 @@ pub mod pipeline;
 pub mod preconditioner;
 pub mod solver;
 
+pub use ddm::{MultilevelConfig, SmootherKind, SmootherPrecision};
 pub use gnn::Precision;
 pub use pipeline::{
     generate_problem, load_pretrained, train_model, train_model_multi_size, train_model_on_samples,
@@ -31,8 +32,9 @@ pub use pipeline::{
 };
 pub use preconditioner::DdmGnnPreconditioner;
 pub use solver::{
-    solve_cg, solve_ddm_gnn, solve_ddm_gnn_with_precision, solve_ddm_lu, solve_ic0, HybridSolver,
-    HybridSolverConfig, Method, SolveOutcome, TimedPreconditioner,
+    solve_cg, solve_ddm_gnn, solve_ddm_gnn_multilevel, solve_ddm_gnn_with_precision, solve_ddm_lu,
+    solve_ddm_lu_multilevel, solve_ic0, HybridSolver, HybridSolverConfig, Method, SolveOutcome,
+    TimedPreconditioner,
 };
 
 #[cfg(test)]

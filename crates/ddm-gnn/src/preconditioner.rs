@@ -11,7 +11,10 @@
 //!    iteration: the network always sees unit-norm inputs,
 //! 3. **Gluing** — `z = r_c + Σᵢ Rᵢᵀ ‖Rᵢ r‖ r̃ᵢ` (Eq. 16).
 
-use ddm::{Decomposition, NicolaidesCoarseSpace, Restriction};
+use ddm::{
+    CoarseSpace, Decomposition, Hierarchy, MultilevelConfig, NicolaidesCoarseSpace, Restriction,
+    SmootherPrecision,
+};
 use fem::PoissonProblem;
 use gnn::{
     dataset::build_local_graphs, DssModel, InferScratch, InferScratchF32, InferScratchQ,
@@ -66,7 +69,7 @@ pub struct DdmGnnPreconditioner {
     /// configured [`Precision`].  `apply` only runs the cheap
     /// residual-dependent half of the forward pass.
     plans: PlanSet,
-    coarse: Option<NicolaidesCoarseSpace>,
+    coarse: Option<CoarseSpace>,
     model: Arc<DssModel>,
     scratch: Vec<Mutex<SubdomainScratch>>,
     /// Serialises whole `apply` calls: the scratch buffers span the parallel
@@ -74,6 +77,9 @@ pub struct DdmGnnPreconditioner {
     /// same preconditioner would otherwise interleave and corrupt each other.
     apply_guard: Mutex<()>,
     num_global: usize,
+    /// Reported by `Preconditioner::name` ("ddm-gnn-{1,2}level[-f32|-int8]"
+    /// or "ddm-gnn-ml<levels>[-f32|-int8]").
+    name: String,
 }
 
 impl DdmGnnPreconditioner {
@@ -154,16 +160,83 @@ impl DdmGnnPreconditioner {
         two_level: bool,
         precision: Precision,
     ) -> sparse::Result<Self> {
+        let coarse = if two_level {
+            Some(CoarseSpace::Nicolaides(NicolaidesCoarseSpace::new(
+                matrix,
+                &decomposition.restrictions,
+            )?))
+        } else {
+            None
+        };
+        Self::assemble(matrix, decomposition, graphs, model, coarse, precision)
+    }
+
+    /// Build with a smoothed-aggregation multi-level coarse component
+    /// instead of the single-shot Nicolaides solve.
+    ///
+    /// The hierarchy's smoother precision follows the inference precision
+    /// (`Precision::F64` keeps f64 sweeps; `F32` and `Int8` drop the sweeps
+    /// to the f32 engine — the V-cycle glue stays f64 either way), so
+    /// reduced-precision deployments get a matching reduced-precision coarse
+    /// path without extra configuration.
+    pub fn with_multilevel_coarse(
+        problem: &PoissonProblem,
+        subdomains: Vec<Vec<usize>>,
+        model: Arc<DssModel>,
+        config: &MultilevelConfig,
+        precision: Precision,
+    ) -> sparse::Result<Self> {
+        let decomposition = Decomposition::new(&problem.matrix, subdomains);
+        let graphs = build_local_graphs(problem, &decomposition);
+        Self::from_parts_with_multilevel(
+            &problem.matrix,
+            decomposition,
+            graphs,
+            model,
+            config,
+            precision,
+        )
+    }
+
+    /// [`DdmGnnPreconditioner::with_multilevel_coarse`] from pre-built parts.
+    pub fn from_parts_with_multilevel(
+        matrix: &CsrMatrix,
+        decomposition: Decomposition,
+        graphs: Vec<LocalGraph>,
+        model: Arc<DssModel>,
+        config: &MultilevelConfig,
+        precision: Precision,
+    ) -> sparse::Result<Self> {
+        let config = MultilevelConfig {
+            smoother_precision: Self::smoother_precision_for(precision),
+            ..config.clone()
+        };
+        let hierarchy = Hierarchy::build(matrix, &config)?;
+        let coarse = Some(CoarseSpace::Multilevel(hierarchy));
+        Self::assemble(matrix, decomposition, graphs, model, coarse, precision)
+    }
+
+    /// The smoother precision matching an inference precision.
+    fn smoother_precision_for(precision: Precision) -> SmootherPrecision {
+        match precision {
+            Precision::F64 => SmootherPrecision::F64,
+            Precision::F32 | Precision::Int8 => SmootherPrecision::F32,
+        }
+    }
+
+    fn assemble(
+        matrix: &CsrMatrix,
+        decomposition: Decomposition,
+        graphs: Vec<LocalGraph>,
+        model: Arc<DssModel>,
+        coarse: Option<CoarseSpace>,
+        precision: Precision,
+    ) -> sparse::Result<Self> {
         assert_eq!(
             decomposition.restrictions.len(),
             graphs.len(),
             "one local graph per sub-domain required"
         );
-        let coarse = if two_level {
-            Some(NicolaidesCoarseSpace::new(matrix, &decomposition.restrictions)?)
-        } else {
-            None
-        };
         let scratch = decomposition
             .restrictions
             .iter()
@@ -178,6 +251,18 @@ impl DdmGnnPreconditioner {
                 PlanSet::Int8(graphs.iter().map(|g| model.build_plan_q(g)).collect())
             }
         };
+        let suffix = match precision {
+            Precision::F64 => "",
+            Precision::F32 => "-f32",
+            Precision::Int8 => "-int8",
+        };
+        let name = match &coarse {
+            None => format!("ddm-gnn-1level{suffix}"),
+            Some(CoarseSpace::Nicolaides(_)) => format!("ddm-gnn-2level{suffix}"),
+            Some(CoarseSpace::Multilevel(h)) => {
+                format!("ddm-gnn-ml{}{suffix}", h.num_levels())
+            }
+        };
         Ok(DdmGnnPreconditioner {
             restrictions: decomposition.restrictions,
             graphs,
@@ -187,6 +272,7 @@ impl DdmGnnPreconditioner {
             scratch,
             apply_guard: Mutex::new(()),
             num_global: matrix.nrows(),
+            name,
         })
     }
 
@@ -198,6 +284,11 @@ impl DdmGnnPreconditioner {
     /// Whether the coarse-space correction is active.
     pub fn has_coarse_space(&self) -> bool {
         self.coarse.is_some()
+    }
+
+    /// The coarse component, if any.
+    pub fn coarse_space(&self) -> Option<&CoarseSpace> {
+        self.coarse.as_ref()
     }
 
     /// The underlying DSS model.
@@ -319,14 +410,7 @@ impl Preconditioner for DdmGnnPreconditioner {
     }
 
     fn name(&self) -> &str {
-        match (self.coarse.is_some(), self.precision()) {
-            (true, Precision::F64) => "ddm-gnn-2level",
-            (false, Precision::F64) => "ddm-gnn-1level",
-            (true, Precision::F32) => "ddm-gnn-2level-f32",
-            (false, Precision::F32) => "ddm-gnn-1level-f32",
-            (true, Precision::Int8) => "ddm-gnn-2level-int8",
-            (false, Precision::Int8) => "ddm-gnn-1level-int8",
-        }
+        &self.name
     }
 }
 
@@ -625,6 +709,79 @@ mod tests {
         assert!(
             r32.stats.iterations <= cap,
             "f32 iterations {} exceed f64 {} + 10%",
+            r32.stats.iterations,
+            r64.stats.iterations
+        );
+    }
+
+    #[test]
+    fn multilevel_coarse_component_converges_and_names_itself() {
+        let fx = fixture();
+        let ml = DdmGnnPreconditioner::with_multilevel_coarse(
+            &fx.problem,
+            fx.subdomains.clone(),
+            Arc::new(fx.model.clone()),
+            &MultilevelConfig { coarsest_max_size: 60, ..Default::default() },
+            gnn::Precision::F64,
+        )
+        .unwrap();
+        assert!(ml.has_coarse_space());
+        let levels = match ml.coarse_space().unwrap() {
+            CoarseSpace::Multilevel(h) => h.num_levels(),
+            CoarseSpace::Nicolaides(_) => panic!("expected a multilevel coarse space"),
+        };
+        assert!(levels >= 2);
+        assert_eq!(ml.name(), format!("ddm-gnn-ml{levels}"));
+        let opts = SolverOptions::with_tolerance(1e-6).max_iterations(500);
+        let result = preconditioned_conjugate_gradient(
+            &fx.problem.matrix,
+            &fx.problem.rhs,
+            None,
+            &ml,
+            &opts,
+        );
+        assert!(result.stats.converged(), "{:?}", result.stats.stop_reason);
+        assert!(
+            krylov::true_relative_residual(&fx.problem.matrix, &result.x, &fx.problem.rhs) < 1e-5
+        );
+    }
+
+    #[test]
+    fn multilevel_coarse_follows_inference_precision() {
+        // The f32/int8 inference modes drop the hierarchy's smoother to f32
+        // sweeps; the solve must still converge with iteration counts close
+        // to the f64 configuration.
+        let fx = fixture();
+        let opts = SolverOptions::with_tolerance(1e-6).max_iterations(500);
+        let solve = |precision| {
+            let precond = DdmGnnPreconditioner::with_multilevel_coarse(
+                &fx.problem,
+                fx.subdomains.clone(),
+                Arc::new(fx.model.clone()),
+                &MultilevelConfig { coarsest_max_size: 60, ..Default::default() },
+                precision,
+            )
+            .unwrap();
+            let name = precond.name().to_string();
+            (
+                preconditioned_conjugate_gradient(
+                    &fx.problem.matrix,
+                    &fx.problem.rhs,
+                    None,
+                    &precond,
+                    &opts,
+                ),
+                name,
+            )
+        };
+        let (r64, _) = solve(gnn::Precision::F64);
+        let (r32, name32) = solve(gnn::Precision::F32);
+        assert!(name32.starts_with("ddm-gnn-ml") && name32.ends_with("-f32"), "{name32}");
+        assert!(r64.stats.converged() && r32.stats.converged());
+        let cap = r64.stats.iterations + r64.stats.iterations.div_ceil(10);
+        assert!(
+            r32.stats.iterations <= cap,
+            "f32-smoothed multilevel iterations {} exceed f64 {} + 10%",
             r32.stats.iterations,
             r64.stats.iterations
         );

@@ -12,7 +12,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
-use ddm::{AdditiveSchwarz, AsmLevel};
+use ddm::{AdditiveSchwarz, AsmLevel, MultilevelConfig};
 use fem::PoissonProblem;
 use gnn::{DssModel, Precision};
 use krylov::{
@@ -170,6 +170,67 @@ pub fn solve_ddm_lu(
     })
 }
 
+/// [`solve_ddm_lu`] with the smoothed-aggregation multi-level hierarchy as
+/// the coarse component instead of the Nicolaides space.
+pub fn solve_ddm_lu_multilevel(
+    problem: &PoissonProblem,
+    subdomains: Vec<Vec<usize>>,
+    config: &MultilevelConfig,
+    opts: &SolverOptions,
+) -> sparse::Result<SolveOutcome> {
+    let num_subdomains = subdomains.len();
+    let setup_start = Instant::now();
+    let precond = TimedPreconditioner::new(AdditiveSchwarz::with_multilevel(
+        &problem.matrix,
+        subdomains,
+        config,
+    )?);
+    let setup_seconds = setup_start.elapsed().as_secs_f64();
+    let start = Instant::now();
+    let result =
+        preconditioned_conjugate_gradient(&problem.matrix, &problem.rhs, None, &precond, opts);
+    Ok(SolveOutcome {
+        method: Method::DdmLu,
+        x: result.x,
+        stats: result.stats,
+        total_seconds: start.elapsed().as_secs_f64(),
+        setup_seconds,
+        preconditioner_seconds: precond.seconds(),
+        num_subdomains,
+    })
+}
+
+/// [`solve_ddm_gnn_with_precision`] with the multi-level hierarchy as the
+/// coarse component (the hierarchy's smoother precision follows
+/// `precision`).
+pub fn solve_ddm_gnn_multilevel(
+    problem: &PoissonProblem,
+    subdomains: Vec<Vec<usize>>,
+    model: Arc<DssModel>,
+    config: &MultilevelConfig,
+    precision: Precision,
+    opts: &SolverOptions,
+) -> sparse::Result<SolveOutcome> {
+    let num_subdomains = subdomains.len();
+    let setup_start = Instant::now();
+    let precond = TimedPreconditioner::new(DdmGnnPreconditioner::with_multilevel_coarse(
+        problem, subdomains, model, config, precision,
+    )?);
+    let setup_seconds = setup_start.elapsed().as_secs_f64();
+    let start = Instant::now();
+    let result =
+        preconditioned_conjugate_gradient(&problem.matrix, &problem.rhs, None, &precond, opts);
+    Ok(SolveOutcome {
+        method: Method::DdmGnn,
+        x: result.x,
+        stats: result.stats,
+        total_seconds: start.elapsed().as_secs_f64(),
+        setup_seconds,
+        preconditioner_seconds: precond.seconds(),
+        num_subdomains,
+    })
+}
+
 /// Solve with PCG preconditioned by DDM-GNN (double-precision inference).
 pub fn solve_ddm_gnn(
     problem: &PoissonProblem,
@@ -233,6 +294,11 @@ pub struct HybridSolverConfig {
     /// quantised once at setup from the f64 model; the flexible outer PCG
     /// keeps its convergence guarantee in every mode).
     pub precision: Precision,
+    /// When set, replace the Nicolaides coarse solve with a
+    /// smoothed-aggregation multi-level V-cycle built from this
+    /// configuration (overrides `two_level`; the hierarchy's smoother
+    /// precision follows `precision`).
+    pub multilevel: Option<MultilevelConfig>,
 }
 
 impl Default for HybridSolverConfig {
@@ -245,6 +311,7 @@ impl Default for HybridSolverConfig {
             max_iterations: 5000,
             partition_seed: 0,
             precision: Precision::F64,
+            multilevel: None,
         }
     }
 }
@@ -281,6 +348,16 @@ impl HybridSolver {
         );
         let opts = SolverOptions::with_tolerance(self.config.tolerance)
             .max_iterations(self.config.max_iterations);
+        if let Some(ml) = &self.config.multilevel {
+            return solve_ddm_gnn_multilevel(
+                problem,
+                subdomains,
+                Arc::clone(&self.model),
+                ml,
+                self.config.precision,
+                &opts,
+            );
+        }
         solve_ddm_gnn_with_precision(
             problem,
             subdomains,
@@ -305,6 +382,9 @@ impl HybridSolver {
         );
         let opts = SolverOptions::with_tolerance(self.config.tolerance)
             .max_iterations(self.config.max_iterations);
+        if let Some(ml) = &self.config.multilevel {
+            return solve_ddm_lu_multilevel(problem, subdomains, ml, &opts);
+        }
         solve_ddm_lu(problem, subdomains, self.config.two_level, &opts)
     }
 }
@@ -423,6 +503,46 @@ mod tests {
             oq.stats.iterations,
             o64.stats.iterations
         );
+    }
+
+    #[test]
+    fn hybrid_solver_multilevel_config_end_to_end() {
+        let fx = fixture();
+        let ml_config = MultilevelConfig { coarsest_max_size: 60, ..Default::default() };
+        let solver = HybridSolver::new(
+            fx.model.clone(),
+            HybridSolverConfig {
+                subdomain_size: 250,
+                overlap: 2,
+                tolerance: 1e-6,
+                multilevel: Some(ml_config.clone()),
+                ..Default::default()
+            },
+        );
+        let outcome = solver.solve(&fx.problem).unwrap();
+        assert!(outcome.stats.converged());
+        assert!(
+            krylov::true_relative_residual(&fx.problem.matrix, &outcome.x, &fx.problem.rhs) < 1e-5
+        );
+        let exact = solver.solve_with_exact_local_solver(&fx.problem).unwrap();
+        assert!(exact.stats.converged());
+        assert!(sparse::vector::relative_error(&exact.x, &outcome.x) < 1e-4);
+        // The free functions drive the same multilevel paths.
+        let opts = SolverOptions::with_tolerance(1e-6).max_iterations(500);
+        let subdomains = partition_mesh_with_overlap(&fx.problem.mesh, 250, 2, 0);
+        let lu_ml =
+            solve_ddm_lu_multilevel(&fx.problem, subdomains.clone(), &ml_config, &opts).unwrap();
+        let gnn_ml = solve_ddm_gnn_multilevel(
+            &fx.problem,
+            subdomains,
+            Arc::new(fx.model.clone()),
+            &ml_config,
+            Precision::F64,
+            &opts,
+        )
+        .unwrap();
+        assert!(lu_ml.stats.converged() && gnn_ml.stats.converged());
+        assert!(lu_ml.stats.iterations <= gnn_ml.stats.iterations);
     }
 
     #[test]

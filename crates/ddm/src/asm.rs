@@ -25,8 +25,38 @@ use sparse::CsrMatrix;
 
 use crate::coarse::NicolaidesCoarseSpace;
 use crate::local::{factor_all_cholesky, CholeskyLocalSolver, LocalSolver};
+use crate::multilevel::{Hierarchy, MultilevelConfig};
 use crate::restriction::Restriction;
 use crate::Decomposition;
+
+/// The coarse component of a two-or-more-level Schwarz preconditioner:
+/// either the classical single-shot Nicolaides solve or a recursive
+/// smoothed-aggregation V-cycle.
+pub enum CoarseSpace {
+    /// One coarse degree of freedom per sub-domain, dense LU solve.
+    Nicolaides(NicolaidesCoarseSpace),
+    /// Smoothed-aggregation multi-level V-cycle over the global operator.
+    Multilevel(Hierarchy),
+}
+
+impl CoarseSpace {
+    /// Accumulate the coarse correction for residual `r` into `out`.
+    pub fn apply_into(&self, r: &[f64], out: &mut [f64]) {
+        match self {
+            CoarseSpace::Nicolaides(c) => c.apply_into(r, out),
+            CoarseSpace::Multilevel(h) => h.apply_into(r, out),
+        }
+    }
+
+    /// Number of levels the coarse component itself spans (1 for the
+    /// Nicolaides direct solve).
+    pub fn num_levels(&self) -> usize {
+        match self {
+            CoarseSpace::Nicolaides(_) => 1,
+            CoarseSpace::Multilevel(h) => h.num_levels(),
+        }
+    }
+}
 
 /// Reusable per-sub-domain buffers for one preconditioner application.
 struct LocalScratch {
@@ -51,19 +81,26 @@ pub enum AsmLevel {
     OneLevel,
     /// Two-level method: local solves plus the Nicolaides coarse correction.
     TwoLevel,
+    /// Local solves plus a smoothed-aggregation multi-level V-cycle (with
+    /// the default [`MultilevelConfig`]; use
+    /// [`AdditiveSchwarz::with_multilevel`] for a custom one).
+    Multilevel,
 }
 
 /// The Additive Schwarz preconditioner with exact local solvers.
 pub struct AdditiveSchwarz {
     restrictions: Vec<Restriction>,
     local_solvers: Vec<CholeskyLocalSolver>,
-    coarse: Option<NicolaidesCoarseSpace>,
+    coarse: Option<CoarseSpace>,
     scratch: Vec<Mutex<LocalScratch>>,
     /// Serialises whole `apply` calls: the scratch buffers span the parallel
     /// fill and the sequential glue, so two concurrent `apply`s on the same
     /// preconditioner would otherwise interleave and corrupt each other.
     apply_guard: Mutex<()>,
     num_global: usize,
+    /// Reported by `Preconditioner::name` ("ddm-lu-1level", "ddm-lu-2level"
+    /// or "ddm-lu-ml<levels>").
+    name: String,
 }
 
 impl AdditiveSchwarz {
@@ -78,6 +115,40 @@ impl AdditiveSchwarz {
         Self::from_decomposition(matrix, decomp, level)
     }
 
+    /// Build with a smoothed-aggregation multi-level coarse component using
+    /// an explicit [`MultilevelConfig`].
+    pub fn with_multilevel(
+        matrix: &CsrMatrix,
+        subdomains: Vec<Vec<usize>>,
+        config: &MultilevelConfig,
+    ) -> sparse::Result<Self> {
+        let decomp = Decomposition::new(matrix, subdomains);
+        Self::from_decomposition_multilevel(matrix, decomp, config)
+    }
+
+    /// [`AdditiveSchwarz::from_decomposition`] with a multi-level coarse
+    /// component built from `config`.
+    pub fn from_decomposition_multilevel(
+        matrix: &CsrMatrix,
+        decomposition: Decomposition,
+        config: &MultilevelConfig,
+    ) -> sparse::Result<Self> {
+        let hierarchy = Hierarchy::build(matrix, config)?;
+        Self::assemble(matrix, decomposition, Some(CoarseSpace::Multilevel(hierarchy)))
+    }
+
+    /// Build from an existing decomposition with an explicitly constructed
+    /// coarse component (or none).  This is the injection point for custom
+    /// hierarchies — e.g. the bit-exact
+    /// [`Hierarchy::two_level_nicolaides`] pinning configuration.
+    pub fn from_decomposition_with_coarse(
+        matrix: &CsrMatrix,
+        decomposition: Decomposition,
+        coarse: Option<CoarseSpace>,
+    ) -> sparse::Result<Self> {
+        Self::assemble(matrix, decomposition, coarse)
+    }
+
     /// Build from an existing decomposition (lets callers reuse the local
     /// matrices, e.g. to also train a GNN on them).
     pub fn from_decomposition(
@@ -85,13 +156,33 @@ impl AdditiveSchwarz {
         decomposition: Decomposition,
         level: AsmLevel,
     ) -> sparse::Result<Self> {
-        let Decomposition { restrictions, local_matrices, .. } = decomposition;
-        let local_solvers = factor_all_cholesky(&local_matrices)?;
         let coarse = match level {
             AsmLevel::OneLevel => None,
-            AsmLevel::TwoLevel => Some(NicolaidesCoarseSpace::new(matrix, &restrictions)?),
+            AsmLevel::TwoLevel => Some(CoarseSpace::Nicolaides(NicolaidesCoarseSpace::new(
+                matrix,
+                &decomposition.restrictions,
+            )?)),
+            AsmLevel::Multilevel => Some(CoarseSpace::Multilevel(Hierarchy::build(
+                matrix,
+                &MultilevelConfig::default(),
+            )?)),
         };
+        Self::assemble(matrix, decomposition, coarse)
+    }
+
+    fn assemble(
+        matrix: &CsrMatrix,
+        decomposition: Decomposition,
+        coarse: Option<CoarseSpace>,
+    ) -> sparse::Result<Self> {
+        let Decomposition { restrictions, local_matrices, .. } = decomposition;
+        let local_solvers = factor_all_cholesky(&local_matrices)?;
         let scratch = restrictions.iter().map(|r| LocalScratch::new(r.num_local())).collect();
+        let name = match &coarse {
+            None => "ddm-lu-1level".to_string(),
+            Some(CoarseSpace::Nicolaides(_)) => "ddm-lu-2level".to_string(),
+            Some(CoarseSpace::Multilevel(h)) => format!("ddm-lu-ml{}", h.num_levels()),
+        };
         Ok(AdditiveSchwarz {
             restrictions,
             local_solvers,
@@ -99,6 +190,7 @@ impl AdditiveSchwarz {
             scratch,
             apply_guard: Mutex::new(()),
             num_global: matrix.nrows(),
+            name,
         })
     }
 
@@ -110,6 +202,11 @@ impl AdditiveSchwarz {
     /// Whether the coarse correction is active.
     pub fn has_coarse_space(&self) -> bool {
         self.coarse.is_some()
+    }
+
+    /// The coarse component, if any.
+    pub fn coarse_space(&self) -> Option<&CoarseSpace> {
+        self.coarse.as_ref()
     }
 }
 
@@ -147,11 +244,7 @@ impl Preconditioner for AdditiveSchwarz {
     }
 
     fn name(&self) -> &str {
-        if self.coarse.is_some() {
-            "ddm-lu-2level"
-        } else {
-            "ddm-lu-1level"
-        }
+        &self.name
     }
 }
 
@@ -285,6 +378,80 @@ mod tests {
             r4.stats.iterations,
             r2.stats.iterations
         );
+    }
+
+    #[test]
+    fn multilevel_coarse_component_converges_and_is_symmetric() {
+        let fx = fixture(2500, 150, 2);
+        let opts = SolverOptions::with_tolerance(1e-6);
+        let ml = AdditiveSchwarz::with_multilevel(
+            &fx.problem.matrix,
+            fx.subdomains.clone(),
+            &crate::MultilevelConfig { coarsest_max_size: 100, ..Default::default() },
+        )
+        .unwrap();
+        assert!(ml.has_coarse_space());
+        let levels = ml.coarse_space().unwrap().num_levels();
+        assert!(levels >= 2, "hierarchy should have coarsened, got {levels} levels");
+        assert_eq!(ml.name(), format!("ddm-lu-ml{levels}"));
+
+        // Symmetry (PCG requirement).
+        let n = fx.problem.num_unknowns();
+        let y: Vec<f64> = (0..n).map(|i| ((i * 3 % 13) as f64) - 6.0).collect();
+        let w: Vec<f64> = (0..n).map(|i| ((i * 7 % 11) as f64) * 0.4).collect();
+        let mut my = vec![0.0; n];
+        let mut mw = vec![0.0; n];
+        ml.apply(&y, &mut my);
+        ml.apply(&w, &mut mw);
+        let lhs = sparse::vector::dot(&w, &my);
+        let rhs = sparse::vector::dot(&y, &mw);
+        assert!((lhs - rhs).abs() < 1e-8 * lhs.abs().max(1.0));
+
+        // Converges at least as fast as the Nicolaides two-level method.
+        let two =
+            AdditiveSchwarz::new(&fx.problem.matrix, fx.subdomains.clone(), AsmLevel::TwoLevel)
+                .unwrap();
+        let r_ml = preconditioned_conjugate_gradient(
+            &fx.problem.matrix,
+            &fx.problem.rhs,
+            None,
+            &ml,
+            &opts,
+        );
+        let r_two = preconditioned_conjugate_gradient(
+            &fx.problem.matrix,
+            &fx.problem.rhs,
+            None,
+            &two,
+            &opts,
+        );
+        assert!(r_ml.stats.converged() && r_two.stats.converged());
+        assert!(
+            r_ml.stats.iterations <= r_two.stats.iterations + 2,
+            "multilevel {} vs two-level {}",
+            r_ml.stats.iterations,
+            r_two.stats.iterations
+        );
+        assert!(sparse::vector::relative_error(&r_ml.x, &r_two.x) < 1e-4);
+    }
+
+    #[test]
+    fn asm_level_multilevel_uses_default_config() {
+        let fx = fixture(1200, 300, 2);
+        let ml =
+            AdditiveSchwarz::new(&fx.problem.matrix, fx.subdomains.clone(), AsmLevel::Multilevel)
+                .unwrap();
+        assert!(ml.has_coarse_space());
+        assert!(ml.name().starts_with("ddm-lu-ml"));
+        let opts = SolverOptions::with_tolerance(1e-6);
+        let r = preconditioned_conjugate_gradient(
+            &fx.problem.matrix,
+            &fx.problem.rhs,
+            None,
+            &ml,
+            &opts,
+        );
+        assert!(r.stats.converged());
     }
 
     #[test]

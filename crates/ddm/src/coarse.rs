@@ -15,7 +15,7 @@
 //! with LU once per setup; `apply_into` reuses pre-sized scratch vectors so
 //! the per-Krylov-iteration path is allocation-free.
 
-use std::sync::Mutex;
+use std::sync::{Mutex, PoisonError};
 
 use sparse::{CsrMatrix, DenseMatrix, LuFactor};
 
@@ -80,7 +80,13 @@ impl NicolaidesCoarseSpace {
     /// Apply the coarse correction `z_c = R₀ᵀ (R₀ A R₀ᵀ)⁻¹ R₀ r`, accumulating
     /// the result into `out`.
     pub fn apply_into(&self, r: &[f64], out: &mut [f64]) {
-        let mut guard = self.scratch.lock().unwrap();
+        // A panic elsewhere while the lock was held poisons the mutex, but the
+        // guarded state has no invariant that a panic could break: both
+        // buffers are fully overwritten (`spmv_into` / `solve_into`) before
+        // being read, so recovering the guard is always safe.  Without this,
+        // one panicked worker would permanently disable the coarse solve for
+        // every subsequent apply.
+        let mut guard = self.scratch.lock().unwrap_or_else(PoisonError::into_inner);
         let CoarseScratch { rhs, sol } = &mut *guard;
         // coarse rhs = R0 r (sparse restriction)
         self.r0.spmv_into(r, rhs);
@@ -179,5 +185,30 @@ mod tests {
         for (a, f) in acc.iter().zip(first.iter()) {
             assert!((a - 2.0 * f).abs() < 1e-12);
         }
+    }
+
+    #[test]
+    fn apply_survives_poisoned_scratch_mutex() {
+        // A panic while the scratch lock is held poisons the mutex.  The
+        // coarse solve must recover (the buffers carry no cross-call state)
+        // and keep producing the exact same corrections as before the panic.
+        let fx = fixture(500, 180, 2);
+        let decomp = Decomposition::new(&fx.problem.matrix, fx.subdomains.clone());
+        let coarse = NicolaidesCoarseSpace::new(&fx.problem.matrix, &decomp.restrictions).unwrap();
+        let n = fx.problem.num_unknowns();
+        let r: Vec<f64> = (0..n).map(|i| ((i * 3 % 13) as f64) * 0.5 - 1.5).collect();
+        let before = coarse.apply(&r);
+
+        // Deliberately poison: panic while holding the scratch guard.
+        let poison = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _guard = coarse.scratch.lock().unwrap();
+            panic!("deliberate poison");
+        }));
+        assert!(poison.is_err());
+        assert!(coarse.scratch.is_poisoned(), "test setup failed to poison the mutex");
+
+        // The next apply must neither panic nor change its answer.
+        let after = coarse.apply(&r);
+        assert_eq!(before, after, "poison recovery changed the coarse correction");
     }
 }

@@ -14,6 +14,9 @@
 //!   Cholesky by default; this is the "LU" of the paper's DDM-LU baseline),
 //! * [`coarse::NicolaidesCoarseSpace`] — the partition-of-unity coarse space
 //!   and its dense LU factorisation,
+//! * [`multilevel::Hierarchy`] — the recursive smoothed-aggregation AMG
+//!   hierarchy whose V-cycle serves as a stronger (3+ level) coarse
+//!   component,
 //! * [`asm::AdditiveSchwarz`] — the one- and two-level preconditioner,
 //!   implementing [`krylov::Preconditioner`] so it plugs straight into PCG.
 //!
@@ -23,11 +26,13 @@
 pub mod asm;
 pub mod coarse;
 pub mod local;
+pub mod multilevel;
 pub mod restriction;
 
-pub use asm::{AdditiveSchwarz, AsmLevel};
+pub use asm::{AdditiveSchwarz, AsmLevel, CoarseSpace};
 pub use coarse::NicolaidesCoarseSpace;
 pub use local::{CholeskyLocalSolver, DenseLuLocalSolver, LocalSolver};
+pub use multilevel::{Hierarchy, MultilevelConfig, SmootherKind, SmootherPrecision};
 pub use restriction::Restriction;
 
 use sparse::CsrMatrix;

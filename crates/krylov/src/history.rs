@@ -78,14 +78,37 @@ impl ConvergenceHistory {
     }
 
     /// Average residual reduction factor per iteration (geometric mean),
-    /// `None` when fewer than two entries are recorded.
+    /// with explicit semantics for the degenerate endpoints (mirroring the
+    /// zero-rhs contract of [`relative_residual_norm`]):
+    ///
+    /// * fewer than two entries, or a non-finite or negative endpoint →
+    ///   `None` (no reduction is defined);
+    /// * `first == 0` and `last == 0` → `Some(0.0)` (the solve started —
+    ///   and stayed — at the exact solution; every step "reduced" an
+    ///   already-zero residual);
+    /// * `first == 0` and `last > 0` → `None` (the residual grew from
+    ///   exact zero; no finite per-step factor describes that);
+    /// * `first > 0` and `last == 0` → `Some(0.0)` (exact convergence);
+    /// * otherwise → `(last / first)^(1 / steps)`.
+    ///
+    /// The old behaviour divided by `first` unconditionally for positive
+    /// endpoints and let NaN/∞ endpoints fall through the `<= 0.0` guards,
+    /// propagating non-finite factors to callers.
     pub fn mean_reduction_factor(&self) -> Option<f64> {
         if self.residual_norms.len() < 2 {
             return None;
         }
         let first = *self.residual_norms.first().unwrap();
         let last = *self.residual_norms.last().unwrap();
-        if first <= 0.0 || last <= 0.0 {
+        if !first.is_finite() || !last.is_finite() || first < 0.0 || last < 0.0 {
+            return None;
+        }
+        if last == 0.0 {
+            // Covers first == 0 (already converged at entry) and first > 0
+            // (exact convergence) alike.
+            return Some(0.0);
+        }
+        if first == 0.0 {
             return None;
         }
         let steps = (self.residual_norms.len() - 1) as f64;
@@ -143,6 +166,34 @@ mod tests {
         let f = h.mean_reduction_factor().unwrap();
         assert!((f - 0.1).abs() < 1e-12);
         assert!(ConvergenceHistory::new().mean_reduction_factor().is_none());
+    }
+
+    #[test]
+    fn mean_reduction_factor_degenerate_endpoints() {
+        let push_all = |norms: &[f64]| {
+            let mut h = ConvergenceHistory::new();
+            for &v in norms {
+                h.push(v);
+            }
+            h
+        };
+        // Single entry: no step, no factor.
+        assert_eq!(push_all(&[0.0]).mean_reduction_factor(), None);
+        // Zero-rhs solve converged at entry and stayed there: Some(0.0),
+        // mirroring relative_residual_norm(0, 0) == 0.
+        assert_eq!(push_all(&[0.0, 0.0]).mean_reduction_factor(), Some(0.0));
+        assert_eq!(push_all(&[0.0, 0.0, 0.0]).mean_reduction_factor(), Some(0.0));
+        // Exact convergence from a positive start.
+        assert_eq!(push_all(&[1.0, 0.0]).mean_reduction_factor(), Some(0.0));
+        // Residual grew from exact zero: undefined.
+        assert_eq!(push_all(&[0.0, 1.0]).mean_reduction_factor(), None);
+        // Non-finite endpoints (the old guards let these through as NaN/inf).
+        assert_eq!(push_all(&[f64::NAN, 1.0]).mean_reduction_factor(), None);
+        assert_eq!(push_all(&[f64::INFINITY, 1.0]).mean_reduction_factor(), None);
+        assert_eq!(push_all(&[1.0, f64::NAN]).mean_reduction_factor(), None);
+        assert_eq!(push_all(&[1.0, f64::INFINITY]).mean_reduction_factor(), None);
+        // Negative norms are malformed input, not a reduction.
+        assert_eq!(push_all(&[-1.0, 0.5]).mean_reduction_factor(), None);
     }
 
     #[test]

@@ -201,6 +201,36 @@ fn zero_rhs_relative_residual_semantics_across_all_solvers() {
     assert!(krylov::relative_residual_norm(1e-300, 0.0).is_infinite());
 }
 
+/// `mean_reduction_factor` on real zero-rhs solves: a history that starts (and
+/// possibly stays) at an exactly-zero residual must report `Some(0.0)` once a
+/// step has been taken and `None` for the zero-step immediate exit — never
+/// NaN from dividing by the zero first entry.
+#[test]
+fn zero_rhs_mean_reduction_factor_is_well_defined() {
+    let a = laplacian_2d(5, 5);
+    let n = a.nrows();
+    let b = vec![0.0; n];
+    let opts = SolverOptions::default();
+
+    // Immediate convergence from the zero guess records only the initial
+    // residual: a single entry has no per-step factor.
+    let result = conjugate_gradient(&a, &b, None, &opts);
+    assert!(result.stats.converged());
+    assert_eq!(result.stats.history.mean_reduction_factor(), None);
+
+    // From a nonzero guess the solver takes real steps toward x = 0; whatever
+    // the history looks like, the factor must be a defined, finite value.
+    let x0: Vec<f64> = (0..n).map(|i| ((i % 5) as f64) * 0.5 - 1.0).collect();
+    let result = conjugate_gradient(&a, &b, Some(&x0), &opts);
+    assert!(result.stats.converged());
+    if let Some(f) = result.stats.history.mean_reduction_factor() {
+        assert!(f.is_finite() && f >= 0.0, "factor must be finite and non-negative, got {f}");
+    } else {
+        // None is only allowed when no meaningful factor exists.
+        assert!(result.stats.history.len() < 2 || result.stats.history.norms()[0] == 0.0);
+    }
+}
+
 /// Happy breakdown: when the Krylov space becomes invariant (`h_{j+1,j} = 0`)
 /// GMRES must solve in the current subspace and exit the inner loop as
 /// `Converged` immediately — not keep orthogonalising against a zero basis

@@ -370,6 +370,13 @@ impl CsrMatrix {
     /// `out[i, j] = w · R_j` is then a sparse dot against row `j` of `R`.
     /// Peak extra memory is one `n`-vector regardless of `k`, and every
     /// summation order is fixed, so the result is deterministic.
+    ///
+    /// **Explicit zeros:** entries of `R` stored with value exactly `0.0` are
+    /// skipped, both in the merge and in the dots, so this method computes
+    /// the same floating-point operation sequence whether `R` carries
+    /// explicitly-stored zeros or not.  In particular it agrees **bit for
+    /// bit** with [`CsrMatrix::galerkin_product`] on the densified rows of
+    /// `R` (the wrapper drops zeros when sparsifying).
     pub fn galerkin_product_csr(&self, r: &CsrMatrix) -> Vec<f64> {
         assert_eq!(r.ncols(), self.nrows, "galerkin_product: R column count mismatch");
         assert_eq!(self.nrows, self.ncols, "galerkin_product: A must be square");
@@ -382,6 +389,9 @@ impl CsrMatrix {
             // w = R_i A  (row-merge of the A-rows selected by R_i's nonzeros).
             let (rcols, rvals) = r.row(i);
             for (&g, &w) in rcols.iter().zip(rvals.iter()) {
+                if w == 0.0 {
+                    continue;
+                }
                 let (acols, avals) = self.row(g);
                 for (&c, &a) in acols.iter().zip(avals.iter()) {
                     if !marked[c] {
@@ -397,7 +407,7 @@ impl CsrMatrix {
                 let (jcols, jvals) = r.row(j);
                 let mut s = 0.0;
                 for (&c, &v) in jcols.iter().zip(jvals.iter()) {
-                    if marked[c] {
+                    if v != 0.0 && marked[c] {
                         s += acc[c] * v;
                     }
                 }
@@ -409,6 +419,65 @@ impl CsrMatrix {
             touched.clear();
         }
         out
+    }
+
+    /// Sparse matrix–matrix product `C = A B` (row-merge SpGEMM).
+    ///
+    /// Every output row is accumulated into a dense scratch row with a
+    /// touched-column list, then emitted in ascending column order, so the
+    /// result satisfies the CSR invariants and the per-entry summation order
+    /// is a fixed function of the inputs (deterministic, thread-free).
+    /// Explicitly-stored zeros in `self` are skipped; zeros *produced* by
+    /// cancellation are kept, preserving the Galerkin sparsity pattern.
+    pub fn matmul(&self, other: &CsrMatrix) -> CsrMatrix {
+        assert_eq!(self.ncols, other.nrows, "matmul: inner dimension mismatch");
+        let n_out = other.ncols;
+        let mut acc = vec![0.0; n_out];
+        let mut marked = vec![false; n_out];
+        let mut touched: Vec<usize> = Vec::new();
+        let mut row_ptr = Vec::with_capacity(self.nrows + 1);
+        let mut col_idx = Vec::new();
+        let mut values = Vec::new();
+        row_ptr.push(0);
+        for i in 0..self.nrows {
+            let (cols, vals) = self.row(i);
+            for (&j, &a) in cols.iter().zip(vals.iter()) {
+                if a == 0.0 {
+                    continue;
+                }
+                let (bcols, bvals) = other.row(j);
+                for (&c, &b) in bcols.iter().zip(bvals.iter()) {
+                    if !marked[c] {
+                        marked[c] = true;
+                        touched.push(c);
+                        acc[c] = 0.0;
+                    }
+                    acc[c] += a * b;
+                }
+            }
+            touched.sort_unstable();
+            for &c in &touched {
+                col_idx.push(c);
+                values.push(acc[c]);
+                marked[c] = false;
+            }
+            row_ptr.push(col_idx.len());
+            touched.clear();
+        }
+        CsrMatrix { nrows: self.nrows, ncols: n_out, row_ptr, col_idx, values }
+    }
+
+    /// Galerkin triple product `R A Rᵀ` returning a **sparse** `k × k` CSR
+    /// matrix — the per-level coarse-operator kernel of the multi-level
+    /// hierarchy, where the dense `k × k` output of
+    /// [`CsrMatrix::galerkin_product_csr`] would be quadratic in memory.
+    ///
+    /// Computed as two row-merge SpGEMMs, `(R · A) · Rᵀ`; both products keep
+    /// a fixed summation order, so the result is deterministic.
+    pub fn galerkin_rap(&self, r: &CsrMatrix) -> CsrMatrix {
+        assert_eq!(r.ncols(), self.nrows, "galerkin_rap: R column count mismatch");
+        assert_eq!(self.nrows, self.ncols, "galerkin_rap: A must be square");
+        r.matmul(self).matmul(&r.transpose())
     }
 
     /// Frobenius norm.
@@ -615,6 +684,91 @@ mod tests {
         for (f, s) in fast.iter().zip(slow.iter()) {
             assert!((f - s).abs() < 1e-10 * s.abs().max(1.0), "{f} vs {s}");
         }
+    }
+
+    #[test]
+    fn matmul_matches_dense_reference() {
+        // (3×4) · (4×2) against the dense triple loop.
+        let mut coo_a = CooMatrix::new(3, 4);
+        for &(i, j, v) in
+            &[(0usize, 0usize, 1.0), (0, 2, -2.0), (1, 1, 3.0), (1, 3, 0.5), (2, 0, -1.0)]
+        {
+            coo_a.push(i, j, v).unwrap();
+        }
+        let mut coo_b = CooMatrix::new(4, 2);
+        for &(i, j, v) in
+            &[(0usize, 0usize, 2.0), (1, 0, -1.0), (1, 1, 4.0), (2, 1, 1.5), (3, 0, 1.0)]
+        {
+            coo_b.push(i, j, v).unwrap();
+        }
+        let a = coo_a.to_csr();
+        let b = coo_b.to_csr();
+        let c = a.matmul(&b);
+        assert_eq!(c.nrows(), 3);
+        assert_eq!(c.ncols(), 2);
+        let (da, db, dc) = (a.to_dense(), b.to_dense(), c.to_dense());
+        for i in 0..3 {
+            for j in 0..2 {
+                let mut s = 0.0;
+                for k in 0..4 {
+                    s += da[i * 4 + k] * db[k * 2 + j];
+                }
+                assert!((dc[i * 2 + j] - s).abs() < 1e-14, "C[{i},{j}]");
+            }
+        }
+        // Identity is neutral on both sides.
+        assert_eq!(a.matmul(&CsrMatrix::identity(4)), a);
+        assert_eq!(CsrMatrix::identity(3).matmul(&a), a);
+    }
+
+    #[test]
+    fn matmul_keeps_cancellation_zeros_and_skips_stored_zeros() {
+        // A row with +1/-1 against equal columns cancels to an explicit zero
+        // in the output (pattern preserved); a stored zero in A contributes
+        // no pattern at all.
+        let a = CsrMatrix::from_raw_parts(2, 2, vec![0, 2, 3], vec![0, 1, 0], vec![1.0, -1.0, 0.0])
+            .unwrap();
+        let b = CsrMatrix::from_raw_parts(2, 1, vec![0, 1, 2], vec![0, 0], vec![3.0, 3.0]).unwrap();
+        let c = a.matmul(&b);
+        // Row 0: 1*3 + (-1)*3 = 0, stored explicitly.
+        assert_eq!(c.row(0), (&[0usize][..], &[0.0][..]));
+        // Row 1: the stored zero never touches B, so the row is empty.
+        assert_eq!(c.row(1).0.len(), 0);
+    }
+
+    #[test]
+    fn galerkin_rap_matches_dense_galerkin() {
+        let a = {
+            let n = 30;
+            let mut coo = CooMatrix::new(n, n);
+            for i in 0..n {
+                coo.push(i, i, 4.0).unwrap();
+                if i + 1 < n {
+                    coo.push(i, i + 1, -1.0).unwrap();
+                    coo.push(i + 1, i, -1.0).unwrap();
+                }
+            }
+            coo.to_csr()
+        };
+        // Overlapping aggregates of 3, stride 2: R is 14×30.
+        let k = 14;
+        let mut coo = CooMatrix::new(k, 30);
+        for i in 0..k {
+            for d in 0..3 {
+                coo.push(i, 2 * i + d, 1.0 + d as f64 * 0.5).unwrap();
+            }
+        }
+        let r = coo.to_csr();
+        let sparse = a.galerkin_rap(&r);
+        let dense = a.galerkin_product_csr(&r);
+        assert_eq!(sparse.nrows(), k);
+        assert_eq!(sparse.ncols(), k);
+        let sd = sparse.to_dense();
+        for (i, (s, d)) in sd.iter().zip(dense.iter()).enumerate() {
+            assert!((s - d).abs() < 1e-12 * d.abs().max(1.0), "entry {i}: {s} vs {d}");
+        }
+        // RAP of a symmetric matrix is symmetric.
+        assert!(sparse.is_symmetric(1e-12));
     }
 
     #[test]

@@ -22,13 +22,24 @@ pub fn reverse_cuthill_mckee(a: &CsrMatrix) -> Vec<usize> {
     let mut order: Vec<usize> = Vec::with_capacity(n);
     let degree = |v: usize| a.row(v).0.len();
 
+    // Start-node selection: the next component starts at the unvisited node
+    // of minimal degree (ties broken by smallest index — exactly what a
+    // `(0..n).filter(!visited).min_by_key(degree)` scan would pick, since
+    // `min_by_key` keeps the first minimum).  A fresh O(n) scan per
+    // component is O(n²) on decompositions with many tiny components (the
+    // legitimate `k == n` singleton-part shape), so the candidates are
+    // sorted by `(degree, index)` once and consumed through a cursor: each
+    // node is skipped at most once, making all start selections O(n log n)
+    // total while returning the identical ordering.
+    let mut by_degree: Vec<usize> = (0..n).collect();
+    by_degree.sort_unstable_by_key(|&v| (degree(v), v));
+    let mut cursor = 0usize;
+
     while order.len() < n {
-        // Pick an unvisited node of minimal degree as the start of the next
-        // component (a cheap approximation of a pseudo-peripheral node).
-        let start = (0..n)
-            .filter(|&v| !visited[v])
-            .min_by_key(|&v| degree(v))
-            .expect("unvisited node must exist");
+        while visited[by_degree[cursor]] {
+            cursor += 1;
+        }
+        let start = by_degree[cursor];
         // Refine the start by a couple of BFS sweeps towards a peripheral node.
         let start = pseudo_peripheral(a, start);
 
@@ -214,5 +225,92 @@ mod tests {
     fn bandwidth_of_diagonal_matrix_is_zero() {
         let a = CsrMatrix::identity(5);
         assert_eq!(bandwidth(&a), 0);
+    }
+
+    /// The per-component start selection used to rescan all nodes
+    /// (`(0..n).filter(!visited).min_by_key(degree)`): O(n) per component,
+    /// O(n²) over the `k == n` singleton-part shapes the partitioner
+    /// legitimately produces.  The cursor replacement must return the exact
+    /// same ordering; this reference reproduces the original scan.
+    fn reference_rcm(a: &CsrMatrix) -> Vec<usize> {
+        let n = a.nrows();
+        let mut visited = vec![false; n];
+        let mut order: Vec<usize> = Vec::with_capacity(n);
+        let degree = |v: usize| a.row(v).0.len();
+        while order.len() < n {
+            let start =
+                (0..n).filter(|&v| !visited[v]).min_by_key(|&v| degree(v)).expect("unvisited");
+            let start = pseudo_peripheral(a, start);
+            let mut queue = std::collections::VecDeque::new();
+            visited[start] = true;
+            queue.push_back(start);
+            while let Some(v) = queue.pop_front() {
+                order.push(v);
+                let (cols, _) = a.row(v);
+                let mut neighbours: Vec<usize> =
+                    cols.iter().copied().filter(|&u| u != v && !visited[u]).collect();
+                neighbours.sort_unstable_by_key(|&u| degree(u));
+                for u in neighbours {
+                    if !visited[u] {
+                        visited[u] = true;
+                        queue.push_back(u);
+                    }
+                }
+            }
+        }
+        order.reverse();
+        order
+    }
+
+    #[test]
+    fn many_singleton_components_order_unchanged_and_fast() {
+        // 4000 isolated diagonal nodes — one component each.  The old scan is
+        // quadratic here; the cursor version must stay linear-ish while
+        // producing the identical ordering.
+        let n = 4000;
+        let a = {
+            let mut coo = CooMatrix::new(n, n);
+            for i in 0..n {
+                coo.push(i, i, 1.0).unwrap();
+            }
+            coo.to_csr()
+        };
+        let perm = reverse_cuthill_mckee(&a);
+        assert_eq!(perm, reference_rcm(&a));
+        let mut sorted = perm.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..n).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn ordering_matches_reference_on_mixed_graphs() {
+        // Connected inputs and mixed-size multi-component inputs: the cursor
+        // start selection must reproduce the original ordering exactly.
+        let cases: Vec<CsrMatrix> = vec![scrambled_path(57).0, scrambled_path(200).0, {
+            // Three components of different sizes and degree profiles:
+            // a path of 10, a star of 6, and 5 singletons.
+            let mut coo = CooMatrix::new(21, 21);
+            for i in 0..10 {
+                coo.push(i, i, 2.0).unwrap();
+                if i + 1 < 10 {
+                    coo.push(i, i + 1, -1.0).unwrap();
+                    coo.push(i + 1, i, -1.0).unwrap();
+                }
+            }
+            for i in 10..16 {
+                coo.push(i, i, 2.0).unwrap();
+            }
+            for leaf in 11..16 {
+                coo.push(10, leaf, -1.0).unwrap();
+                coo.push(leaf, 10, -1.0).unwrap();
+            }
+            for i in 16..21 {
+                coo.push(i, i, 1.0).unwrap();
+            }
+            coo.to_csr()
+        }];
+        for a in &cases {
+            assert_eq!(reverse_cuthill_mckee(a), reference_rcm(a), "n = {}", a.nrows());
+        }
     }
 }

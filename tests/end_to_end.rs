@@ -376,3 +376,57 @@ fn int8_preconditioner_iteration_count_within_fifteen_percent_of_f64() {
     assert!(krylov::true_relative_residual(&problem.matrix, &oq.x, &problem.rhs) < 1e-5);
     assert!(sparse::vector::relative_error(&oq.x, &o64.x) < 1e-4);
 }
+
+/// The multi-level hierarchy at scale (n ≈ 24k): the smoothed-aggregation
+/// coarse path builds three or more levels, the multilevel DDM-LU solver
+/// converges, and its iteration count stays within a small margin of the
+/// two-level Nicolaides baseline (the point of the hierarchy is to keep the
+/// coarse solve cheap without giving up convergence).
+#[test]
+#[cfg_attr(
+    debug_assertions,
+    ignore = "heavy end-to-end test: opt in with `cargo test --release -- --include-ignored`"
+)]
+fn multilevel_hierarchy_at_scale() {
+    let problem = ddm_gnn::generate_problem(4242, 24_000);
+    let n = problem.num_unknowns();
+    assert!(n > 20_000, "problem must be genuinely large, got n = {n}");
+
+    // The hierarchy alone: ≥3 levels, strictly decreasing dimensions, modest
+    // operator complexity.
+    let config = ddm_gnn::MultilevelConfig::default();
+    let hierarchy = ddm::Hierarchy::build(&problem.matrix, &config).expect("hierarchy build");
+    assert!(
+        hierarchy.num_levels() >= 3,
+        "expected a true multi-level hierarchy at n = {n}, got {} levels (dims {:?})",
+        hierarchy.num_levels(),
+        hierarchy.level_dims()
+    );
+    let dims = hierarchy.level_dims();
+    assert!(dims.windows(2).all(|w| w[1] < w[0]), "level dims must strictly decrease: {dims:?}");
+    assert!(*dims.last().unwrap() <= config.coarsest_max_size, "dims {dims:?}");
+    assert!(
+        hierarchy.operator_complexity() < 3.0,
+        "operator complexity {} too high",
+        hierarchy.operator_complexity()
+    );
+
+    // Full solves: two-level Nicolaides baseline vs multilevel coarse path.
+    let subdomains = partition_mesh_with_overlap(&problem.mesh, 400, 2, 0);
+    let opts = SolverOptions::with_tolerance(1e-8);
+    let two_level = ddm_gnn::solve_ddm_lu(&problem, subdomains.clone(), true, &opts)
+        .expect("two-level DDM-LU solve");
+    let multi = ddm_gnn::solve_ddm_lu_multilevel(&problem, subdomains, &config, &opts)
+        .expect("multilevel DDM-LU solve");
+    assert!(two_level.stats.converged() && multi.stats.converged());
+    assert!(krylov::true_relative_residual(&problem.matrix, &multi.x, &problem.rhs) < 1e-7);
+    assert!(sparse::vector::relative_error(&multi.x, &two_level.x) < 1e-5);
+    // The hierarchy's V-cycle must be a genuinely useful coarse component:
+    // iteration counts stay in the same ballpark as the Nicolaides baseline.
+    assert!(
+        multi.stats.iterations <= two_level.stats.iterations * 2,
+        "multilevel took {} iterations vs two-level {}",
+        multi.stats.iterations,
+        two_level.stats.iterations
+    );
+}

@@ -119,6 +119,95 @@ proptest! {
         prop_assert!(covered.into_iter().all(|c| c));
     }
 
+    /// The dense-rows Galerkin wrapper and the CSR kernel agree **exactly**
+    /// on restrictions containing explicitly stored zeros: the wrapper drops
+    /// them when building the CSR and the kernel skips them during the merge,
+    /// so both sides reduce to the same nonzero stream in the same order.
+    #[test]
+    fn galerkin_wrapper_matches_csr_on_explicit_zeros(
+        entries in proptest::collection::vec((0usize..20, 0usize..20, 0.1f64..2.0), 10..40),
+        r_entries in proptest::collection::vec((0usize..4, 0usize..20, -2.0f64..2.0), 8..30),
+        zero_every in 2usize..5,
+    ) {
+        let n = 20;
+        let k = 4;
+        let a = random_spd(n, &entries);
+        // Dense rows with a sprinkling of exact zeros at regular positions.
+        let mut rows = vec![vec![0.0f64; n]; k];
+        for (idx, &(i, j, v)) in r_entries.iter().enumerate() {
+            rows[i % k][j % n] = if idx % zero_every == 0 { 0.0 } else { v };
+        }
+        // The same rows as an explicit CSR that *keeps* stored zeros.
+        let mut row_ptr = vec![0usize];
+        let mut col_idx = Vec::new();
+        let mut values = Vec::new();
+        for row in &rows {
+            for (j, &v) in row.iter().enumerate() {
+                // Store every column touched by r_entries, zero or not, plus
+                // a guaranteed explicit zero per row.
+                if v != 0.0 || j % 7 == 0 {
+                    col_idx.push(j);
+                    values.push(v);
+                }
+            }
+            row_ptr.push(col_idx.len());
+        }
+        let r_csr = CsrMatrix::from_raw_parts(k, n, row_ptr, col_idx, values).unwrap();
+        prop_assert!(r_csr.values().contains(&0.0), "fixture must contain explicit zeros");
+        let dense_result = a.galerkin_product(&rows);
+        let csr_result = a.galerkin_product_csr(&r_csr);
+        prop_assert_eq!(dense_result.len(), csr_result.len());
+        for (x, y) in dense_result.iter().zip(csr_result.iter()) {
+            prop_assert_eq!(x.to_bits(), y.to_bits());
+        }
+    }
+
+    /// The degenerate two-level `Hierarchy` configuration is **bit-identical**
+    /// to the Nicolaides coarse space through a full ASM + PCG solve:
+    /// identical iteration counts and identical residual histories, bit for
+    /// bit, on random problems.
+    #[test]
+    fn two_level_hierarchy_pins_to_nicolaides_through_pcg(seed in 0u64..12) {
+        let problem = ddm_gnn::generate_problem(seed, 500);
+        let subdomains = partition::partition_mesh_with_overlap(&problem.mesh, 150, 2, seed);
+        let opts = krylov::SolverOptions::with_tolerance(1e-8);
+
+        let asm_nico = ddm::AdditiveSchwarz::new(
+            &problem.matrix,
+            subdomains.clone(),
+            ddm::AsmLevel::TwoLevel,
+        ).unwrap();
+        let decomp = ddm::Decomposition::new(&problem.matrix, subdomains);
+        let hierarchy = ddm::Hierarchy::two_level_nicolaides(
+            &problem.matrix,
+            &decomp.restrictions,
+        ).unwrap();
+        let asm_degen = ddm::AdditiveSchwarz::from_decomposition_with_coarse(
+            &problem.matrix,
+            decomp,
+            Some(ddm::CoarseSpace::Multilevel(hierarchy)),
+        ).unwrap();
+
+        let r_nico = krylov::preconditioned_conjugate_gradient(
+            &problem.matrix, &problem.rhs, None, &asm_nico, &opts,
+        );
+        let r_degen = krylov::preconditioned_conjugate_gradient(
+            &problem.matrix, &problem.rhs, None, &asm_degen, &opts,
+        );
+        prop_assert!(r_nico.stats.converged() && r_degen.stats.converged());
+        prop_assert_eq!(r_nico.stats.iterations, r_degen.stats.iterations);
+        let h_nico = r_nico.stats.history.norms();
+        let h_degen = r_degen.stats.history.norms();
+        prop_assert_eq!(h_nico.len(), h_degen.len());
+        for (a, b) in h_nico.iter().zip(h_degen.iter()) {
+            prop_assert_eq!(a.to_bits(), b.to_bits());
+        }
+        // The solutions are bit-identical too.
+        for (a, b) in r_nico.x.iter().zip(r_degen.x.iter()) {
+            prop_assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
     /// FEM assembly always yields a symmetric positive definite matrix with
     /// identity rows at Dirichlet nodes, for random domains and data.
     #[test]
