@@ -46,7 +46,11 @@ use std::process::Command;
 use std::time::{Duration, Instant};
 
 use ddm::{AdditiveSchwarz, AsmLevel};
-use ddm_gnn::{generate_problem, load_pretrained, DdmGnnPreconditioner, Precision};
+use ddm_gnn::{
+    build_resilience_tiers, generate_problem, load_pretrained, solve_with_ladder,
+    DdmGnnPreconditioner, DegradationLadder, FaultInjectingPreconditioner, HybridSolverConfig,
+    InjectedFault, Precision, ResiliencePolicy,
+};
 use gnn::InferenceTimings;
 use krylov::{preconditioned_conjugate_gradient, Preconditioner, SolverOptions};
 use partition::partition_mesh_with_overlap;
@@ -140,6 +144,7 @@ fn child() {
     let sizes = env_list("PERF_SUITE_SIZES", default_sizes);
     let model = load_pretrained().map(std::sync::Arc::new);
     let floor = Duration::from_millis(if smoke { 5 } else { 25 });
+    let mut fault_recovery_done = false;
 
     for (pi, &target) in sizes.iter().enumerate() {
         let problem = generate_problem(1 + pi as u64, target);
@@ -245,6 +250,49 @@ fn child() {
                     Precision::Int8 => "pcg-ddm-gnn-2level-int8",
                 };
                 e2e(solver_name, &precond);
+            }
+
+            // Recovery overhead of the fault-tolerant supervisor: run the
+            // full degradation ladder (GNN-f64 → DDM-LU → Jacobi) fault-free
+            // and with one NaN fault injected into the GNN tier at apply 10,
+            // on the first problem of at least ~9k unknowns.  Measured once
+            // (at every thread count) — the ladder setup builds a second GNN
+            // plan set, so this is kept off the smaller problems.
+            if !fault_recovery_done && !smoke && n >= 5000 {
+                fault_recovery_done = true;
+                let config = HybridSolverConfig::default();
+                let run = |inject: bool| {
+                    let mut tiers = build_resilience_tiers(&problem, &subdomains, m, &config)
+                        .expect("resilience tier setup failed");
+                    if inject {
+                        let gnn = tiers.remove(0);
+                        tiers.insert(
+                            0,
+                            Box::new(FaultInjectingPreconditioner::scheduled(
+                                gnn,
+                                [(10u64, InjectedFault::NanOutput)],
+                            )),
+                        );
+                    }
+                    let ladder = DegradationLadder::new(tiers, ResiliencePolicy::default());
+                    let start = Instant::now();
+                    let outcome = solve_with_ladder(&problem, subdomains.len(), ladder, 0.0, &opts);
+                    (start.elapsed().as_secs_f64() * 1e3, outcome)
+                };
+                let (clean_ms, clean) = run(false);
+                let (faulted_ms, faulted) = run(true);
+                assert!(
+                    clean.stats.converged() && faulted.stats.converged(),
+                    "fault_recovery solves failed to converge on n={n}"
+                );
+                let overhead = if clean_ms > 0.0 { faulted_ms / clean_ms } else { f64::INFINITY };
+                println!(
+                    "PERF kind=fault_recovery idx={pi} n={n} threads={threads} clean_ms={clean_ms:.3} faulted_ms={faulted_ms:.3} overhead={overhead:.3} clean_iterations={} faulted_iterations={} faults={} final_tier={}",
+                    clean.stats.iterations,
+                    faulted.stats.iterations,
+                    faulted.stats.faults.events().len(),
+                    faulted.stats.faults.final_tier().unwrap_or("?")
+                );
             }
         }
     }
@@ -601,6 +649,24 @@ fn render_json(
         &mut s,
         "e2e",
         &["solver", "idx", "n", "threads", "wall_ms", "iterations", "hash"],
+    );
+    let _ = writeln!(s, "  ],");
+    let _ = writeln!(s, "  \"fault_recovery\": [");
+    render_group(
+        &mut s,
+        "fault_recovery",
+        &[
+            "idx",
+            "n",
+            "threads",
+            "clean_ms",
+            "faulted_ms",
+            "overhead",
+            "clean_iterations",
+            "faulted_iterations",
+            "faults",
+            "final_tier",
+        ],
     );
     let _ = writeln!(s, "  ],");
     let _ = writeln!(s, "  \"determinism\": {{ \"bit_identical_across_threads\": {identical} }},");

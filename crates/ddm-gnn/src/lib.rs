@@ -26,14 +26,19 @@ pub mod solver;
 
 pub use ddm::{MultilevelConfig, SmootherKind, SmootherPrecision};
 pub use gnn::Precision;
+pub use krylov::{
+    DegradationLadder, FaultEvent, FaultInjectingPreconditioner, FaultKind, FaultLog,
+    GuardedPreconditioner, InjectedFault, ResiliencePolicy,
+};
 pub use pipeline::{
     generate_problem, load_pretrained, train_model, train_model_multi_size, train_model_on_samples,
     PipelineConfig, TrainedModel,
 };
 pub use preconditioner::DdmGnnPreconditioner;
 pub use solver::{
-    solve_cg, solve_ddm_gnn, solve_ddm_gnn_multilevel, solve_ddm_gnn_with_precision, solve_ddm_lu,
-    solve_ddm_lu_multilevel, solve_ic0, HybridSolver, HybridSolverConfig, Method, SolveOutcome,
+    build_resilience_tiers, solve_cg, solve_ddm_gnn, solve_ddm_gnn_multilevel,
+    solve_ddm_gnn_resilient, solve_ddm_gnn_with_precision, solve_ddm_lu, solve_ddm_lu_multilevel,
+    solve_ic0, solve_with_ladder, HybridSolver, HybridSolverConfig, Method, SolveOutcome,
     TimedPreconditioner,
 };
 

@@ -20,10 +20,12 @@ use gnn::{
     dataset::build_local_graphs, DssModel, InferScratch, InferScratchF32, InferScratchQ,
     InferencePlan, InferencePlanF32, InferencePlanQ, InferenceTimings, LocalGraph, Precision,
 };
+use krylov::resilience::{FaultEvent, FaultKind, FaultLog};
 use krylov::Preconditioner;
 use rayon::prelude::*;
 use sparse::CsrMatrix;
-use std::sync::{Arc, Mutex};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
 
 /// Reusable per-sub-domain buffers for one preconditioner application: the
 /// restricted (then normalised in place) residual, the DSS output, the norm
@@ -80,6 +82,10 @@ pub struct DdmGnnPreconditioner {
     /// Reported by `Preconditioner::name` ("ddm-gnn-{1,2}level[-f32|-int8]"
     /// or "ddm-gnn-ml<levels>[-f32|-int8]").
     name: String,
+    /// Number of `apply` calls so far (≈ the outer iteration index).
+    applies: AtomicU64,
+    /// Classified coarse-solve errors, surfaced via `collect_faults`.
+    faults: Mutex<FaultLog>,
 }
 
 impl DdmGnnPreconditioner {
@@ -273,6 +279,8 @@ impl DdmGnnPreconditioner {
             apply_guard: Mutex::new(()),
             num_global: matrix.nrows(),
             name,
+            applies: AtomicU64::new(0),
+            faults: Mutex::new(FaultLog::new()),
         })
     }
 
@@ -369,7 +377,16 @@ impl DdmGnnPreconditioner {
             }
         }
         if let Some(coarse) = &self.coarse {
-            coarse.apply_into(r, z);
+            if let Err(e) = coarse.apply_into(r, z) {
+                // Skip the coarse contribution; the glued local corrections
+                // alone are still a valid (one-level) preconditioner.
+                self.faults.lock().unwrap_or_else(PoisonError::into_inner).record(FaultEvent::new(
+                    FaultKind::NumericalError,
+                    self.applies.load(Ordering::SeqCst).saturating_sub(1),
+                    &self.name,
+                    format!("coarse correction failed: {e}"),
+                ));
+            }
         }
     }
 
@@ -384,6 +401,7 @@ impl DdmGnnPreconditioner {
         debug_assert_eq!(r.len(), self.num_global);
         debug_assert_eq!(z.len(), self.num_global);
         let _exclusive = self.apply_guard.lock().unwrap();
+        self.applies.fetch_add(1, Ordering::SeqCst);
         for i in 0..self.restrictions.len() {
             self.solve_local(i, r, Some(&mut *timings));
         }
@@ -396,6 +414,7 @@ impl Preconditioner for DdmGnnPreconditioner {
         debug_assert_eq!(r.len(), self.num_global);
         debug_assert_eq!(z.len(), self.num_global);
         let _exclusive = self.apply_guard.lock().unwrap();
+        self.applies.fetch_add(1, Ordering::SeqCst);
 
         // Local problems: restrict, normalise, infer — all sub-domains in
         // parallel (the batched GPU inference of Eq. 14 mapped onto rayon),
@@ -411,6 +430,10 @@ impl Preconditioner for DdmGnnPreconditioner {
 
     fn name(&self) -> &str {
         &self.name
+    }
+
+    fn collect_faults(&self, log: &mut FaultLog) {
+        log.merge(self.faults.lock().unwrap_or_else(PoisonError::into_inner).clone());
     }
 }
 

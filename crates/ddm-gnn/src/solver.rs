@@ -16,8 +16,9 @@ use ddm::{AdditiveSchwarz, AsmLevel, MultilevelConfig};
 use fem::PoissonProblem;
 use gnn::{DssModel, Precision};
 use krylov::{
-    conjugate_gradient, preconditioned_conjugate_gradient, Ic0Preconditioner, Preconditioner,
-    SolveStats, SolverOptions,
+    conjugate_gradient, preconditioned_conjugate_gradient, DegradationLadder, FaultLog,
+    Ic0Preconditioner, JacobiPreconditioner, Preconditioner, ResiliencePolicy, SolveStats,
+    SolverOptions,
 };
 use partition::partition_mesh_with_overlap;
 
@@ -99,12 +100,23 @@ impl<P: Preconditioner> Preconditioner for TimedPreconditioner<P> {
         self.nanos.fetch_add(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
     }
 
+    fn apply_checked(&self, r: &[f64], z: &mut [f64]) -> sparse::Result<()> {
+        let start = Instant::now();
+        let result = self.inner.apply_checked(r, z);
+        self.nanos.fetch_add(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        result
+    }
+
     fn dim(&self) -> usize {
         self.inner.dim()
     }
 
     fn name(&self) -> &str {
         self.inner.name()
+    }
+
+    fn collect_faults(&self, log: &mut FaultLog) {
+        self.inner.collect_faults(log);
     }
 }
 
@@ -273,6 +285,106 @@ pub fn solve_ddm_gnn_with_precision(
     })
 }
 
+/// Build the ordered tier stack for a fault-tolerant DDM-GNN solve: the GNN
+/// preconditioner at the configured precision, then every *higher*-precision
+/// GNN engine it can fall back to (int8 → f32 → f64), then the exact Schwarz
+/// method (two-level or multi-level, following `config`), then diagonal
+/// Jacobi as the most conservative tier.
+///
+/// Exposed so tests and the benchmark harness can wrap individual tiers
+/// (e.g. in a [`krylov::FaultInjectingPreconditioner`]) before assembling
+/// the [`DegradationLadder`] themselves.
+pub fn build_resilience_tiers(
+    problem: &PoissonProblem,
+    subdomains: &[Vec<usize>],
+    model: &Arc<DssModel>,
+    config: &HybridSolverConfig,
+) -> sparse::Result<Vec<Box<dyn Preconditioner>>> {
+    let chain: &[Precision] = match config.precision {
+        Precision::Int8 => &[Precision::Int8, Precision::F32, Precision::F64],
+        Precision::F32 => &[Precision::F32, Precision::F64],
+        Precision::F64 => &[Precision::F64],
+    };
+    let mut tiers: Vec<Box<dyn Preconditioner>> = Vec::with_capacity(chain.len() + 2);
+    for &precision in chain {
+        let tier = if let Some(ml) = &config.multilevel {
+            DdmGnnPreconditioner::with_multilevel_coarse(
+                problem,
+                subdomains.to_vec(),
+                Arc::clone(model),
+                ml,
+                precision,
+            )?
+        } else {
+            DdmGnnPreconditioner::with_precision(
+                problem,
+                subdomains.to_vec(),
+                Arc::clone(model),
+                config.two_level,
+                precision,
+            )?
+        };
+        tiers.push(Box::new(tier));
+    }
+    let asm = if let Some(ml) = &config.multilevel {
+        AdditiveSchwarz::with_multilevel(&problem.matrix, subdomains.to_vec(), ml)?
+    } else {
+        let level = if config.two_level { AsmLevel::TwoLevel } else { AsmLevel::OneLevel };
+        AdditiveSchwarz::new(&problem.matrix, subdomains.to_vec(), level)?
+    };
+    tiers.push(Box::new(asm));
+    tiers.push(Box::new(JacobiPreconditioner::new(&problem.matrix)));
+    Ok(tiers)
+}
+
+/// Run the supervised PCG over an already-assembled [`DegradationLadder`]
+/// (whose tiers the caller may have wrapped, e.g. with fault injectors).
+///
+/// Contained faults, downgrades, and the final active tier end up on
+/// `SolveOutcome::stats.faults`; the flexible (Polak–Ribière) PCG tolerates
+/// the preconditioner changing mid-solve, so a downgrade never restarts the
+/// outer iteration.
+pub fn solve_with_ladder(
+    problem: &PoissonProblem,
+    num_subdomains: usize,
+    ladder: DegradationLadder,
+    setup_seconds: f64,
+    opts: &SolverOptions,
+) -> SolveOutcome {
+    let precond = TimedPreconditioner::new(ladder);
+    let start = Instant::now();
+    let result =
+        preconditioned_conjugate_gradient(&problem.matrix, &problem.rhs, None, &precond, opts);
+    SolveOutcome {
+        method: Method::DdmGnn,
+        x: result.x,
+        stats: result.stats,
+        total_seconds: start.elapsed().as_secs_f64(),
+        setup_seconds,
+        preconditioner_seconds: precond.seconds(),
+        num_subdomains,
+    }
+}
+
+/// [`solve_ddm_gnn`] under the fault-tolerant supervisor: the preconditioner
+/// is the full degradation ladder of [`build_resilience_tiers`] and faults
+/// are contained, classified and reported instead of aborting the process.
+pub fn solve_ddm_gnn_resilient(
+    problem: &PoissonProblem,
+    subdomains: Vec<Vec<usize>>,
+    model: Arc<DssModel>,
+    config: &HybridSolverConfig,
+    policy: ResiliencePolicy,
+    opts: &SolverOptions,
+) -> sparse::Result<SolveOutcome> {
+    let num_subdomains = subdomains.len();
+    let setup_start = Instant::now();
+    let tiers = build_resilience_tiers(problem, &subdomains, &model, config)?;
+    let ladder = DegradationLadder::new(tiers, policy);
+    let setup_seconds = setup_start.elapsed().as_secs_f64();
+    Ok(solve_with_ladder(problem, num_subdomains, ladder, setup_seconds, opts))
+}
+
 /// Configuration of the high-level [`HybridSolver`].
 #[derive(Debug, Clone)]
 pub struct HybridSolverConfig {
@@ -299,6 +411,14 @@ pub struct HybridSolverConfig {
     /// configuration (overrides `two_level`; the hierarchy's smoother
     /// precision follows `precision`).
     pub multilevel: Option<MultilevelConfig>,
+    /// When set, run the solve under the fault-tolerant supervisor: the
+    /// preconditioner becomes a [`DegradationLadder`] (GNN at the configured
+    /// precision, then progressively higher-precision GNN tiers, then the
+    /// exact two-level/multi-level Schwarz method, then diagonal Jacobi)
+    /// that contains panics, scans for non-finite output, and downgrades in
+    /// place on a classified fault without restarting the outer PCG.  Faults
+    /// and downgrades are reported on `SolveOutcome::stats.faults`.
+    pub resilience: Option<ResiliencePolicy>,
 }
 
 impl Default for HybridSolverConfig {
@@ -312,6 +432,7 @@ impl Default for HybridSolverConfig {
             partition_seed: 0,
             precision: Precision::F64,
             multilevel: None,
+            resilience: None,
         }
     }
 }
@@ -348,6 +469,16 @@ impl HybridSolver {
         );
         let opts = SolverOptions::with_tolerance(self.config.tolerance)
             .max_iterations(self.config.max_iterations);
+        if let Some(policy) = &self.config.resilience {
+            return solve_ddm_gnn_resilient(
+                problem,
+                subdomains,
+                Arc::clone(&self.model),
+                &self.config,
+                policy.clone(),
+                &opts,
+            );
+        }
         if let Some(ml) = &self.config.multilevel {
             return solve_ddm_gnn_multilevel(
                 problem,
@@ -543,6 +674,31 @@ mod tests {
         .unwrap();
         assert!(lu_ml.stats.converged() && gnn_ml.stats.converged());
         assert!(lu_ml.stats.iterations <= gnn_ml.stats.iterations);
+    }
+
+    #[test]
+    fn resilient_config_is_transparent_when_fault_free() {
+        let fx = fixture();
+        let base = HybridSolverConfig {
+            subdomain_size: 250,
+            overlap: 2,
+            tolerance: 1e-6,
+            ..Default::default()
+        };
+        let plain = HybridSolver::new(fx.model.clone(), base.clone());
+        let resilient = HybridSolver::new(
+            fx.model.clone(),
+            HybridSolverConfig { resilience: Some(ResiliencePolicy::default()), ..base },
+        );
+        let p = plain.solve(&fx.problem).unwrap();
+        let r = resilient.solve(&fx.problem).unwrap();
+        assert!(p.stats.converged() && r.stats.converged());
+        // The guards only read r/z, so a fault-free supervised solve is
+        // bit-identical to the unsupervised one.
+        assert_eq!(p.x, r.x);
+        assert_eq!(p.stats.iterations, r.stats.iterations);
+        assert!(!r.stats.degraded(), "fault-free solve reported faults: {:?}", r.stats.faults);
+        assert_eq!(r.stats.faults.final_tier(), Some("ddm-gnn-2level"));
     }
 
     #[test]

@@ -1,0 +1,250 @@
+//! End-to-end fault-injection suite for the fault-tolerant solve supervisor.
+//!
+//! Every test here uses the *same* problem recipe as the `perf_suite`
+//! benchmark harness (`generate_problem(1 + idx, target)`, sub-domains of
+//! ~300 nodes with overlap 2, tolerance 1e-6) so the fault-free
+//! residual-history hash can be pinned against the committed
+//! `BENCH_parallel.json` baselines — the proof that the resilience layer is
+//! bit-transparent when nothing goes wrong.
+//!
+//! The heavy tests are `#[ignore]`d: CI runs them in release via
+//! `cargo test --release -- --include-ignored` (the `resilience` job).
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use ddm_gnn::{
+    build_resilience_tiers, generate_problem, load_pretrained, solve_with_ladder,
+    DdmGnnPreconditioner, DegradationLadder, FaultInjectingPreconditioner, FaultKind,
+    HybridSolverConfig, InjectedFault, Precision, ResiliencePolicy,
+};
+use fem::PoissonProblem;
+use gnn::DssModel;
+use krylov::{preconditioned_conjugate_gradient, Preconditioner, SolveResult, SolverOptions};
+use partition::partition_mesh_with_overlap;
+
+/// FNV-1a over the bit patterns of a float sequence — identical to the
+/// determinism witness in `perf_suite`, so hashes are comparable with the
+/// committed `BENCH_parallel.json`.
+fn hash_f64s(values: impl IntoIterator<Item = f64>) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for v in values {
+        for b in v.to_bits().to_le_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100000001b3);
+        }
+    }
+    h
+}
+
+fn solve_hash(result: &SolveResult) -> u64 {
+    hash_f64s(result.stats.history.norms().iter().copied().chain(result.x.iter().copied()))
+}
+
+fn model() -> Arc<DssModel> {
+    Arc::new(
+        load_pretrained()
+            .expect("the pretrained model in assets/ is required for the resilience e2e suite"),
+    )
+}
+
+/// The perf_suite problem recipe: `idx` 0 is n≈3k, `idx` 1 is n≈9k.
+fn problem_and_subdomains(idx: usize, target: usize) -> (PoissonProblem, Vec<Vec<usize>>) {
+    let problem = generate_problem(1 + idx as u64, target);
+    let subdomains = partition_mesh_with_overlap(&problem.mesh, 300, 2, 0);
+    (problem, subdomains)
+}
+
+fn opts() -> SolverOptions {
+    SolverOptions::with_tolerance(1e-6).max_iterations(4000)
+}
+
+/// Fault-free reference: plain (unsupervised) DDM-GNN PCG, f64 inference.
+fn fault_free(
+    problem: &PoissonProblem,
+    subdomains: &[Vec<usize>],
+    model: &Arc<DssModel>,
+) -> SolveResult {
+    let precond = DdmGnnPreconditioner::with_precision(
+        problem,
+        subdomains.to_vec(),
+        Arc::clone(model),
+        true,
+        Precision::F64,
+    )
+    .expect("DDM-GNN setup failed");
+    preconditioned_conjugate_gradient(&problem.matrix, &problem.rhs, None, &precond, &opts())
+}
+
+/// Inject one fault of each class at apply 10 into the GNN tier of the
+/// degradation ladder and require: convergence to tolerance, at most 2× the
+/// fault-free iteration count, and a fault log naming the fault kind and the
+/// faulted tier.  The process must never abort — a panic escaping the
+/// supervisor fails the whole test binary.
+fn exercise_all_fault_classes(target: usize, idx: usize) {
+    let (problem, subdomains) = problem_and_subdomains(idx, target);
+    let model = model();
+    let reference = fault_free(&problem, &subdomains, &model);
+    assert!(reference.stats.converged(), "fault-free reference did not converge");
+    let budget = reference.stats.iterations * 2;
+
+    let stall = Duration::from_millis(1500);
+    let cases: [(InjectedFault, FaultKind); 5] = [
+        (InjectedFault::Panic, FaultKind::Panic),
+        (InjectedFault::NanOutput, FaultKind::NonFinite),
+        (InjectedFault::InfOutput, FaultKind::NonFinite),
+        (InjectedFault::ZeroOutput, FaultKind::ZeroOutput),
+        (InjectedFault::Stall(stall), FaultKind::TimeBudget),
+    ];
+    let config = HybridSolverConfig::default();
+    for (fault, expected_kind) in cases {
+        let mut tiers = build_resilience_tiers(&problem, &subdomains, &model, &config)
+            .expect("tier setup failed");
+        // Wrap the preferred (GNN) tier in the deterministic injector.
+        let gnn = tiers.remove(0);
+        let faulted_tier_name = format!("inject({})", gnn.name());
+        tiers.insert(0, Box::new(FaultInjectingPreconditioner::scheduled(gnn, [(10u64, fault)])));
+        let mut policy = ResiliencePolicy::default();
+        if matches!(fault, InjectedFault::Stall(_)) {
+            // Generous budget: an honest apply at these sizes is well under
+            // 250 ms even on a loaded machine; the injected stall is 1.5 s.
+            policy.apply_time_budget = Some(Duration::from_millis(250));
+        }
+        let ladder = DegradationLadder::new(tiers, policy);
+        let outcome = solve_with_ladder(&problem, subdomains.len(), ladder, 0.0, &opts());
+
+        assert!(
+            outcome.stats.converged(),
+            "{fault:?} at n={}: solve did not converge",
+            problem.num_unknowns()
+        );
+        assert!(
+            outcome.stats.iterations <= budget,
+            "{fault:?} at n={}: {} iterations exceed 2x fault-free ({})",
+            problem.num_unknowns(),
+            outcome.stats.iterations,
+            budget
+        );
+        let faults = &outcome.stats.faults;
+        assert!(
+            faults.has_kind(expected_kind),
+            "{fault:?}: expected {expected_kind:?} in the log, got {faults:?}"
+        );
+        let event = faults
+            .events()
+            .iter()
+            .find(|e| e.kind == expected_kind)
+            .expect("event present per has_kind");
+        assert_eq!(event.tier, faulted_tier_name, "fault attributed to the wrong tier");
+        assert_eq!(event.apply_index, 10, "fault attributed to the wrong apply");
+        // Every class downgrades off the GNN tier (the stall keeps its valid
+        // output but degrades subsequent applies).
+        assert!(!faults.degradations().is_empty(), "{fault:?}: no downgrade recorded");
+        assert_eq!(faults.final_tier(), Some("ddm-lu-2level"), "{fault:?}: unexpected final tier");
+        // The solution still solves the system.
+        assert!(
+            krylov::true_relative_residual(&problem.matrix, &outcome.x, &problem.rhs) < 1e-5,
+            "{fault:?}: true residual too large"
+        );
+    }
+}
+
+#[test]
+#[ignore = "heavy e2e (full PCG solves): run in release via --include-ignored"]
+fn all_fault_classes_recover_at_n3k() {
+    exercise_all_fault_classes(3000, 0);
+}
+
+#[test]
+#[ignore = "heavy e2e (full PCG solves): run in release via --include-ignored"]
+fn all_fault_classes_recover_at_n9k() {
+    exercise_all_fault_classes(9000, 1);
+}
+
+/// Extract the pinned `pcg-ddm-gnn-2level` hash for problem `idx` from the
+/// committed `BENCH_parallel.json` (the determinism gate guarantees the hash
+/// is identical at every recorded thread count, so the first entry suffices).
+fn pinned_hash(idx: usize) -> String {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_parallel.json");
+    let json = std::fs::read_to_string(path).expect("committed BENCH_parallel.json missing");
+    let needle = format!("\"solver\": \"pcg-ddm-gnn-2level\", \"idx\": {idx},");
+    let at = json.find(&needle).expect("baseline entry missing from BENCH_parallel.json");
+    let rest = &json[at..];
+    let h = rest.find("\"hash\": \"").expect("hash field missing") + "\"hash\": \"".len();
+    rest[h..h + 16].to_string()
+}
+
+/// The fault-free residual-history hash must be bit-identical to the
+/// committed PR-6 baseline — both for the plain preconditioner and for the
+/// full degradation ladder (the supervisor's guards only *read* `r`/`z`, so
+/// a healthy solve must be untouched).  CI runs this at 1 and 4 rayon
+/// threads; the committed baseline was verified at 1/2/4.
+#[test]
+#[ignore = "heavy e2e (full PCG solves): run in release via --include-ignored"]
+fn fault_free_hash_matches_committed_baseline() {
+    let model = model();
+    for (idx, target) in [(0usize, 3000usize), (1, 9000)] {
+        let (problem, subdomains) = problem_and_subdomains(idx, target);
+        let plain = fault_free(&problem, &subdomains, &model);
+        assert!(plain.stats.converged());
+        let expected = pinned_hash(idx);
+        assert_eq!(
+            format!("{:016x}", solve_hash(&plain)),
+            expected,
+            "plain DDM-GNN hash drifted from the committed baseline (idx {idx})"
+        );
+
+        let config = HybridSolverConfig::default();
+        let tiers = build_resilience_tiers(&problem, &subdomains, &model, &config)
+            .expect("tier setup failed");
+        let ladder = DegradationLadder::new(tiers, ResiliencePolicy::default());
+        let supervised = solve_with_ladder(&problem, subdomains.len(), ladder, 0.0, &opts());
+        assert!(supervised.stats.converged());
+        assert!(!supervised.stats.degraded(), "fault-free supervised solve logged faults");
+        assert_eq!(
+            format!(
+                "{:016x}",
+                hash_f64s(
+                    supervised
+                        .stats
+                        .history
+                        .norms()
+                        .iter()
+                        .copied()
+                        .chain(supervised.x.iter().copied())
+                )
+            ),
+            expected,
+            "supervised fault-free hash drifted from the committed baseline (idx {idx})"
+        );
+    }
+}
+
+/// A seeded random schedule is bit-reproducible: two ladders built from the
+/// same seed produce identical fault logs and identical solves.
+#[test]
+#[ignore = "heavy e2e (full PCG solves): run in release via --include-ignored"]
+fn seeded_random_fault_schedule_reproduces() {
+    let (problem, subdomains) = problem_and_subdomains(0, 3000);
+    let model = model();
+    let config = HybridSolverConfig::default();
+    let menu = [InjectedFault::Panic, InjectedFault::NanOutput, InjectedFault::ZeroOutput];
+    let run = || {
+        let mut tiers = build_resilience_tiers(&problem, &subdomains, &model, &config)
+            .expect("tier setup failed");
+        let gnn = tiers.remove(0);
+        let injector = FaultInjectingPreconditioner::random(gnn, 42, 2, 30, &menu);
+        let schedule: Vec<_> = injector.schedule().iter().map(|(k, v)| (*k, *v)).collect();
+        tiers.insert(0, Box::new(injector));
+        let ladder = DegradationLadder::new(tiers, ResiliencePolicy::default());
+        let outcome = solve_with_ladder(&problem, subdomains.len(), ladder, 0.0, &opts());
+        (schedule, outcome)
+    };
+    let (schedule_a, a) = run();
+    let (schedule_b, b) = run();
+    assert_eq!(schedule_a, schedule_b, "seeded schedule is not reproducible");
+    assert!(a.stats.converged() && b.stats.converged());
+    assert_eq!(a.x, b.x, "seeded faulted solves diverged");
+    assert_eq!(a.stats.iterations, b.stats.iterations);
+    assert_eq!(a.stats.faults.events().len(), b.stats.faults.events().len());
+}

@@ -17,8 +17,10 @@
 //! scatter (`Σ Rᵢᵀ vᵢ`) accumulates sequentially in sub-domain order so the
 //! result is bit-identical at every thread count.
 
-use std::sync::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, PoisonError};
 
+use krylov::resilience::{FaultEvent, FaultKind, FaultLog};
 use krylov::Preconditioner;
 use rayon::prelude::*;
 use sparse::CsrMatrix;
@@ -41,10 +43,16 @@ pub enum CoarseSpace {
 
 impl CoarseSpace {
     /// Accumulate the coarse correction for residual `r` into `out`.
-    pub fn apply_into(&self, r: &[f64], out: &mut [f64]) {
+    ///
+    /// The Nicolaides path reports mismatched dimensions as a classified
+    /// error; the multilevel V-cycle is infallible once built.
+    pub fn apply_into(&self, r: &[f64], out: &mut [f64]) -> sparse::Result<()> {
         match self {
             CoarseSpace::Nicolaides(c) => c.apply_into(r, out),
-            CoarseSpace::Multilevel(h) => h.apply_into(r, out),
+            CoarseSpace::Multilevel(h) => {
+                h.apply_into(r, out);
+                Ok(())
+            }
         }
     }
 
@@ -101,6 +109,10 @@ pub struct AdditiveSchwarz {
     /// Reported by `Preconditioner::name` ("ddm-lu-1level", "ddm-lu-2level"
     /// or "ddm-lu-ml<levels>").
     name: String,
+    /// Number of `apply` calls so far (≈ the outer iteration index).
+    applies: AtomicU64,
+    /// Classified local-/coarse-solve errors, surfaced via `collect_faults`.
+    faults: Mutex<FaultLog>,
 }
 
 impl AdditiveSchwarz {
@@ -191,6 +203,8 @@ impl AdditiveSchwarz {
             apply_guard: Mutex::new(()),
             num_global: matrix.nrows(),
             name,
+            applies: AtomicU64::new(0),
+            faults: Mutex::new(FaultLog::new()),
         })
     }
 
@@ -215,15 +229,29 @@ impl Preconditioner for AdditiveSchwarz {
         debug_assert_eq!(r.len(), self.num_global);
         debug_assert_eq!(z.len(), self.num_global);
         let _exclusive = self.apply_guard.lock().unwrap();
+        let apply_index = self.applies.fetch_add(1, Ordering::SeqCst);
 
         // Local corrections, computed in parallel into per-sub-domain scratch
         // buffers (never contended: each index is touched by exactly one
-        // chunk, the Mutex only satisfies `&self`).
+        // chunk, the Mutex only satisfies `&self`).  A failed local solve
+        // zeroes its contribution and is recorded as a classified fault
+        // instead of panicking the worker — the remaining sub-domains (and
+        // the coarse correction) still produce a usable preconditioner.
         (0..self.restrictions.len()).into_par_iter().for_each(|i| {
             let mut guard = self.scratch[i].lock().unwrap();
             let LocalScratch { rhs, sol, work } = &mut *guard;
             self.restrictions[i].restrict_into(r, rhs);
-            self.local_solvers[i].solve_into(rhs, work, sol);
+            if let Err(e) = self.local_solvers[i].solve_into(rhs, work, sol) {
+                for v in sol.iter_mut() {
+                    *v = 0.0;
+                }
+                self.faults.lock().unwrap_or_else(PoisonError::into_inner).record(FaultEvent::new(
+                    FaultKind::NumericalError,
+                    apply_index,
+                    &self.name,
+                    format!("local solve on sub-domain {i} failed: {e}"),
+                ));
+            }
         });
 
         // Accumulate: z = Σ Rᵢᵀ vᵢ (+ coarse correction), sequentially in
@@ -235,7 +263,16 @@ impl Preconditioner for AdditiveSchwarz {
             restriction.extend_add(&scratch.lock().unwrap().sol, z);
         }
         if let Some(coarse) = &self.coarse {
-            coarse.apply_into(r, z);
+            if let Err(e) = coarse.apply_into(r, z) {
+                // Skip the coarse contribution; the local corrections alone
+                // are still a valid (one-level) preconditioner.
+                self.faults.lock().unwrap_or_else(PoisonError::into_inner).record(FaultEvent::new(
+                    FaultKind::NumericalError,
+                    apply_index,
+                    &self.name,
+                    format!("coarse correction failed: {e}"),
+                ));
+            }
         }
     }
 
@@ -245,6 +282,10 @@ impl Preconditioner for AdditiveSchwarz {
 
     fn name(&self) -> &str {
         &self.name
+    }
+
+    fn collect_faults(&self, into: &mut FaultLog) {
+        into.merge(self.faults.lock().unwrap_or_else(PoisonError::into_inner).clone());
     }
 }
 

@@ -79,7 +79,18 @@ impl NicolaidesCoarseSpace {
 
     /// Apply the coarse correction `z_c = R₀ᵀ (R₀ A R₀ᵀ)⁻¹ R₀ r`, accumulating
     /// the result into `out`.
-    pub fn apply_into(&self, r: &[f64], out: &mut [f64]) {
+    ///
+    /// A mismatched residual length is a classified `sparse::Result` error
+    /// (not an `.expect` panic) so callers can route it into fault
+    /// classification and keep the outer solve alive.
+    pub fn apply_into(&self, r: &[f64], out: &mut [f64]) -> sparse::Result<()> {
+        if r.len() != self.r0.ncols() || out.len() != self.r0.ncols() {
+            return Err(sparse::SparseError::DimensionMismatch {
+                op: "coarse correction",
+                expected: (self.r0.ncols(), self.r0.ncols()),
+                found: (r.len(), out.len()),
+            });
+        }
         // A panic elsewhere while the lock was held poisons the mutex, but the
         // guarded state has no invariant that a panic could break: both
         // buffers are fully overwritten (`spmv_into` / `solve_into`) before
@@ -90,16 +101,17 @@ impl NicolaidesCoarseSpace {
         let CoarseScratch { rhs, sol } = &mut *guard;
         // coarse rhs = R0 r (sparse restriction)
         self.r0.spmv_into(r, rhs);
-        self.factor.solve_into(rhs, sol).expect("coarse solve dimension mismatch cannot happen");
+        self.factor.solve_into(rhs, sol)?;
         // out += R0ᵀ coarse_sol (sparse prolongation)
         self.r0.spmv_transpose_add_into(sol, out);
+        Ok(())
     }
 
     /// Apply the coarse correction returning a fresh vector.
-    pub fn apply(&self, r: &[f64]) -> Vec<f64> {
+    pub fn apply(&self, r: &[f64]) -> sparse::Result<Vec<f64>> {
         let mut out = vec![0.0; r.len()];
-        self.apply_into(r, &mut out);
-        out
+        self.apply_into(r, &mut out)?;
+        Ok(out)
     }
 }
 
@@ -139,8 +151,8 @@ mod tests {
         let n = fx.problem.num_unknowns();
         let y: Vec<f64> = (0..n).map(|i| ((i % 7) as f64) - 3.0).collect();
         let z: Vec<f64> = (0..n).map(|i| ((i % 11) as f64) * 0.25).collect();
-        let ay = coarse.apply(&y);
-        let az = coarse.apply(&z);
+        let ay = coarse.apply(&y).unwrap();
+        let az = coarse.apply(&z).unwrap();
         let lhs = sparse::vector::dot(&z, &ay);
         let rhs = sparse::vector::dot(&y, &az);
         assert!((lhs - rhs).abs() < 1e-8 * lhs.abs().max(1.0));
@@ -157,7 +169,7 @@ mod tests {
         let n = fx.problem.num_unknowns();
         let ones = vec![1.0; n];
         let a_ones = fx.problem.matrix.spmv(&ones);
-        let recovered = coarse.apply(&a_ones);
+        let recovered = coarse.apply(&a_ones).unwrap();
         // Galerkin projection property: R0 A (recovered - ones) = 0, i.e. the
         // coarse residual of the recovered vector vanishes.
         let diff: Vec<f64> = recovered.iter().zip(ones.iter()).map(|(r, o)| r - o).collect();
@@ -177,11 +189,11 @@ mod tests {
         let coarse = NicolaidesCoarseSpace::new(&fx.problem.matrix, &decomp.restrictions).unwrap();
         let n = fx.problem.num_unknowns();
         let r: Vec<f64> = (0..n).map(|i| ((i * 5 % 17) as f64) * 0.3 - 2.0).collect();
-        let first = coarse.apply(&r);
-        let second = coarse.apply(&r);
+        let first = coarse.apply(&r).unwrap();
+        let second = coarse.apply(&r).unwrap();
         assert_eq!(first, second, "scratch reuse changed the result");
         let mut acc = first.clone();
-        coarse.apply_into(&r, &mut acc);
+        coarse.apply_into(&r, &mut acc).unwrap();
         for (a, f) in acc.iter().zip(first.iter()) {
             assert!((a - 2.0 * f).abs() < 1e-12);
         }
@@ -197,7 +209,7 @@ mod tests {
         let coarse = NicolaidesCoarseSpace::new(&fx.problem.matrix, &decomp.restrictions).unwrap();
         let n = fx.problem.num_unknowns();
         let r: Vec<f64> = (0..n).map(|i| ((i * 3 % 13) as f64) * 0.5 - 1.5).collect();
-        let before = coarse.apply(&r);
+        let before = coarse.apply(&r).unwrap();
 
         // Deliberately poison: panic while holding the scratch guard.
         let poison = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
@@ -208,7 +220,7 @@ mod tests {
         assert!(coarse.scratch.is_poisoned(), "test setup failed to poison the mutex");
 
         // The next apply must neither panic nor change its answer.
-        let after = coarse.apply(&r);
+        let after = coarse.apply(&r).unwrap();
         assert_eq!(before, after, "poison recovery changed the coarse correction");
     }
 }

@@ -7,19 +7,32 @@
 //! the `sparse` crate, with a dense-LU variant kept for testing and for
 //! matrices that are not numerically SPD.
 
-use sparse::{CsrMatrix, LuFactor, SkylineCholesky};
+use sparse::{CsrMatrix, LuFactor, SkylineCholesky, SparseError};
 
 /// A factorised local operator that can solve `A_local x = rhs` repeatedly.
+///
+/// Both entry points return `sparse::Result` so a mismatched right-hand side
+/// is a classified error the Schwarz glue can route into fault
+/// classification — not a panic that takes the whole solve down.
 pub trait LocalSolver: Send + Sync {
     /// Solve for one right-hand side.
-    fn solve(&self, rhs: &[f64]) -> Vec<f64>;
+    fn solve(&self, rhs: &[f64]) -> sparse::Result<Vec<f64>>;
 
     /// Allocation-free solve: `work` is a caller-owned scratch buffer that is
     /// resized on first use and reused across calls, `out` receives the
     /// solution.  The default implementation falls back to [`Self::solve`].
-    fn solve_into(&self, rhs: &[f64], work: &mut Vec<f64>, out: &mut [f64]) {
+    fn solve_into(&self, rhs: &[f64], work: &mut Vec<f64>, out: &mut [f64]) -> sparse::Result<()> {
         let _ = work;
-        out.copy_from_slice(&self.solve(rhs));
+        let sol = self.solve(rhs)?;
+        if sol.len() != out.len() {
+            return Err(SparseError::DimensionMismatch {
+                op: "local solve output",
+                expected: (out.len(), 1),
+                found: (sol.len(), 1),
+            });
+        }
+        out.copy_from_slice(&sol);
+        Ok(())
     }
 
     /// Dimension of the local problem.
@@ -39,14 +52,12 @@ impl CholeskyLocalSolver {
 }
 
 impl LocalSolver for CholeskyLocalSolver {
-    fn solve(&self, rhs: &[f64]) -> Vec<f64> {
-        self.factor.solve(rhs).expect("local Cholesky solve with mismatched rhs length")
+    fn solve(&self, rhs: &[f64]) -> sparse::Result<Vec<f64>> {
+        self.factor.solve(rhs)
     }
 
-    fn solve_into(&self, rhs: &[f64], work: &mut Vec<f64>, out: &mut [f64]) {
-        self.factor
-            .solve_scratch(rhs, work, out)
-            .expect("local Cholesky solve with mismatched rhs length");
+    fn solve_into(&self, rhs: &[f64], work: &mut Vec<f64>, out: &mut [f64]) -> sparse::Result<()> {
+        self.factor.solve_scratch(rhs, work, out)
     }
 
     fn dim(&self) -> usize {
@@ -67,8 +78,8 @@ impl DenseLuLocalSolver {
 }
 
 impl LocalSolver for DenseLuLocalSolver {
-    fn solve(&self, rhs: &[f64]) -> Vec<f64> {
-        self.factor.solve(rhs).expect("local LU solve with mismatched rhs length")
+    fn solve(&self, rhs: &[f64]) -> sparse::Result<Vec<f64>> {
+        self.factor.solve(rhs)
     }
 
     fn dim(&self) -> usize {
@@ -109,11 +120,25 @@ mod tests {
         let lu = DenseLuLocalSolver::new(&a).unwrap();
         let mut work = Vec::new();
         let mut out = vec![0.0; 30];
-        chol.solve_into(&rhs, &mut work, &mut out);
-        assert_eq!(out, chol.solve(&rhs));
+        chol.solve_into(&rhs, &mut work, &mut out).unwrap();
+        assert_eq!(out, chol.solve(&rhs).unwrap());
         // The default trait implementation (dense LU) also matches.
-        lu.solve_into(&rhs, &mut work, &mut out);
-        assert_eq!(out, lu.solve(&rhs));
+        lu.solve_into(&rhs, &mut work, &mut out).unwrap();
+        assert_eq!(out, lu.solve(&rhs).unwrap());
+    }
+
+    #[test]
+    fn mismatched_rhs_is_a_classified_error_not_a_panic() {
+        let a = small_spd(10);
+        let chol = CholeskyLocalSolver::new(&a).unwrap();
+        let lu = DenseLuLocalSolver::new(&a).unwrap();
+        let bad = vec![1.0; 7];
+        assert!(chol.solve(&bad).is_err());
+        assert!(lu.solve(&bad).is_err());
+        let mut work = Vec::new();
+        let mut out = vec![0.0; 10];
+        assert!(chol.solve_into(&bad, &mut work, &mut out).is_err());
+        assert!(lu.solve_into(&bad, &mut work, &mut out).is_err());
     }
 
     #[test]
@@ -124,8 +149,8 @@ mod tests {
         assert_eq!(chol.dim(), 25);
         assert_eq!(lu.dim(), 25);
         let rhs: Vec<f64> = (0..25).map(|i| (i as f64 * 0.3).sin()).collect();
-        let x1 = chol.solve(&rhs);
-        let x2 = lu.solve(&rhs);
+        let x1 = chol.solve(&rhs).unwrap();
+        let x2 = lu.solve(&rhs).unwrap();
         assert!(sparse::vector::relative_error(&x1, &x2) < 1e-10);
         // Verify it is actually a solution.
         let r: Vec<f64> = a.spmv(&x1).iter().zip(rhs.iter()).map(|(ax, b)| b - ax).collect();
@@ -139,7 +164,7 @@ mod tests {
         assert_eq!(solvers.len(), 20);
         for (solver, mat) in solvers.iter().zip(mats.iter()) {
             let rhs = vec![1.0; mat.nrows()];
-            let x = solver.solve(&rhs);
+            let x = solver.solve(&rhs).unwrap();
             let r: Vec<f64> = mat.spmv(&x).iter().zip(rhs.iter()).map(|(ax, b)| b - ax).collect();
             assert!(sparse::vector::norm2(&r) < 1e-9);
         }
@@ -154,7 +179,7 @@ mod tests {
         assert!(CholeskyLocalSolver::new(&a).is_err());
         // ...but the dense LU fallback handles it.
         let lu = DenseLuLocalSolver::new(&a).unwrap();
-        let x = lu.solve(&[2.0, 3.0]);
+        let x = lu.solve(&[2.0, 3.0]).unwrap();
         assert_eq!(x, vec![2.0, -3.0]);
     }
 }

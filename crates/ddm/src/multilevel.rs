@@ -860,12 +860,12 @@ mod tests {
         let n = fx.problem.num_unknowns();
         let r: Vec<f64> = (0..n).map(|i| ((i * 5 % 17) as f64) * 0.3 - 2.0).collect();
         // Fresh-vector applies agree bit for bit.
-        assert_eq!(nico.apply(&r), h.apply(&r));
+        assert_eq!(nico.apply(&r).unwrap(), h.apply(&r));
         // Accumulating applies starting from identical nonzero outputs agree
         // bit for bit (this is the exact call pattern inside ASM's glue).
         let mut out_n: Vec<f64> = (0..n).map(|i| ((i % 13) as f64) * 0.7 - 4.0).collect();
         let mut out_h = out_n.clone();
-        nico.apply_into(&r, &mut out_n);
+        nico.apply_into(&r, &mut out_n).unwrap();
         h.apply_into(&r, &mut out_h);
         assert_eq!(out_n, out_h, "degenerate hierarchy must reproduce Nicolaides bit for bit");
     }

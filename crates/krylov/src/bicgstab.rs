@@ -10,6 +10,7 @@ use sparse::CsrMatrix;
 
 use crate::history::{relative_residual_norm, ConvergenceHistory, SolveStats, StopReason};
 use crate::preconditioner::Preconditioner;
+use crate::resilience::{FaultEvent, FaultKind, FaultLog};
 use crate::{SolveResult, SolverOptions};
 
 /// Solve `A x = b` with right-preconditioned BiCGStab.
@@ -35,6 +36,7 @@ pub fn bicgstab(
     let bnorm = norm2(b);
     let threshold = opts.threshold(bnorm);
     let mut history = ConvergenceHistory::new();
+    let mut faults = FaultLog::new();
 
     let mut r = vec![0.0; n];
     a.residual_into(b, &x, &mut r);
@@ -51,6 +53,7 @@ pub fn bicgstab(
                 final_relative_residual: relative_residual_norm(rnorm, bnorm),
                 stop_reason: StopReason::Converged,
                 history,
+                faults,
             },
         };
     }
@@ -72,6 +75,12 @@ pub fn bicgstab(
         let rho_new = dot(&r_hat, &r);
         if rho_new == 0.0 || !rho_new.is_finite() {
             stop = StopReason::Breakdown;
+            faults.record(FaultEvent::new(
+                FaultKind::Breakdown,
+                iter as u64,
+                "bicgstab",
+                format!("shadow product r̂·r = {rho_new}"),
+            ));
             iterations = iter;
             break;
         }
@@ -86,6 +95,12 @@ pub fn bicgstab(
         let rhat_v = dot(&r_hat, &v);
         if rhat_v == 0.0 || !rhat_v.is_finite() {
             stop = StopReason::Breakdown;
+            faults.record(FaultEvent::new(
+                FaultKind::Breakdown,
+                iter as u64,
+                "bicgstab",
+                format!("denominator r̂·v = {rhat_v}"),
+            ));
             iterations = iter;
             break;
         }
@@ -112,6 +127,12 @@ pub fn bicgstab(
         let tt = dot(&t, &t);
         if tt == 0.0 || !tt.is_finite() {
             stop = StopReason::Breakdown;
+            faults.record(FaultEvent::new(
+                FaultKind::Breakdown,
+                iter as u64,
+                "bicgstab",
+                format!("stabiliser denominator t·t = {tt}"),
+            ));
             iterations = iter + 1;
             break;
         }
@@ -126,6 +147,12 @@ pub fn bicgstab(
         }
         if !rnorm.is_finite() {
             stop = StopReason::Diverged;
+            faults.record(FaultEvent::new(
+                FaultKind::NonFinite,
+                iter as u64,
+                "bicgstab",
+                "residual norm became non-finite",
+            ));
             iterations = iter + 1;
             break;
         }
@@ -136,11 +163,18 @@ pub fn bicgstab(
         }
         if omega == 0.0 {
             stop = StopReason::Breakdown;
+            faults.record(FaultEvent::new(
+                FaultKind::Breakdown,
+                iter as u64,
+                "bicgstab",
+                "stabilisation weight ω vanished",
+            ));
             iterations = iter + 1;
             break;
         }
     }
 
+    preconditioner.collect_faults(&mut faults);
     SolveResult {
         x,
         stats: SolveStats {
@@ -149,6 +183,7 @@ pub fn bicgstab(
             final_relative_residual: relative_residual_norm(rnorm, bnorm),
             stop_reason: stop,
             history,
+            faults,
         },
     }
 }

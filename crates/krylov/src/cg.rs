@@ -4,6 +4,7 @@ use sparse::vector::{axpby, axpy, dot, norm2};
 use sparse::CsrMatrix;
 
 use crate::history::{relative_residual_norm, ConvergenceHistory, SolveStats, StopReason};
+use crate::resilience::{FaultEvent, FaultKind, FaultLog};
 use crate::{SolveResult, SolverOptions};
 
 /// Solve the SPD system `A x = b` with the Conjugate Gradient method.
@@ -32,6 +33,7 @@ pub fn conjugate_gradient(
     let bnorm = norm2(b);
     let threshold = opts.threshold(bnorm);
     let mut history = ConvergenceHistory::new();
+    let mut faults = FaultLog::new();
 
     let mut r = vec![0.0; n];
     a.residual_into(b, &x, &mut r);
@@ -48,6 +50,7 @@ pub fn conjugate_gradient(
                 final_relative_residual: relative_residual_norm(rnorm, bnorm),
                 stop_reason: StopReason::Converged,
                 history,
+                faults,
             },
         };
     }
@@ -63,6 +66,12 @@ pub fn conjugate_gradient(
         let pq = dot(&p, &q);
         if pq <= 0.0 || !pq.is_finite() {
             stop = StopReason::Breakdown;
+            faults.record(FaultEvent::new(
+                FaultKind::Breakdown,
+                iter as u64,
+                "cg",
+                format!("non-positive or non-finite curvature p·Ap = {pq}"),
+            ));
             iterations = iter;
             break;
         }
@@ -75,6 +84,12 @@ pub fn conjugate_gradient(
         }
         if !rnorm.is_finite() {
             stop = StopReason::Diverged;
+            faults.record(FaultEvent::new(
+                FaultKind::NonFinite,
+                iter as u64,
+                "cg",
+                "residual norm became non-finite",
+            ));
             iterations = iter + 1;
             break;
         }
@@ -98,6 +113,7 @@ pub fn conjugate_gradient(
             final_relative_residual: relative_residual_norm(rnorm, bnorm),
             stop_reason: stop,
             history,
+            faults,
         },
     }
 }

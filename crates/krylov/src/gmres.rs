@@ -10,6 +10,7 @@ use sparse::CsrMatrix;
 
 use crate::history::{relative_residual_norm, ConvergenceHistory, SolveStats, StopReason};
 use crate::preconditioner::Preconditioner;
+use crate::resilience::{FaultEvent, FaultKind, FaultLog};
 use crate::{SolveResult, SolverOptions};
 
 /// Solve `A x = b` with right-preconditioned restarted GMRES.
@@ -41,6 +42,7 @@ pub fn gmres(
     let bnorm = norm2(b);
     let threshold = opts.threshold(bnorm);
     let mut history = ConvergenceHistory::new();
+    let mut faults = FaultLog::new();
 
     let mut r = vec![0.0; n];
     a.residual_into(b, &x, &mut r);
@@ -107,6 +109,12 @@ pub fn gmres(
             let denom = (hess[j][j] * hess[j][j] + hess[j + 1][j] * hess[j + 1][j]).sqrt();
             if denom == 0.0 || !denom.is_finite() {
                 stop = StopReason::Breakdown;
+                faults.record(FaultEvent::new(
+                    FaultKind::Breakdown,
+                    total_iterations as u64,
+                    "gmres",
+                    format!("Givens rotation denominator {denom}"),
+                ));
                 total_iterations += 1;
                 update_solution(&mut x, &basis, &hess, &g, j + 1, preconditioner, n);
                 a.residual_into(b, &x, &mut r);
@@ -142,10 +150,17 @@ pub fn gmres(
             stop = StopReason::Converged;
         } else if !rnorm.is_finite() {
             stop = StopReason::Diverged;
+            faults.record(FaultEvent::new(
+                FaultKind::NonFinite,
+                total_iterations as u64,
+                "gmres",
+                "restart residual norm became non-finite",
+            ));
             break;
         }
     }
 
+    preconditioner.collect_faults(&mut faults);
     SolveResult {
         x,
         stats: SolveStats {
@@ -154,6 +169,7 @@ pub fn gmres(
             final_relative_residual: relative_residual_norm(rnorm, bnorm),
             stop_reason: stop,
             history,
+            faults,
         },
     }
 }

@@ -1,5 +1,7 @@
 //! Convergence bookkeeping shared by all Krylov drivers.
 
+use crate::resilience::FaultLog;
+
 /// Relative residual norm `‖r‖ / ‖b‖` with explicit zero-rhs semantics.
 ///
 /// For `‖b‖ = 0` the quotient is ill-defined, and silently substituting the
@@ -133,12 +135,22 @@ pub struct SolveStats {
     pub stop_reason: StopReason,
     /// Optional residual trace.
     pub history: ConvergenceHistory,
+    /// Classified faults contained during the solve — breakdowns observed by
+    /// the driver plus anything the preconditioner recorded internally
+    /// (panics, non-finite outputs, downgrades of a resilience ladder).
+    /// Empty on the healthy path.
+    pub faults: FaultLog,
 }
 
 impl SolveStats {
     /// True when the solver reports convergence.
     pub fn converged(&self) -> bool {
         self.stop_reason == StopReason::Converged
+    }
+
+    /// True when any fault was contained or any ladder downgrade fired.
+    pub fn degraded(&self) -> bool {
+        !self.faults.is_empty()
     }
 }
 
@@ -204,8 +216,10 @@ mod tests {
             final_relative_residual: 1e-9,
             stop_reason: StopReason::Converged,
             history: ConvergenceHistory::new(),
+            faults: FaultLog::default(),
         };
         assert!(stats.converged());
+        assert!(!stats.degraded());
         let stats = SolveStats { stop_reason: StopReason::MaxIterations, ..stats };
         assert!(!stats.converged());
     }

@@ -17,6 +17,7 @@ pub mod gmres;
 pub mod history;
 pub mod pcg;
 pub mod preconditioner;
+pub mod resilience;
 
 pub use bicgstab::bicgstab;
 pub use cg::conjugate_gradient;
@@ -25,6 +26,10 @@ pub use history::{relative_residual_norm, ConvergenceHistory, SolveStats, StopRe
 pub use pcg::preconditioned_conjugate_gradient;
 pub use preconditioner::{
     Ic0Preconditioner, IdentityPreconditioner, JacobiPreconditioner, Preconditioner,
+};
+pub use resilience::{
+    Degradation, DegradationLadder, FaultEvent, FaultInjectingPreconditioner, FaultKind, FaultLog,
+    GuardedPreconditioner, InjectedFault, ResiliencePolicy,
 };
 
 use sparse::CsrMatrix;

@@ -24,6 +24,7 @@ use sparse::CsrMatrix;
 
 use crate::history::{relative_residual_norm, ConvergenceHistory, SolveStats, StopReason};
 use crate::preconditioner::Preconditioner;
+use crate::resilience::{FaultEvent, FaultKind, FaultLog};
 use crate::{SolveResult, SolverOptions};
 
 /// Solve `A x = b` with PCG using the supplied preconditioner.
@@ -55,6 +56,7 @@ pub fn preconditioned_conjugate_gradient(
     let bnorm = norm2(b);
     let threshold = opts.threshold(bnorm);
     let mut history = ConvergenceHistory::new();
+    let mut faults = FaultLog::new();
 
     // r0 = b - A x0, z0 = M⁻¹ r0, p0 = z0
     let mut r = vec![0.0; n];
@@ -72,6 +74,7 @@ pub fn preconditioned_conjugate_gradient(
                 final_relative_residual: relative_residual_norm(rnorm, bnorm),
                 stop_reason: StopReason::Converged,
                 history,
+                faults,
             },
         };
     }
@@ -98,6 +101,12 @@ pub fn preconditioned_conjugate_gradient(
         let pq = dot(&p, &q);
         if pq <= 0.0 || !pq.is_finite() {
             stop = StopReason::Breakdown;
+            faults.record(FaultEvent::new(
+                FaultKind::Breakdown,
+                iter as u64,
+                "pcg",
+                format!("non-positive or non-finite curvature p·Ap = {pq}"),
+            ));
             iterations = iter;
             break;
         }
@@ -111,6 +120,12 @@ pub fn preconditioned_conjugate_gradient(
         }
         if !rnorm.is_finite() {
             stop = StopReason::Diverged;
+            faults.record(FaultEvent::new(
+                FaultKind::NonFinite,
+                iter as u64,
+                "pcg",
+                "residual norm became non-finite",
+            ));
             iterations = iter + 1;
             break;
         }
@@ -132,6 +147,12 @@ pub fn preconditioned_conjugate_gradient(
         rho = rho_new;
         if rho == 0.0 {
             stop = StopReason::Breakdown;
+            faults.record(FaultEvent::new(
+                FaultKind::Breakdown,
+                iter as u64,
+                "pcg",
+                "z·r vanished while the residual is above the threshold",
+            ));
             iterations = iter + 1;
             break;
         }
@@ -139,6 +160,7 @@ pub fn preconditioned_conjugate_gradient(
         axpby(1.0, &z, beta, &mut p);
     }
 
+    preconditioner.collect_faults(&mut faults);
     SolveResult {
         x,
         stats: SolveStats {
@@ -147,6 +169,7 @@ pub fn preconditioned_conjugate_gradient(
             final_relative_residual: relative_residual_norm(rnorm, bnorm),
             stop_reason: stop,
             history,
+            faults,
         },
     }
 }

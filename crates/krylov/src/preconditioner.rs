@@ -5,7 +5,12 @@
 //! in their own crates; here we provide the identity (plain CG), Jacobi
 //! (diagonal scaling) and IC(0) wrappers used as baselines.
 
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, PoisonError};
+
 use sparse::{CsrMatrix, IncompleteCholesky};
+
+use crate::resilience::{FaultEvent, FaultKind, FaultLog};
 
 /// Maps a residual to a correction, `z = M⁻¹ r`.
 ///
@@ -17,12 +22,57 @@ pub trait Preconditioner: Send + Sync {
     /// `z` and `r` always have the same length (the system dimension).
     fn apply(&self, r: &[f64], z: &mut [f64]);
 
+    /// Fallible application: like [`Preconditioner::apply`] but classified
+    /// numerical errors (dimension mismatches, singular local factors, ...)
+    /// are returned instead of panicking or being silently absorbed.
+    ///
+    /// The default forwards to `apply`; the resilience guards in
+    /// [`crate::resilience`] call this entry point so implementations that
+    /// *can* fail get their errors classified as
+    /// [`crate::resilience::FaultKind::NumericalError`] rather than
+    /// [`crate::resilience::FaultKind::Panic`].
+    fn apply_checked(&self, r: &[f64], z: &mut [f64]) -> sparse::Result<()> {
+        self.apply(r, z);
+        Ok(())
+    }
+
     /// Dimension of vectors this preconditioner acts on.
     fn dim(&self) -> usize;
 
     /// A short human-readable name used by the benchmark harness tables.
     fn name(&self) -> &str {
         "preconditioner"
+    }
+
+    /// Append any faults this preconditioner contained internally (since its
+    /// construction) to `into`.  The solve drivers call this once at the end
+    /// of a solve so contained faults surface on
+    /// [`crate::SolveStats::faults`].  The default records nothing.
+    fn collect_faults(&self, _into: &mut FaultLog) {}
+}
+
+/// Boxed trait objects forward every entry point, so ladder tiers
+/// (`Box<dyn Preconditioner>`) compose with the generic wrappers — e.g.
+/// `FaultInjectingPreconditioner<Box<dyn Preconditioner>>`.
+impl Preconditioner for Box<dyn Preconditioner> {
+    fn apply(&self, r: &[f64], z: &mut [f64]) {
+        (**self).apply(r, z);
+    }
+
+    fn apply_checked(&self, r: &[f64], z: &mut [f64]) -> sparse::Result<()> {
+        (**self).apply_checked(r, z)
+    }
+
+    fn dim(&self) -> usize {
+        (**self).dim()
+    }
+
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+
+    fn collect_faults(&self, into: &mut FaultLog) {
+        (**self).collect_faults(into);
     }
 }
 
@@ -92,20 +142,47 @@ impl Preconditioner for JacobiPreconditioner {
 /// IC(0) incomplete-Cholesky preconditioner (the paper's Table III baseline).
 pub struct Ic0Preconditioner {
     factor: IncompleteCholesky,
+    applies: AtomicU64,
+    faults: Mutex<FaultLog>,
 }
 
 impl Ic0Preconditioner {
     /// Factor the matrix with zero fill-in.
     pub fn new(a: &CsrMatrix) -> sparse::Result<Self> {
-        Ok(Ic0Preconditioner { factor: IncompleteCholesky::factor(a)? })
+        Ok(Ic0Preconditioner {
+            factor: IncompleteCholesky::factor(a)?,
+            applies: AtomicU64::new(0),
+            faults: Mutex::new(FaultLog::new()),
+        })
     }
 }
 
 impl Preconditioner for Ic0Preconditioner {
     fn apply(&self, r: &[f64], z: &mut [f64]) {
-        self.factor
-            .apply_into(r, z)
-            .expect("IC(0) application failed on a vector of the factored dimension");
+        let idx = self.applies.fetch_add(1, Ordering::SeqCst);
+        if let Err(e) = self.factor.apply_into(r, z) {
+            // A classified error (dimension mismatch), not a panic: fall back
+            // to the identity correction when shapes admit it (zeros
+            // otherwise) and record the fault so it surfaces on SolveStats.
+            if z.len() == r.len() {
+                z.copy_from_slice(r);
+            } else {
+                for v in z.iter_mut() {
+                    *v = 0.0;
+                }
+            }
+            self.faults.lock().unwrap_or_else(PoisonError::into_inner).record(FaultEvent::new(
+                FaultKind::NumericalError,
+                idx,
+                "ic0",
+                format!("{e}; identity fallback engaged"),
+            ));
+        }
+    }
+
+    fn apply_checked(&self, r: &[f64], z: &mut [f64]) -> sparse::Result<()> {
+        self.applies.fetch_add(1, Ordering::SeqCst);
+        self.factor.apply_into(r, z)
     }
 
     fn dim(&self) -> usize {
@@ -114,6 +191,10 @@ impl Preconditioner for Ic0Preconditioner {
 
     fn name(&self) -> &str {
         "ic0"
+    }
+
+    fn collect_faults(&self, into: &mut FaultLog) {
+        into.merge(self.faults.lock().unwrap_or_else(PoisonError::into_inner).clone());
     }
 }
 
@@ -154,5 +235,23 @@ mod tests {
         assert!(sparse::vector::dot(&z, &r) > 0.0);
         assert_eq!(p.name(), "ic0");
         assert_eq!(p.dim(), 36);
+    }
+
+    #[test]
+    fn ic0_dimension_mismatch_is_classified_not_a_panic() {
+        let a = laplacian_2d(4, 4);
+        let p = Ic0Preconditioner::new(&a).unwrap();
+        // Wrong-length vectors: apply_checked reports the error...
+        let r_bad = vec![1.0; 7];
+        let mut z_bad = vec![0.0; 7];
+        assert!(p.apply_checked(&r_bad, &mut z_bad).is_err());
+        // ...and apply survives with the identity fallback plus a recorded
+        // fault instead of the old `.expect` panic.
+        p.apply(&r_bad, &mut z_bad);
+        assert_eq!(z_bad, r_bad);
+        let mut log = FaultLog::new();
+        p.collect_faults(&mut log);
+        assert!(log.has_kind(FaultKind::NumericalError));
+        assert_eq!(log.events()[0].tier, "ic0");
     }
 }

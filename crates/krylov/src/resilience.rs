@@ -1,0 +1,914 @@
+//! Fault containment, classification and graceful degradation for
+//! preconditioned solves.
+//!
+//! The flexible-PCG safeguard in [`crate::pcg`] already tolerates a
+//! *numerically wrong* preconditioner; this module extends the guarantee to a
+//! preconditioner that panics, emits NaN/inf, returns identically zero
+//! corrections, stalls, or stops making progress.  Three cooperating pieces:
+//!
+//! * [`GuardedPreconditioner`] — wraps a single preconditioner, contains
+//!   panics (`catch_unwind`), scans outputs for non-finite values, tracks
+//!   stagnation and per-apply wall-clock budgets, and classifies every event
+//!   into a [`FaultKind`] recorded on a [`FaultLog`];
+//! * [`DegradationLadder`] — a stack of tiers (e.g. GNN-int8 → GNN-f32 →
+//!   GNN-f64 → ASM → Jacobi) that downgrades *in place* on a classified
+//!   fault, without restarting the outer solve — the flexible PCG update
+//!   tolerates a preconditioner that changes between iterations;
+//! * [`FaultInjectingPreconditioner`] — a deterministic test double whose
+//!   faults are scheduled by apply-count (optionally drawn from a seeded
+//!   ChaCha8 stream), so fault-injection runs are bit-reproducible at every
+//!   thread count.
+//!
+//! Guards never perturb a healthy apply: they only *read* the output vector,
+//! so a fault-free solve is bit-identical to an unguarded one (hash-pinned by
+//! the end-to-end resilience suite).
+
+use std::any::Any;
+use std::collections::BTreeMap;
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Mutex, PoisonError};
+use std::time::{Duration, Instant};
+
+use rand::{RngCore, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use sparse::vector::norm2;
+
+use crate::preconditioner::Preconditioner;
+
+/// Classification of a contained preconditioner fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// The preconditioner panicked during `apply` (contained by
+    /// `catch_unwind`).
+    Panic,
+    /// The output vector contained a NaN or infinite component.
+    NonFinite,
+    /// The output vector was identically zero for a nonzero residual.
+    ZeroOutput,
+    /// No residual reduction over the configured stagnation window.
+    Stagnation,
+    /// A single apply exceeded the configured wall-clock budget.
+    TimeBudget,
+    /// A Krylov recurrence denominator vanished or left the real line.
+    Breakdown,
+    /// A fallible operation reported a classified numerical error
+    /// (dimension mismatch, singular local factor, ...).
+    NumericalError,
+}
+
+impl fmt::Display for FaultKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            FaultKind::Panic => "panic",
+            FaultKind::NonFinite => "non-finite-output",
+            FaultKind::ZeroOutput => "zero-output",
+            FaultKind::Stagnation => "stagnation",
+            FaultKind::TimeBudget => "time-budget",
+            FaultKind::Breakdown => "breakdown",
+            FaultKind::NumericalError => "numerical-error",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One classified fault: what happened, at which apply, in which tier.
+#[derive(Debug, Clone)]
+pub struct FaultEvent {
+    /// Classification of the fault.
+    pub kind: FaultKind,
+    /// The preconditioner apply count (≈ outer iteration) at which it fired.
+    pub apply_index: u64,
+    /// Name of the tier (or solver) in which the fault was observed.
+    pub tier: String,
+    /// Free-form human-readable description.
+    pub detail: String,
+}
+
+impl FaultEvent {
+    /// Construct an event.
+    pub fn new(kind: FaultKind, apply_index: u64, tier: &str, detail: impl Into<String>) -> Self {
+        FaultEvent { kind, apply_index, tier: tier.to_string(), detail: detail.into() }
+    }
+}
+
+/// One step down the degradation ladder.
+#[derive(Debug, Clone)]
+pub struct Degradation {
+    /// Tier that faulted.
+    pub from: String,
+    /// Tier that took over.
+    pub to: String,
+    /// The apply count at which the downgrade fired.
+    pub apply_index: u64,
+}
+
+/// Record of every contained fault and downgrade observed during a solve.
+///
+/// Carried by [`crate::SolveStats`]; empty (and allocation-free) on the
+/// healthy path.
+#[derive(Debug, Clone, Default)]
+pub struct FaultLog {
+    events: Vec<FaultEvent>,
+    degradations: Vec<Degradation>,
+    final_tier: Option<String>,
+}
+
+impl FaultLog {
+    /// An empty log.
+    pub fn new() -> Self {
+        FaultLog::default()
+    }
+
+    /// Append a classified fault.
+    pub fn record(&mut self, event: FaultEvent) {
+        self.events.push(event);
+    }
+
+    /// Append a ladder downgrade.
+    pub fn record_degradation(&mut self, degradation: Degradation) {
+        self.degradations.push(degradation);
+    }
+
+    /// Set the tier that finished the solve.
+    pub fn set_final_tier(&mut self, tier: &str) {
+        self.final_tier = Some(tier.to_string());
+    }
+
+    /// The tier that finished the solve, when a supervisor reported one.
+    pub fn final_tier(&self) -> Option<&str> {
+        self.final_tier.as_deref()
+    }
+
+    /// All classified faults, oldest first.
+    pub fn events(&self) -> &[FaultEvent] {
+        &self.events
+    }
+
+    /// All ladder downgrades, oldest first.
+    pub fn degradations(&self) -> &[Degradation] {
+        &self.degradations
+    }
+
+    /// Whether any fault of the given kind was recorded.
+    pub fn has_kind(&self, kind: FaultKind) -> bool {
+        self.events.iter().any(|e| e.kind == kind)
+    }
+
+    /// Number of faults of the given kind.
+    pub fn count(&self, kind: FaultKind) -> usize {
+        self.events.iter().filter(|e| e.kind == kind).count()
+    }
+
+    /// True when nothing was recorded (the healthy path).
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty() && self.degradations.is_empty()
+    }
+
+    /// Absorb another log (events and degradations appended; `other`'s final
+    /// tier wins when set).
+    pub fn merge(&mut self, other: FaultLog) {
+        self.events.extend(other.events);
+        self.degradations.extend(other.degradations);
+        if other.final_tier.is_some() {
+            self.final_tier = other.final_tier;
+        }
+    }
+}
+
+/// Knobs for the guards in [`GuardedPreconditioner`] and
+/// [`DegradationLadder`].
+///
+/// Every guard only *reads* the residual and output vectors, so no setting
+/// here can perturb healthy-path numerics — the hash-pin test in the
+/// end-to-end resilience suite holds for any policy.
+#[derive(Debug, Clone)]
+pub struct ResiliencePolicy {
+    /// Scan outputs for NaN/inf components.
+    pub nonfinite_guard: bool,
+    /// Flag identically-zero outputs for a nonzero residual.
+    pub zero_output_guard: bool,
+    /// Number of consecutive applies without residual-norm improvement
+    /// before a [`FaultKind::Stagnation`] fires.  `0` disables the check.
+    pub stagnation_window: usize,
+    /// Per-apply wall-clock budget; an overrun keeps the (valid) output but
+    /// downgrades the ladder for subsequent applies.  `None` disables the
+    /// check — the default, so machine load cannot trigger spurious
+    /// downgrades in reproducible benchmark runs.
+    pub apply_time_budget: Option<Duration>,
+}
+
+impl Default for ResiliencePolicy {
+    fn default() -> Self {
+        ResiliencePolicy {
+            nonfinite_guard: true,
+            zero_output_guard: true,
+            stagnation_window: 64,
+            apply_time_budget: None,
+        }
+    }
+}
+
+/// Renders a contained panic payload for the fault log.
+fn panic_message(payload: &(dyn Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Scan the output of an apply and classify it, if faulty.
+fn classify_output(r: &[f64], z: &[f64], policy: &ResiliencePolicy) -> Option<(FaultKind, String)> {
+    if policy.nonfinite_guard {
+        if let Some(i) = z.iter().position(|v| !v.is_finite()) {
+            return Some((
+                FaultKind::NonFinite,
+                format!("output component {i} is {} after apply", z[i]),
+            ));
+        }
+    }
+    if policy.zero_output_guard && z.iter().all(|&v| v == 0.0) && r.iter().any(|&v| v != 0.0) {
+        return Some((
+            FaultKind::ZeroOutput,
+            "identically zero output for a nonzero residual".to_string(),
+        ));
+    }
+    None
+}
+
+/// Run one apply under the panic/error/output guards.
+///
+/// Returns the wall-clock time of a healthy apply, or the classified fault.
+/// `AssertUnwindSafe` is sound here: the scratch buffers the wrapped
+/// preconditioners share across threads sit behind mutexes that already
+/// recover from poisoning, and `z` is overwritten by any fallback.
+fn run_guarded(
+    p: &dyn Preconditioner,
+    r: &[f64],
+    z: &mut [f64],
+    policy: &ResiliencePolicy,
+) -> Result<Duration, (FaultKind, String)> {
+    let start = Instant::now();
+    match catch_unwind(AssertUnwindSafe(|| p.apply_checked(r, z))) {
+        Err(payload) => return Err((FaultKind::Panic, panic_message(payload.as_ref()))),
+        Ok(Err(e)) => return Err((FaultKind::NumericalError, e.to_string())),
+        Ok(Ok(())) => {}
+    }
+    if let Some(fault) = classify_output(r, z, policy) {
+        return Err(fault);
+    }
+    Ok(start.elapsed())
+}
+
+/// Detects "no residual reduction over a window of applies".
+#[derive(Debug)]
+struct StagnationTracker {
+    best: f64,
+    since_best: usize,
+}
+
+impl StagnationTracker {
+    fn new() -> Self {
+        StagnationTracker { best: f64::INFINITY, since_best: 0 }
+    }
+
+    /// Observe the residual norm of the incoming apply; `true` when the
+    /// window elapsed without improvement (the counter then restarts so the
+    /// check can fire again one window later).
+    fn observe(&mut self, rnorm: f64, window: usize) -> bool {
+        if rnorm < self.best {
+            self.best = rnorm;
+            self.since_best = 0;
+            return false;
+        }
+        self.since_best += 1;
+        if self.since_best >= window {
+            self.since_best = 0;
+            return true;
+        }
+        false
+    }
+}
+
+fn lock_recovering<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// A single-tier fault guard: contains panics, classifies bad outputs, and
+/// falls back to the identity correction `z = r` so the outer (flexible)
+/// Krylov iteration stays well-defined.
+///
+/// For a multi-tier fallback chain use [`DegradationLadder`] instead.
+pub struct GuardedPreconditioner<P> {
+    inner: P,
+    policy: ResiliencePolicy,
+    applies: AtomicU64,
+    log: Mutex<FaultLog>,
+    stagnation: Mutex<StagnationTracker>,
+    name: String,
+}
+
+impl<P: Preconditioner> GuardedPreconditioner<P> {
+    /// Wrap `inner` under the given policy.
+    pub fn new(inner: P, policy: ResiliencePolicy) -> Self {
+        let name = format!("guarded({})", inner.name());
+        GuardedPreconditioner {
+            inner,
+            policy,
+            applies: AtomicU64::new(0),
+            log: Mutex::new(FaultLog::new()),
+            stagnation: Mutex::new(StagnationTracker::new()),
+            name,
+        }
+    }
+
+    /// Snapshot of the faults recorded so far.
+    pub fn fault_log(&self) -> FaultLog {
+        lock_recovering(&self.log).clone()
+    }
+
+    /// The wrapped preconditioner.
+    pub fn inner(&self) -> &P {
+        &self.inner
+    }
+}
+
+impl<P: Preconditioner> Preconditioner for GuardedPreconditioner<P> {
+    fn apply(&self, r: &[f64], z: &mut [f64]) {
+        let idx = self.applies.fetch_add(1, Ordering::SeqCst);
+        if self.policy.stagnation_window > 0 {
+            let rnorm = norm2(r);
+            let fired =
+                lock_recovering(&self.stagnation).observe(rnorm, self.policy.stagnation_window);
+            if fired {
+                lock_recovering(&self.log).record(FaultEvent::new(
+                    FaultKind::Stagnation,
+                    idx,
+                    self.inner.name(),
+                    format!(
+                        "no residual reduction over {} applies (‖r‖ = {rnorm:.3e})",
+                        self.policy.stagnation_window
+                    ),
+                ));
+            }
+        }
+        match run_guarded(&self.inner, r, z, &self.policy) {
+            Ok(elapsed) => {
+                if let Some(budget) = self.policy.apply_time_budget {
+                    if elapsed > budget {
+                        lock_recovering(&self.log).record(FaultEvent::new(
+                            FaultKind::TimeBudget,
+                            idx,
+                            self.inner.name(),
+                            format!("apply took {elapsed:?} against a budget of {budget:?}"),
+                        ));
+                    }
+                }
+            }
+            Err((kind, detail)) => {
+                lock_recovering(&self.log).record(FaultEvent::new(
+                    kind,
+                    idx,
+                    self.inner.name(),
+                    format!("{detail}; identity fallback engaged"),
+                ));
+                z.copy_from_slice(r);
+            }
+        }
+    }
+
+    fn dim(&self) -> usize {
+        self.inner.dim()
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn collect_faults(&self, into: &mut FaultLog) {
+        self.inner.collect_faults(into);
+        into.merge(self.fault_log());
+    }
+}
+
+/// A supervisor over a stack of preconditioner tiers that downgrades in
+/// place on a classified fault, without restarting the outer solve.
+///
+/// Tier 0 is the preferred (fastest / most aggressive) operator; the last
+/// tier is the most conservative (typically diagonal Jacobi).  A fault in
+/// the active tier advances to the next one *within the same apply* — the
+/// output always comes from a healthy tier, or from the identity fallback
+/// `z = r` when even the last tier faults.  Downgrades are monotone and
+/// permanent for the lifetime of the ladder.
+pub struct DegradationLadder {
+    tiers: Vec<Box<dyn Preconditioner>>,
+    policy: ResiliencePolicy,
+    active: AtomicUsize,
+    applies: AtomicU64,
+    log: Mutex<FaultLog>,
+    stagnation: Mutex<StagnationTracker>,
+    name: String,
+    dim: usize,
+}
+
+impl DegradationLadder {
+    /// Build a ladder from an ordered, non-empty stack of tiers sharing one
+    /// dimension.
+    pub fn new(tiers: Vec<Box<dyn Preconditioner>>, policy: ResiliencePolicy) -> Self {
+        assert!(!tiers.is_empty(), "degradation ladder needs at least one tier");
+        let dim = tiers[0].dim();
+        for t in &tiers {
+            assert_eq!(t.dim(), dim, "every ladder tier must share the system dimension");
+        }
+        let name = format!(
+            "resilient[{}]",
+            tiers.iter().map(|t| t.name()).collect::<Vec<_>>().join(" -> ")
+        );
+        DegradationLadder {
+            tiers,
+            policy,
+            active: AtomicUsize::new(0),
+            applies: AtomicU64::new(0),
+            log: Mutex::new(FaultLog::new()),
+            stagnation: Mutex::new(StagnationTracker::new()),
+            name,
+            dim,
+        }
+    }
+
+    /// Index of the currently active tier.
+    pub fn active_tier(&self) -> usize {
+        self.active.load(Ordering::SeqCst)
+    }
+
+    /// Name of the currently active tier.
+    pub fn active_tier_name(&self) -> &str {
+        self.tiers[self.active_tier()].name()
+    }
+
+    /// Snapshot of the faults and downgrades recorded so far (with the
+    /// current tier as the final tier).
+    pub fn fault_log(&self) -> FaultLog {
+        let mut log = lock_recovering(&self.log).clone();
+        log.set_final_tier(self.active_tier_name());
+        log
+    }
+
+    /// Record a fault in `tier` and advance the active tier past it.
+    /// Returns the tier to retry with, or `None` when `tier` was the last.
+    fn downgrade(
+        &self,
+        tier: usize,
+        kind: FaultKind,
+        apply_index: u64,
+        detail: String,
+    ) -> Option<usize> {
+        let mut log = lock_recovering(&self.log);
+        log.record(FaultEvent::new(kind, apply_index, self.tiers[tier].name(), detail));
+        if tier + 1 >= self.tiers.len() {
+            return None;
+        }
+        log.record_degradation(Degradation {
+            from: self.tiers[tier].name().to_string(),
+            to: self.tiers[tier + 1].name().to_string(),
+            apply_index,
+        });
+        // Monotone: a concurrent apply may already have downgraded further.
+        self.active.fetch_max(tier + 1, Ordering::SeqCst);
+        Some(tier + 1)
+    }
+}
+
+impl Preconditioner for DegradationLadder {
+    fn apply(&self, r: &[f64], z: &mut [f64]) {
+        let idx = self.applies.fetch_add(1, Ordering::SeqCst);
+        let mut tier = self.active_tier();
+        if self.policy.stagnation_window > 0 && tier + 1 < self.tiers.len() {
+            let rnorm = norm2(r);
+            let fired =
+                lock_recovering(&self.stagnation).observe(rnorm, self.policy.stagnation_window);
+            if fired {
+                if let Some(next) = self.downgrade(
+                    tier,
+                    FaultKind::Stagnation,
+                    idx,
+                    format!(
+                        "no residual reduction over {} applies (‖r‖ = {rnorm:.3e})",
+                        self.policy.stagnation_window
+                    ),
+                ) {
+                    tier = next;
+                }
+            }
+        }
+        loop {
+            match run_guarded(self.tiers[tier].as_ref(), r, z, &self.policy) {
+                Ok(elapsed) => {
+                    if let Some(budget) = self.policy.apply_time_budget {
+                        if elapsed > budget && tier + 1 < self.tiers.len() {
+                            // The output is numerically valid — keep it, and
+                            // downgrade only the *subsequent* applies.
+                            self.downgrade(
+                                tier,
+                                FaultKind::TimeBudget,
+                                idx,
+                                format!("apply took {elapsed:?} against a budget of {budget:?}"),
+                            );
+                        }
+                    }
+                    return;
+                }
+                Err((kind, detail)) => match self.downgrade(tier, kind, idx, detail) {
+                    Some(next) => tier = next,
+                    None => {
+                        // Even the most conservative tier faulted: identity
+                        // fallback keeps the flexible outer iteration alive.
+                        z.copy_from_slice(r);
+                        return;
+                    }
+                },
+            }
+        }
+    }
+
+    fn dim(&self) -> usize {
+        self.dim
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn collect_faults(&self, into: &mut FaultLog) {
+        for t in &self.tiers {
+            t.collect_faults(into);
+        }
+        into.merge(self.fault_log());
+    }
+}
+
+/// A fault the test double can inject at a scheduled apply.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InjectedFault {
+    /// Panic before touching the output.
+    Panic,
+    /// Run the inner apply, then corrupt one component to NaN.
+    NanOutput,
+    /// Run the inner apply, then corrupt one component to +inf.
+    InfOutput,
+    /// Overwrite the output with zeros.
+    ZeroOutput,
+    /// Run the inner apply, then sleep for the given duration.
+    Stall(Duration),
+}
+
+/// Deterministic fault-injection wrapper for resilience tests.
+///
+/// Faults are keyed by the apply count, which the outer Krylov drivers
+/// advance sequentially — so a given schedule reproduces bit-identically at
+/// every thread count.  The random constructor draws the schedule from a
+/// seeded ChaCha8 stream *at construction time*; the apply path itself is
+/// deterministic.
+pub struct FaultInjectingPreconditioner<P> {
+    inner: P,
+    schedule: BTreeMap<u64, InjectedFault>,
+    applies: AtomicU64,
+    name: String,
+}
+
+impl<P: Preconditioner> FaultInjectingPreconditioner<P> {
+    /// Inject the given faults at the given apply counts.
+    pub fn scheduled(inner: P, schedule: impl IntoIterator<Item = (u64, InjectedFault)>) -> Self {
+        let name = format!("inject({})", inner.name());
+        FaultInjectingPreconditioner {
+            inner,
+            schedule: schedule.into_iter().collect(),
+            applies: AtomicU64::new(0),
+            name,
+        }
+    }
+
+    /// Draw `num_faults` distinct apply counts in `0..within_applies` and a
+    /// fault from `menu` for each, from a ChaCha8 stream seeded with `seed`.
+    pub fn random(
+        inner: P,
+        seed: u64,
+        num_faults: usize,
+        within_applies: u64,
+        menu: &[InjectedFault],
+    ) -> Self {
+        assert!(!menu.is_empty(), "fault menu must not be empty");
+        let span = within_applies.max(1);
+        let wanted = num_faults.min(span as usize);
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut schedule = BTreeMap::new();
+        while schedule.len() < wanted {
+            let at = rng.next_u64() % span;
+            let what = menu[(rng.next_u64() % menu.len() as u64) as usize];
+            schedule.entry(at).or_insert(what);
+        }
+        Self::scheduled(inner, schedule)
+    }
+
+    /// The injection schedule, apply-count → fault.
+    pub fn schedule(&self) -> &BTreeMap<u64, InjectedFault> {
+        &self.schedule
+    }
+}
+
+impl<P: Preconditioner> Preconditioner for FaultInjectingPreconditioner<P> {
+    fn apply(&self, r: &[f64], z: &mut [f64]) {
+        let idx = self.applies.fetch_add(1, Ordering::SeqCst);
+        match self.schedule.get(&idx) {
+            Some(InjectedFault::Panic) => panic!("injected panic at apply {idx}"),
+            Some(InjectedFault::NanOutput) => {
+                self.inner.apply(r, z);
+                if let Some(v) = z.first_mut() {
+                    *v = f64::NAN;
+                }
+            }
+            Some(InjectedFault::InfOutput) => {
+                self.inner.apply(r, z);
+                if let Some(v) = z.first_mut() {
+                    *v = f64::INFINITY;
+                }
+            }
+            Some(InjectedFault::ZeroOutput) => {
+                for v in z.iter_mut() {
+                    *v = 0.0;
+                }
+            }
+            Some(InjectedFault::Stall(d)) => {
+                self.inner.apply(r, z);
+                std::thread::sleep(*d);
+            }
+            None => self.inner.apply(r, z),
+        }
+    }
+
+    fn dim(&self) -> usize {
+        self.inner.dim()
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn collect_faults(&self, into: &mut FaultLog) {
+        self.inner.collect_faults(into);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::preconditioner::{IdentityPreconditioner, JacobiPreconditioner};
+    use crate::test_matrices::laplacian_2d;
+    use crate::{preconditioned_conjugate_gradient, SolverOptions};
+
+    /// A preconditioner that always panics.
+    struct AlwaysPanics(usize);
+    impl Preconditioner for AlwaysPanics {
+        fn apply(&self, _r: &[f64], _z: &mut [f64]) {
+            panic!("intentional test panic");
+        }
+        fn dim(&self) -> usize {
+            self.0
+        }
+        fn name(&self) -> &str {
+            "always-panics"
+        }
+    }
+
+    /// A preconditioner that always writes NaN.
+    struct AlwaysNan(usize);
+    impl Preconditioner for AlwaysNan {
+        fn apply(&self, _r: &[f64], z: &mut [f64]) {
+            for v in z.iter_mut() {
+                *v = f64::NAN;
+            }
+        }
+        fn dim(&self) -> usize {
+            self.0
+        }
+        fn name(&self) -> &str {
+            "always-nan"
+        }
+    }
+
+    #[test]
+    fn guard_is_bit_transparent_when_healthy() {
+        let a = laplacian_2d(8, 8);
+        let jacobi = JacobiPreconditioner::new(&a);
+        let guarded =
+            GuardedPreconditioner::new(JacobiPreconditioner::new(&a), ResiliencePolicy::default());
+        let r: Vec<f64> = (0..64).map(|i| (i as f64 * 0.37).sin()).collect();
+        let mut z_plain = vec![0.0; 64];
+        let mut z_guarded = vec![0.0; 64];
+        jacobi.apply(&r, &mut z_plain);
+        guarded.apply(&r, &mut z_guarded);
+        assert_eq!(z_plain, z_guarded, "guard must not perturb a healthy apply");
+        assert!(guarded.fault_log().is_empty());
+    }
+
+    #[test]
+    fn guard_contains_panics_with_identity_fallback() {
+        let guarded = GuardedPreconditioner::new(AlwaysPanics(4), ResiliencePolicy::default());
+        let r = [1.0, -2.0, 3.0, -4.0];
+        let mut z = [9.0; 4];
+        guarded.apply(&r, &mut z);
+        assert_eq!(z, r, "fallback must be the identity correction");
+        let log = guarded.fault_log();
+        assert!(log.has_kind(FaultKind::Panic));
+        assert_eq!(log.events()[0].tier, "always-panics");
+        assert_eq!(log.events()[0].apply_index, 0);
+    }
+
+    #[test]
+    fn guard_classifies_nonfinite_output() {
+        let guarded = GuardedPreconditioner::new(AlwaysNan(3), ResiliencePolicy::default());
+        let r = [1.0, 2.0, 3.0];
+        let mut z = [0.0; 3];
+        guarded.apply(&r, &mut z);
+        assert_eq!(z, r);
+        assert!(guarded.fault_log().has_kind(FaultKind::NonFinite));
+    }
+
+    #[test]
+    fn guard_reports_time_budget_overruns_without_discarding_output() {
+        struct Slow(usize);
+        impl Preconditioner for Slow {
+            fn apply(&self, r: &[f64], z: &mut [f64]) {
+                std::thread::sleep(Duration::from_millis(20));
+                z.copy_from_slice(r);
+            }
+            fn dim(&self) -> usize {
+                self.0
+            }
+            fn name(&self) -> &str {
+                "slow"
+            }
+        }
+        let policy = ResiliencePolicy {
+            apply_time_budget: Some(Duration::from_millis(1)),
+            ..Default::default()
+        };
+        let guarded = GuardedPreconditioner::new(Slow(2), policy);
+        let r = [1.0, 2.0];
+        let mut z = [0.0; 2];
+        guarded.apply(&r, &mut z);
+        assert_eq!(z, r, "a slow but valid output must be kept");
+        assert!(guarded.fault_log().has_kind(FaultKind::TimeBudget));
+    }
+
+    #[test]
+    fn ladder_downgrades_in_order_and_reports_final_tier() {
+        let tiers: Vec<Box<dyn Preconditioner>> = vec![
+            Box::new(AlwaysPanics(4)),
+            Box::new(AlwaysNan(4)),
+            Box::new(IdentityPreconditioner::new(4)),
+        ];
+        let ladder = DegradationLadder::new(tiers, ResiliencePolicy::default());
+        let r = [1.0, 2.0, 3.0, 4.0];
+        let mut z = [0.0; 4];
+        ladder.apply(&r, &mut z);
+        // Both broken tiers fault within the same apply; the identity tier
+        // produces the output.
+        assert_eq!(z, r);
+        assert_eq!(ladder.active_tier(), 2);
+        let log = ladder.fault_log();
+        assert!(log.has_kind(FaultKind::Panic));
+        assert!(log.has_kind(FaultKind::NonFinite));
+        assert_eq!(log.degradations().len(), 2);
+        assert_eq!(log.degradations()[0].from, "always-panics");
+        assert_eq!(log.degradations()[0].to, "always-nan");
+        assert_eq!(log.final_tier(), Some("identity"));
+        // Subsequent applies start directly at the healthy tier.
+        let mut z2 = [0.0; 4];
+        ladder.apply(&r, &mut z2);
+        assert_eq!(z2, r);
+        assert_eq!(ladder.fault_log().events().len(), 2);
+    }
+
+    #[test]
+    fn ladder_identity_fallback_when_every_tier_faults() {
+        let tiers: Vec<Box<dyn Preconditioner>> =
+            vec![Box::new(AlwaysPanics(3)), Box::new(AlwaysNan(3))];
+        let ladder = DegradationLadder::new(tiers, ResiliencePolicy::default());
+        let r = [1.0, -1.0, 2.0];
+        let mut z = [0.0; 3];
+        ladder.apply(&r, &mut z);
+        assert_eq!(z, r);
+        assert_eq!(ladder.active_tier(), 1, "downgrades stop at the last tier");
+    }
+
+    #[test]
+    fn ladder_stagnation_fires_after_window() {
+        let tiers: Vec<Box<dyn Preconditioner>> = vec![
+            Box::new(IdentityPreconditioner::new(2)),
+            Box::new(IdentityPreconditioner::new(2)),
+        ];
+        let policy = ResiliencePolicy { stagnation_window: 5, ..Default::default() };
+        let ladder = DegradationLadder::new(tiers, policy);
+        let r = [1.0, 1.0]; // constant residual: no improvement after the first
+        let mut z = [0.0; 2];
+        for _ in 0..6 {
+            ladder.apply(&r, &mut z);
+        }
+        let log = ladder.fault_log();
+        assert!(log.has_kind(FaultKind::Stagnation));
+        assert_eq!(ladder.active_tier(), 1);
+    }
+
+    #[test]
+    fn injector_is_deterministic_for_a_seed() {
+        let a = FaultInjectingPreconditioner::random(
+            IdentityPreconditioner::new(4),
+            42,
+            3,
+            50,
+            &[InjectedFault::Panic, InjectedFault::NanOutput, InjectedFault::ZeroOutput],
+        );
+        let b = FaultInjectingPreconditioner::random(
+            IdentityPreconditioner::new(4),
+            42,
+            3,
+            50,
+            &[InjectedFault::Panic, InjectedFault::NanOutput, InjectedFault::ZeroOutput],
+        );
+        assert_eq!(a.schedule(), b.schedule());
+        assert_eq!(a.schedule().len(), 3);
+        let c = FaultInjectingPreconditioner::random(
+            IdentityPreconditioner::new(4),
+            43,
+            3,
+            50,
+            &[InjectedFault::Panic],
+        );
+        assert_ne!(a.schedule(), c.schedule());
+    }
+
+    #[test]
+    fn injector_fires_by_apply_count() {
+        let inj = FaultInjectingPreconditioner::scheduled(
+            IdentityPreconditioner::new(2),
+            [(1, InjectedFault::ZeroOutput)],
+        );
+        let r = [3.0, 4.0];
+        let mut z = [0.0; 2];
+        inj.apply(&r, &mut z);
+        assert_eq!(z, r, "apply 0 is healthy");
+        inj.apply(&r, &mut z);
+        assert_eq!(z, [0.0, 0.0], "apply 1 injects the zero output");
+        inj.apply(&r, &mut z);
+        assert_eq!(z, r, "apply 2 is healthy again");
+    }
+
+    #[test]
+    fn pcg_converges_through_an_injected_panic() {
+        let a = laplacian_2d(12, 12);
+        let n = a.nrows();
+        let b: Vec<f64> = (0..n).map(|i| ((i % 7) as f64) - 3.0).collect();
+        let opts = SolverOptions::with_tolerance(1e-8);
+        let clean =
+            preconditioned_conjugate_gradient(&a, &b, None, &JacobiPreconditioner::new(&a), &opts);
+        let tiers: Vec<Box<dyn Preconditioner>> = vec![
+            Box::new(FaultInjectingPreconditioner::scheduled(
+                JacobiPreconditioner::new(&a),
+                [(3, InjectedFault::Panic)],
+            )),
+            Box::new(JacobiPreconditioner::new(&a)),
+        ];
+        let ladder = DegradationLadder::new(tiers, ResiliencePolicy::default());
+        let faulted = preconditioned_conjugate_gradient(&a, &b, None, &ladder, &opts);
+        assert!(faulted.stats.converged());
+        assert!(
+            faulted.stats.iterations <= 2 * clean.stats.iterations.max(1),
+            "fault recovery overhead too large: {} vs {}",
+            faulted.stats.iterations,
+            clean.stats.iterations
+        );
+        assert!(faulted.stats.faults.has_kind(FaultKind::Panic));
+        assert_eq!(faulted.stats.faults.final_tier(), Some("jacobi"));
+        assert_eq!(faulted.stats.faults.degradations().len(), 1);
+    }
+
+    #[test]
+    fn fault_log_merge_keeps_order_and_final_tier() {
+        let mut a = FaultLog::new();
+        a.record(FaultEvent::new(FaultKind::Panic, 0, "t0", "first"));
+        let mut b = FaultLog::new();
+        b.record(FaultEvent::new(FaultKind::Breakdown, 5, "t1", "second"));
+        b.set_final_tier("t1");
+        a.merge(b);
+        assert_eq!(a.events().len(), 2);
+        assert_eq!(a.events()[1].kind, FaultKind::Breakdown);
+        assert_eq!(a.final_tier(), Some("t1"));
+        assert_eq!(a.count(FaultKind::Panic), 1);
+        assert!(!a.is_empty());
+    }
+}

@@ -3,8 +3,8 @@
 //! non-increasing.
 
 use krylov::{
-    bicgstab, conjugate_gradient, gmres, preconditioned_conjugate_gradient, IdentityPreconditioner,
-    JacobiPreconditioner, SolverOptions,
+    bicgstab, conjugate_gradient, gmres, preconditioned_conjugate_gradient, FaultKind,
+    IdentityPreconditioner, JacobiPreconditioner, Preconditioner, SolverOptions, StopReason,
 };
 use sparse::{CooMatrix, CsrMatrix};
 
@@ -229,6 +229,57 @@ fn zero_rhs_mean_reduction_factor_is_well_defined() {
         // None is only allowed when no meaningful factor exists.
         assert!(result.stats.history.len() < 2 || result.stats.history.norms()[0] == 0.0);
     }
+}
+
+/// PCG on an indefinite matrix hits a non-positive curvature `p·Ap ≤ 0` in the
+/// very first iteration: the exit must be a classified
+/// `StopReason::Breakdown` carrying a `FaultKind::Breakdown` event on
+/// `SolveStats::faults` — not a silent max-iterations grind.
+#[test]
+fn pcg_zero_curvature_breakdown_is_classified() {
+    let n = 4;
+    let mut coo = CooMatrix::new(n, n);
+    for i in 0..n {
+        // diag(1, -1, 1, -1): indefinite, so some directions have p·Ap < 0.
+        coo.push(i, i, if i % 2 == 0 { 1.0 } else { -1.0 }).unwrap();
+    }
+    let a = coo.to_csr();
+    let b = vec![0.0, 1.0, 0.0, 1.0]; // excites only the negative eigenspace
+    let id = IdentityPreconditioner::new(n);
+    let result = preconditioned_conjugate_gradient(&a, &b, None, &id, &SolverOptions::default());
+    assert_eq!(result.stats.stop_reason, StopReason::Breakdown);
+    assert!(result.stats.faults.has_kind(FaultKind::Breakdown));
+    assert_eq!(result.stats.faults.events()[0].tier, "pcg");
+    assert!(result.stats.degraded());
+}
+
+/// BiCGStab with a zero-output preconditioner: `v = A M⁻¹ p = 0` makes the
+/// denominator `r̂·v` vanish.  The classified breakdown must surface on
+/// `SolveStats::faults`, naming the solver stage.
+#[test]
+fn bicgstab_zero_denominator_breakdown_is_classified() {
+    struct ZeroPreconditioner(usize);
+    impl Preconditioner for ZeroPreconditioner {
+        fn apply(&self, _r: &[f64], z: &mut [f64]) {
+            for v in z.iter_mut() {
+                *v = 0.0;
+            }
+        }
+        fn dim(&self) -> usize {
+            self.0
+        }
+        fn name(&self) -> &str {
+            "zero"
+        }
+    }
+    let a = laplacian_2d(6, 6);
+    let b = fixed_rhs(a.nrows());
+    let zero = ZeroPreconditioner(a.nrows());
+    let result = bicgstab(&a, &b, None, &zero, &SolverOptions::default());
+    assert_eq!(result.stats.stop_reason, StopReason::Breakdown);
+    assert!(result.stats.faults.has_kind(FaultKind::Breakdown));
+    assert_eq!(result.stats.faults.events()[0].tier, "bicgstab");
+    assert!(result.stats.faults.events()[0].detail.contains("r̂·v"));
 }
 
 /// Happy breakdown: when the Krylov space becomes invariant (`h_{j+1,j} = 0`)
