@@ -219,6 +219,37 @@ fn child() {
                 let (med, min) = time_kernel(|| precond.apply(&r, &mut z), floor, 7);
                 println!("PERF kind=kernel name=gnn_apply precision={p} idx={pi} n={n} threads={threads} median_ns={med} min_ns={min}");
 
+                // Batched multi-RHS apply: the panel kernels stream the plan
+                // (weights, geo/bf16 edge terms, psi statics) once per batch
+                // instead of once per column, so ns-per-column should fall
+                // with b on the bandwidth-bound sizes.  b=4 is covered by the
+                // CI smoke leg.
+                let batch_widths: &[usize] = if smoke { &[1, 4] } else { &[1, 2, 4, 8] };
+                let max_b = batch_widths.iter().copied().max().unwrap();
+                let rhs_panel: Vec<Vec<f64>> = (0..max_b)
+                    .map(|c| {
+                        r.iter()
+                            .enumerate()
+                            .map(|(i, &v)| v + (c as f64) * ((i as f64) * 0.01).sin())
+                            .collect()
+                    })
+                    .collect();
+                let mut z_panel = vec![vec![0.0; n]; max_b];
+                for &bw in batch_widths {
+                    let rs: Vec<&[f64]> = rhs_panel[..bw].iter().map(|v| v.as_slice()).collect();
+                    let (cols, _) = z_panel.split_at_mut(bw);
+                    let (med, min) = time_kernel(
+                        || {
+                            let mut zs: Vec<&mut [f64]> =
+                                cols.iter_mut().map(|z| z.as_mut_slice()).collect();
+                            precond.apply_batch(&rs, &mut zs);
+                        },
+                        floor,
+                        7,
+                    );
+                    println!("PERF kind=kernel name=gnn_apply_batched precision={p} b={bw} idx={pi} n={n} threads={threads} median_ns={med} min_ns={min}");
+                }
+
                 // Per-layer breakdown of the inference engine, accumulated
                 // over whole (sequential) preconditioner applications.  The
                 // stage split is thread-independent, so the parent asks only
@@ -236,6 +267,23 @@ fn child() {
                         println!(
                             "PERF kind=gnn_layer precision={p} stage={stage} idx={pi} n={n} threads={threads} total_ns={ns} applies={reps} inferences={}",
                             timings.calls
+                        );
+                    }
+                    // The same stage split over the widest batched apply:
+                    // shows where the amortisation lands per stage (the
+                    // node GEMMs and edge gather touch the plan once per
+                    // batch, the psi/decoder work scales with b).
+                    let rs: Vec<&[f64]> = rhs_panel[..max_b].iter().map(|v| v.as_slice()).collect();
+                    let mut batched_timings = InferenceTimings::default();
+                    for _ in 0..reps {
+                        let mut zs: Vec<&mut [f64]> =
+                            z_panel.iter_mut().map(|z| z.as_mut_slice()).collect();
+                        precond.apply_batch_timed(&rs, &mut zs, &mut batched_timings);
+                    }
+                    for (stage, ns) in batched_timings.stages() {
+                        println!(
+                            "PERF kind=gnn_layer_batched precision={p} b={max_b} stage={stage} idx={pi} n={n} threads={threads} total_ns={ns} applies={reps} inferences={}",
+                            batched_timings.calls
                         );
                     }
                     println!(
@@ -357,6 +405,16 @@ fn parent() {
         all.extend(parse_records(&stdout));
     }
 
+    // Annotate every measurement taken with more worker threads than the
+    // host actually has: oversubscribed numbers must not be misread as
+    // scaling data.
+    let host_cpus = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    for rec in &mut all {
+        if rec.get("threads").and_then(|t| t.parse::<usize>().ok()).is_some_and(|t| t > host_cpus) {
+            rec.insert("oversubscribed".to_string(), "true".to_string());
+        }
+    }
+
     // Determinism: for every (solver, problem) the residual-history hash must
     // be identical at every thread count.
     let mut hashes: BTreeMap<(String, String), Vec<(String, String)>> = BTreeMap::new();
@@ -456,6 +514,11 @@ fn render_gnn_inference_json(thread_counts: &[usize], records: &[Record]) -> Str
         s,
         "  \"stage_timer\": \"DdmGnnPreconditioner::apply_timed (sequential sub-domain sweep)\","
     );
+    let _ = writeln!(
+        s,
+        "  \"host_cpus\": {},",
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    );
     let _ = writeln!(s, "  \"threads\": {base_threads},");
     let _ = writeln!(s, "  \"stages\": [");
     for (i, rec) in layer_recs.iter().enumerate() {
@@ -504,6 +567,72 @@ fn render_gnn_inference_json(thread_counts: &[usize], records: &[Record]) -> Str
             s,
             "    {{ \"idx\": {}, \"n\": {}, \"precision\": \"{}\", \"median_ns\": {}, \"min_ns\": {} }}{comma}",
             rec["idx"], rec["n"], precision_of(rec), rec["median_ns"], rec["min_ns"]
+        );
+    }
+    let _ = writeln!(s, "  ],");
+    // Batched multi-RHS apply: median per call, per column (median / b) and
+    // the amortisation factor against the b=1 batched run of the same
+    // (problem, precision).
+    let batched_recs: Vec<&Record> = records
+        .iter()
+        .filter(|r| {
+            r.get("kind").map(String::as_str) == Some("kernel")
+                && r.get("name").map(String::as_str) == Some("gnn_apply_batched")
+                && r.get("threads") == Some(&base_threads)
+        })
+        .collect();
+    let mut b1_per_column: BTreeMap<(String, String), f64> = BTreeMap::new();
+    for rec in &batched_recs {
+        if rec.get("b").map(String::as_str) == Some("1") {
+            if let Ok(ns) = rec["median_ns"].parse::<f64>() {
+                b1_per_column.insert((rec["idx"].clone(), precision_of(rec)), ns);
+            }
+        }
+    }
+    let _ = writeln!(s, "  \"gnn_apply_batched\": [");
+    for (i, rec) in batched_recs.iter().enumerate() {
+        let b: f64 = rec["b"].parse().unwrap_or(1.0);
+        let median: f64 = rec["median_ns"].parse().unwrap_or(0.0);
+        let per_column = median / b.max(1.0);
+        let amortisation = b1_per_column
+            .get(&(rec["idx"].clone(), precision_of(rec)))
+            .map_or(1.0, |&b1| if per_column > 0.0 { b1 / per_column } else { 1.0 });
+        let comma = if i + 1 < batched_recs.len() { "," } else { "" };
+        let _ = writeln!(
+            s,
+            "    {{ \"idx\": {}, \"n\": {}, \"precision\": \"{}\", \"b\": {}, \"median_ns\": {}, \"ns_per_column\": {:.0}, \"batch_amortisation_vs_b1\": {:.3} }}{comma}",
+            rec["idx"], rec["n"], precision_of(rec), rec["b"], rec["median_ns"], per_column, amortisation
+        );
+    }
+    let _ = writeln!(s, "  ],");
+    // The per-stage split of the widest batched apply, mirroring "stages".
+    let batched_layer_recs: Vec<&Record> = records
+        .iter()
+        .filter(|r| {
+            r.get("kind").map(String::as_str) == Some("gnn_layer_batched")
+                && r.get("threads") == Some(&base_threads)
+        })
+        .collect();
+    let mut batched_totals: BTreeMap<(String, String), u64> = BTreeMap::new();
+    for rec in &batched_layer_recs {
+        if let Ok(ns) = rec["total_ns"].parse::<u64>() {
+            *batched_totals.entry((rec["idx"].clone(), precision_of(rec))).or_default() += ns;
+        }
+    }
+    let _ = writeln!(s, "  \"stages_batched\": [");
+    for (i, rec) in batched_layer_recs.iter().enumerate() {
+        let total = batched_totals
+            .get(&(rec["idx"].clone(), precision_of(rec)))
+            .copied()
+            .unwrap_or(0)
+            .max(1);
+        let ns: u64 = rec["total_ns"].parse().unwrap_or(0);
+        let share = ns as f64 / total as f64;
+        let comma = if i + 1 < batched_layer_recs.len() { "," } else { "" };
+        let _ = writeln!(
+            s,
+            "    {{ \"idx\": {}, \"n\": {}, \"precision\": \"{}\", \"b\": {}, \"stage\": \"{}\", \"total_ns\": {}, \"share\": {:.4}, \"applies\": {}, \"inferences\": {} }}{comma}",
+            rec["idx"], rec["n"], precision_of(rec), rec["b"], rec["stage"], rec["total_ns"], share, rec["applies"], rec["inferences"]
         );
     }
     let _ = writeln!(s, "  ],");
@@ -602,8 +731,10 @@ fn render_json(
                         // hash of decimal digits (or with a lone 'e') would
                         // otherwise pass the f64 parse and be emitted as an
                         // invalid bare number.
-                        let is_string =
-                            matches!(f, "hash" | "solver" | "name") || v.parse::<f64>().is_err();
+                        let is_bool = matches!(v.as_str(), "true" | "false");
+                        let is_string = !is_bool
+                            && (matches!(f, "hash" | "solver" | "name")
+                                || v.parse::<f64>().is_err());
                         if is_string {
                             format!("\"{f}\": \"{v}\"")
                         } else {
@@ -641,14 +772,14 @@ fn render_json(
     render_group(
         &mut s,
         "kernel",
-        &["name", "precision", "idx", "n", "threads", "median_ns", "min_ns"],
+        &["name", "precision", "b", "idx", "n", "threads", "median_ns", "min_ns", "oversubscribed"],
     );
     let _ = writeln!(s, "  ],");
     let _ = writeln!(s, "  \"end_to_end\": [");
     render_group(
         &mut s,
         "e2e",
-        &["solver", "idx", "n", "threads", "wall_ms", "iterations", "hash"],
+        &["solver", "idx", "n", "threads", "wall_ms", "iterations", "hash", "oversubscribed"],
     );
     let _ = writeln!(s, "  ],");
     let _ = writeln!(s, "  \"fault_recovery\": [");
@@ -666,6 +797,7 @@ fn render_json(
             "faulted_iterations",
             "faults",
             "final_tier",
+            "oversubscribed",
         ],
     );
     let _ = writeln!(s, "  ],");

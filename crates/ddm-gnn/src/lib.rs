@@ -36,10 +36,10 @@ pub use pipeline::{
 };
 pub use preconditioner::DdmGnnPreconditioner;
 pub use solver::{
-    build_resilience_tiers, solve_cg, solve_ddm_gnn, solve_ddm_gnn_multilevel,
+    build_resilience_tiers, solve_cg, solve_ddm_gnn, solve_ddm_gnn_batch, solve_ddm_gnn_multilevel,
     solve_ddm_gnn_resilient, solve_ddm_gnn_with_precision, solve_ddm_lu, solve_ddm_lu_multilevel,
-    solve_ic0, solve_with_ladder, HybridSolver, HybridSolverConfig, Method, SolveOutcome,
-    TimedPreconditioner,
+    solve_ic0, solve_with_ladder, BatchSolveOutcome, HybridSolver, HybridSolverConfig, Method,
+    SolveOutcome, TimedPreconditioner,
 };
 
 #[cfg(test)]

@@ -36,6 +36,14 @@ struct SubdomainScratch {
     local_r: Vec<f64>,
     correction: Vec<f64>,
     norm: f64,
+    /// Column-interleaved `num_local × b` residual panel of the batched
+    /// apply (batch width tracked by `norms_b.len()`).
+    local_rb: Vec<f64>,
+    /// Column-interleaved `num_local × b` correction panel.
+    correction_b: Vec<f64>,
+    /// Per-column restriction norms of the batched apply (`0.0` marks a
+    /// vanishing column that skips both inference output and gluing).
+    norms_b: Vec<f64>,
     infer: InferScratch,
     infer32: InferScratchF32,
     inferq: InferScratchQ,
@@ -47,6 +55,9 @@ impl SubdomainScratch {
             local_r: vec![0.0; dim],
             correction: vec![0.0; dim],
             norm: 0.0,
+            local_rb: Vec::new(),
+            correction_b: Vec::new(),
+            norms_b: Vec::new(),
             infer: InferScratch::new(),
             infer32: InferScratchF32::new(),
             inferq: InferScratchQ::new(),
@@ -331,7 +342,8 @@ impl DdmGnnPreconditioner {
     /// optionally accumulating per-stage timings.
     fn solve_local(&self, i: usize, r: &[f64], timings: Option<&mut InferenceTimings>) {
         let mut guard = self.scratch[i].lock().unwrap();
-        let SubdomainScratch { local_r, correction, norm, infer, infer32, inferq } = &mut *guard;
+        let SubdomainScratch { local_r, correction, norm, infer, infer32, inferq, .. } =
+            &mut *guard;
         self.restrictions[i].restrict_into(r, local_r);
         *norm = sparse::vector::norm2(local_r);
         if *norm <= f64::MIN_POSITIVE {
@@ -360,6 +372,101 @@ impl DdmGnnPreconditioner {
             (PlanSet::Int8(plans), None) => {
                 self.model.infer_with_plan_q_into(&plans[i], local_r, inferq, correction)
             }
+        }
+    }
+
+    /// Batched [`DdmGnnPreconditioner::solve_local`]: restrict, normalise
+    /// and infer all `b` residuals of one sub-domain through **one** panel
+    /// inference, so the plan streams (weights, static geo terms) are read
+    /// once for the whole batch.
+    ///
+    /// Each column is restricted and normalised through the same contiguous
+    /// buffer and operation order as the unbatched path, then scattered into
+    /// the column-interleaved panel — so together with the per-column
+    /// bit-identity of the batched inference engines, column `c`'s correction
+    /// is bit-identical to an unbatched `solve_local` on `rs[c]`.
+    fn solve_local_batch(&self, i: usize, rs: &[&[f64]], timings: Option<&mut InferenceTimings>) {
+        let b = rs.len();
+        let mut guard = self.scratch[i].lock().unwrap();
+        let SubdomainScratch {
+            local_r,
+            local_rb,
+            correction_b,
+            norms_b,
+            infer,
+            infer32,
+            inferq,
+            ..
+        } = &mut *guard;
+        let nl = local_r.len();
+        local_rb.resize(nl * b, 0.0);
+        correction_b.resize(nl * b, 0.0);
+        norms_b.clear();
+        let mut any_live = false;
+        for (c, r) in rs.iter().enumerate() {
+            self.restrictions[i].restrict_into(r, local_r);
+            let mut norm = sparse::vector::norm2(local_r);
+            if norm <= f64::MIN_POSITIVE {
+                norm = 0.0;
+                for j in 0..nl {
+                    local_rb[j * b + c] = 0.0;
+                }
+            } else {
+                for v in local_r.iter_mut() {
+                    *v /= norm;
+                }
+                for (j, &v) in local_r.iter().enumerate() {
+                    local_rb[j * b + c] = v;
+                }
+                any_live = true;
+            }
+            norms_b.push(norm);
+        }
+        if !any_live {
+            return;
+        }
+        match (&self.plans, timings) {
+            (PlanSet::F64(plans), Some(t)) => self.model.infer_with_plan_batched_timed(
+                &plans[i],
+                local_rb,
+                b,
+                infer,
+                correction_b,
+                t,
+            ),
+            (PlanSet::F64(plans), None) => {
+                self.model.infer_with_plan_batched_into(&plans[i], local_rb, b, infer, correction_b)
+            }
+            (PlanSet::F32(plans), Some(t)) => self.model.infer_with_plan_f32_batched_timed(
+                &plans[i],
+                local_rb,
+                b,
+                infer32,
+                correction_b,
+                t,
+            ),
+            (PlanSet::F32(plans), None) => self.model.infer_with_plan_f32_batched_into(
+                &plans[i],
+                local_rb,
+                b,
+                infer32,
+                correction_b,
+            ),
+            (PlanSet::Int8(plans), Some(t)) => self.model.infer_with_plan_q_batched_timed(
+                &plans[i],
+                local_rb,
+                b,
+                inferq,
+                correction_b,
+                t,
+            ),
+            (PlanSet::Int8(plans), None) => self.model.infer_with_plan_q_batched_into(
+                &plans[i],
+                local_rb,
+                b,
+                inferq,
+                correction_b,
+            ),
         }
     }
 
@@ -407,6 +514,66 @@ impl DdmGnnPreconditioner {
         }
         self.glue(r, z);
     }
+
+    /// Batched gluing: per column, same sub-domain order and the same
+    /// scaled scatter-add as [`DdmGnnPreconditioner::glue`], then the coarse
+    /// correction applied column by column.
+    fn glue_batch(&self, rs: &[&[f64]], zs: &mut [&mut [f64]]) {
+        let b = rs.len();
+        for z in zs.iter_mut() {
+            for zi in z.iter_mut() {
+                *zi = 0.0;
+            }
+        }
+        for (restriction, scratch) in self.restrictions.iter().zip(self.scratch.iter()) {
+            let guard = scratch.lock().unwrap();
+            for (c, z) in zs.iter_mut().enumerate() {
+                if guard.norms_b[c] > 0.0 {
+                    restriction.extend_add_scaled_strided(
+                        guard.norms_b[c],
+                        &guard.correction_b,
+                        b,
+                        c,
+                        z,
+                    );
+                }
+            }
+        }
+        if let Some(coarse) = &self.coarse {
+            for (c, (r, z)) in rs.iter().zip(zs.iter_mut()).enumerate() {
+                if let Err(e) = coarse.apply_into(r, z) {
+                    self.faults.lock().unwrap_or_else(PoisonError::into_inner).record(
+                        FaultEvent::new(
+                            FaultKind::NumericalError,
+                            self.applies.load(Ordering::SeqCst).saturating_sub(1),
+                            &self.name,
+                            format!("coarse correction failed in batch column {c}: {e}"),
+                        ),
+                    );
+                }
+            }
+        }
+    }
+
+    /// [`Preconditioner::apply_batch`] with the per-stage inference breakdown
+    /// accumulated into `timings` — the batched sibling of
+    /// [`DdmGnnPreconditioner::apply_timed`], sub-domains processed
+    /// sequentially so the stage buckets measure kernel time.  Bit-identical
+    /// to the parallel batched apply.
+    pub fn apply_batch_timed(
+        &self,
+        rs: &[&[f64]],
+        zs: &mut [&mut [f64]],
+        timings: &mut InferenceTimings,
+    ) {
+        assert_eq!(rs.len(), zs.len(), "batched apply: rs/zs column count mismatch");
+        let _exclusive = self.apply_guard.lock().unwrap();
+        self.applies.fetch_add(1, Ordering::SeqCst);
+        for i in 0..self.restrictions.len() {
+            self.solve_local_batch(i, rs, Some(&mut *timings));
+        }
+        self.glue_batch(rs, zs);
+    }
 }
 
 impl Preconditioner for DdmGnnPreconditioner {
@@ -422,6 +589,21 @@ impl Preconditioner for DdmGnnPreconditioner {
         // allocates nothing.
         (0..self.restrictions.len()).into_par_iter().for_each(|i| self.solve_local(i, r, None));
         self.glue(r, z);
+    }
+
+    fn apply_batch(&self, rs: &[&[f64]], zs: &mut [&mut [f64]]) {
+        assert_eq!(rs.len(), zs.len(), "batched apply: rs/zs column count mismatch");
+        debug_assert!(rs.iter().all(|r| r.len() == self.num_global));
+        debug_assert!(zs.iter().all(|z| z.len() == self.num_global));
+        let _exclusive = self.apply_guard.lock().unwrap();
+        self.applies.fetch_add(1, Ordering::SeqCst);
+        // Each sub-domain gathers its b local residuals into one panel and
+        // runs a single batched inference — the plan streams are read once
+        // per batch instead of once per column.
+        (0..self.restrictions.len())
+            .into_par_iter()
+            .for_each(|i| self.solve_local_batch(i, rs, None));
+        self.glue_batch(rs, zs);
     }
 
     fn dim(&self) -> usize {
@@ -524,6 +706,60 @@ mod tests {
         precond.apply_timed(&r, &mut z_timed, &mut timings);
         assert_eq!(z, z_timed, "timed apply must not change the correction");
         assert_eq!(timings.calls as usize, precond.num_subdomains());
+    }
+
+    #[test]
+    fn batched_apply_is_bit_identical_per_column_for_all_precisions() {
+        let fx = fixture();
+        let n = fx.problem.num_unknowns();
+        for precision in [gnn::Precision::F64, gnn::Precision::F32, gnn::Precision::Int8] {
+            let precond = DdmGnnPreconditioner::with_precision(
+                &fx.problem,
+                fx.subdomains.clone(),
+                Arc::new(fx.model.clone()),
+                true,
+                precision,
+            )
+            .unwrap();
+            for b in [1usize, 3, 4] {
+                let rhs: Vec<Vec<f64>> = (0..b)
+                    .map(|c| {
+                        fx.problem
+                            .rhs
+                            .iter()
+                            .enumerate()
+                            .map(|(i, v)| v * (1.0 - 0.21 * c as f64) + 0.01 * ((i + c) % 7) as f64)
+                            .collect()
+                    })
+                    .collect();
+                let r_refs: Vec<&[f64]> = rhs.iter().map(|r| r.as_slice()).collect();
+                let mut zs: Vec<Vec<f64>> = vec![vec![0.0; n]; b];
+                {
+                    let mut z_refs: Vec<&mut [f64]> =
+                        zs.iter_mut().map(|z| z.as_mut_slice()).collect();
+                    precond.apply_batch(&r_refs, &mut z_refs);
+                }
+                let mut expected = vec![0.0; n];
+                for (c, r) in rhs.iter().enumerate() {
+                    precond.apply(r, &mut expected);
+                    assert_eq!(
+                        zs[c], expected,
+                        "{precision:?} b={b} column {c}: batched apply diverged"
+                    );
+                }
+                // The timed batched apply is bit-identical too and counts one
+                // inference call per (sub-domain, batch).
+                let mut timings = gnn::InferenceTimings::default();
+                let mut zs_timed: Vec<Vec<f64>> = vec![vec![0.0; n]; b];
+                {
+                    let mut z_refs: Vec<&mut [f64]> =
+                        zs_timed.iter_mut().map(|z| z.as_mut_slice()).collect();
+                    precond.apply_batch_timed(&r_refs, &mut z_refs, &mut timings);
+                }
+                assert_eq!(zs, zs_timed, "{precision:?} b={b}: timed batched apply diverged");
+                assert_eq!(timings.calls as usize, precond.num_subdomains());
+            }
+        }
     }
 
     #[test]

@@ -21,10 +21,13 @@ use sparse::{CsrMatrix, DenseMatrix, LuFactor};
 
 use crate::restriction::{node_multiplicity, Restriction};
 
-/// Reusable coarse-solve buffers (`K`-sized, tiny).
+/// Reusable coarse-solve buffers (`K`-sized, tiny; the `_b` panels grow to
+/// `K × b` on the first batched apply).
 struct CoarseScratch {
     rhs: Vec<f64>,
     sol: Vec<f64>,
+    rhs_b: Vec<f64>,
+    sol_b: Vec<f64>,
 }
 
 /// The assembled Nicolaides coarse space: sparse basis, coarse operator LU.
@@ -63,7 +66,12 @@ impl NicolaidesCoarseSpace {
         let a0 = matrix.galerkin_product_csr(&r0);
         let dense = DenseMatrix::from_row_major(k, k, a0)?;
         let factor = LuFactor::factor_dense(&dense)?;
-        let scratch = Mutex::new(CoarseScratch { rhs: vec![0.0; k], sol: vec![0.0; k] });
+        let scratch = Mutex::new(CoarseScratch {
+            rhs: vec![0.0; k],
+            sol: vec![0.0; k],
+            rhs_b: Vec::new(),
+            sol_b: Vec::new(),
+        });
         Ok(NicolaidesCoarseSpace { r0, factor, scratch })
     }
 
@@ -98,12 +106,79 @@ impl NicolaidesCoarseSpace {
         // one panicked worker would permanently disable the coarse solve for
         // every subsequent apply.
         let mut guard = self.scratch.lock().unwrap_or_else(PoisonError::into_inner);
-        let CoarseScratch { rhs, sol } = &mut *guard;
+        let CoarseScratch { rhs, sol, .. } = &mut *guard;
         // coarse rhs = R0 r (sparse restriction)
         self.r0.spmv_into(r, rhs);
         self.factor.solve_into(rhs, sol)?;
         // out += R0ᵀ coarse_sol (sparse prolongation)
         self.r0.spmv_transpose_add_into(sol, out);
+        Ok(())
+    }
+
+    /// Batched coarse correction: `outs[c] += R₀ᵀ A₀⁻¹ R₀ rs[c]` for every
+    /// column, with the restriction and prolongation run as **blocked SpMM**
+    /// — `R₀`'s sparse index/value streams are swept once for the whole batch
+    /// instead of once per column.
+    ///
+    /// Each column accumulates its row sums in the same ascending-entry order
+    /// as the unbatched [`NicolaidesCoarseSpace::apply_into`], so column `c`
+    /// of the result is bit-identical to an unbatched apply of `rs[c]`.
+    pub fn apply_batch_into(&self, rs: &[&[f64]], outs: &mut [&mut [f64]]) -> sparse::Result<()> {
+        assert_eq!(rs.len(), outs.len(), "batched coarse apply: rs/outs column count mismatch");
+        let b = rs.len();
+        let n = self.r0.ncols();
+        for (r, out) in rs.iter().zip(outs.iter()) {
+            if r.len() != n || out.len() != n {
+                return Err(sparse::SparseError::DimensionMismatch {
+                    op: "coarse correction",
+                    expected: (n, n),
+                    found: (r.len(), out.len()),
+                });
+            }
+        }
+        let k = self.r0.nrows();
+        let mut guard = self.scratch.lock().unwrap_or_else(PoisonError::into_inner);
+        let CoarseScratch { rhs, sol, rhs_b, sol_b } = &mut *guard;
+        rhs_b.resize(k * b, 0.0);
+        sol_b.resize(k * b, 0.0);
+        // Blocked restriction: one sweep over R₀ fills all b coarse rhs
+        // columns (column-interleaved K × b panel).
+        for i in 0..k {
+            let (cols, vals) = self.r0.row(i);
+            let row = &mut rhs_b[i * b..(i + 1) * b];
+            row.fill(0.0);
+            for (&g, &v) in cols.iter().zip(vals.iter()) {
+                for (c, r) in rs.iter().enumerate() {
+                    row[c] += v * r[g];
+                }
+            }
+        }
+        // The K × K LU solve stays per-column (contiguous gather/scatter):
+        // the factor is tiny and cache-resident across the batch.
+        for c in 0..b {
+            for i in 0..k {
+                rhs[i] = rhs_b[i * b + c];
+            }
+            self.factor.solve_into(rhs, sol)?;
+            for i in 0..k {
+                sol_b[i * b + c] = sol[i];
+            }
+        }
+        // Blocked prolongation: one sweep over R₀ scatters all b columns.
+        for i in 0..k {
+            let (cols, vals) = self.r0.row(i);
+            let row = &sol_b[i * b..(i + 1) * b];
+            for (&g, &v) in cols.iter().zip(vals.iter()) {
+                for (c, out) in outs.iter_mut().enumerate() {
+                    // The unbatched prolongation skips exact-zero coarse
+                    // coefficients; mirror that so `-0.0` outputs stay
+                    // bit-identical.
+                    if row[c] != 0.0 {
+                        out[g] += v * row[c];
+                    }
+                }
+            }
+        }
         Ok(())
     }
 

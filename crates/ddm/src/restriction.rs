@@ -67,6 +67,39 @@ impl Restriction {
             global[g] += alpha * l;
         }
     }
+
+    /// Apply `Rᵢ` into column `c` of a column-interleaved `num_local × b`
+    /// panel: `panel[j*b + c] = global[gⱼ]`.
+    pub fn restrict_into_strided(&self, global: &[f64], panel: &mut [f64], b: usize, c: usize) {
+        debug_assert_eq!(global.len(), self.num_global);
+        debug_assert_eq!(panel.len(), self.indices.len() * b);
+        debug_assert!(c < b);
+        for (j, &g) in self.indices.iter().enumerate() {
+            panel[j * b + c] = global[g];
+        }
+    }
+
+    /// Apply `Rᵢᵀ` scaled by `alpha` from column `c` of a column-interleaved
+    /// `num_local × b` panel: `global[gⱼ] += alpha * panel[j*b + c]`.
+    ///
+    /// Each accumulation is the same scalar mul+add as
+    /// [`Restriction::extend_add_scaled`] on the gathered column, so the
+    /// batched gluing stays bit-identical to the unbatched one.
+    pub fn extend_add_scaled_strided(
+        &self,
+        alpha: f64,
+        panel: &[f64],
+        b: usize,
+        c: usize,
+        global: &mut [f64],
+    ) {
+        debug_assert_eq!(global.len(), self.num_global);
+        debug_assert_eq!(panel.len(), self.indices.len() * b);
+        debug_assert!(c < b);
+        for (j, &g) in self.indices.iter().enumerate() {
+            global[g] += alpha * panel[j * b + c];
+        }
+    }
 }
 
 /// Multiplicity of every global node across a set of restrictions (how many
@@ -112,6 +145,28 @@ mod tests {
         assert_eq!(global, vec![1.0, 2.0, 2.0, 1.0]);
         r1.extend_add_scaled(2.0, &[1.0, 1.0, 1.0], &mut global);
         assert_eq!(global, vec![3.0, 4.0, 4.0, 1.0]);
+    }
+
+    #[test]
+    fn strided_panel_variants_match_contiguous_ones() {
+        let r = Restriction::new(vec![1, 3, 4], 6);
+        let global = vec![10.0, 11.0, 12.0, 13.0, 14.0, 15.0];
+        let b = 3;
+        let mut panel = vec![0.0; r.num_local() * b];
+        for c in 0..b {
+            r.restrict_into_strided(&global, &mut panel, b, c);
+        }
+        let contiguous = r.restrict(&global);
+        for c in 0..b {
+            for j in 0..r.num_local() {
+                assert_eq!(panel[j * b + c], contiguous[j]);
+            }
+        }
+        let mut out_strided = vec![0.5; 6];
+        let mut out_plain = vec![0.5; 6];
+        r.extend_add_scaled_strided(1.75, &panel, b, 1, &mut out_strided);
+        r.extend_add_scaled(1.75, &contiguous, &mut out_plain);
+        assert_eq!(out_strided, out_plain);
     }
 
     #[test]

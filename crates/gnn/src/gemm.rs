@@ -708,6 +708,483 @@ fn gemm_t_core_i8<E: QuantActivation, const ACC: bool>(
     }
 }
 
+// ---------------------------------------------------------------------------
+// Multi-column (batched right-hand-side) kernels
+// ---------------------------------------------------------------------------
+//
+// The batched inference path threads `b` independent right-hand sides through
+// one panel sweep.  Activations live in **column-interleaved panels**: a
+// `n × dim` matrix of length-`b` element groups, so column `c`'s value of
+// element `(r, i)` sits at `x[(r*dim + i)*b + c]`.  Every weight element is
+// loaded once and broadcast across the `b` columns — that single load serving
+// `b` multiply-adds is where the bandwidth amortisation comes from.
+//
+// **Determinism contract, batched form:** each column's output element still
+// accumulates its dot product strictly in ascending `i` order from its
+// initial value, with a separate multiply and add per term.  Column `c` of a
+// batched panel is therefore bit-identical to the unbatched kernel run on
+// column `c` alone — at every batch width `b`, not just `b = 1`.
+
+/// Widest column group handled by one register tile; wider batches sweep in
+/// chunks of this size (chunking over `c` never reorders any column's
+/// accumulation).
+const B_CHUNK: usize = 8;
+
+/// `Y = X Wᵀ + bias` over a column-interleaved `n × in_dim × b` panel.
+#[allow(clippy::too_many_arguments)]
+pub fn gemm_bias_into_b(
+    x: &[f64],
+    n: usize,
+    in_dim: usize,
+    out_dim: usize,
+    b: usize,
+    weight: &[f64],
+    bias: &[f64],
+    y: &mut [f64],
+) {
+    debug_assert_eq!(bias.len(), out_dim);
+    gemm_b_core::<false>(x, n, in_dim, out_dim, b, weight, bias, y);
+}
+
+/// `Y = X Wᵀ` over a column-interleaved panel (outputs start from zero).
+pub fn gemm_into_b(
+    x: &[f64],
+    n: usize,
+    in_dim: usize,
+    out_dim: usize,
+    b: usize,
+    weight: &[f64],
+    y: &mut [f64],
+) {
+    gemm_b_core::<false>(x, n, in_dim, out_dim, b, weight, &[], y);
+}
+
+/// `Y += X Wᵀ` over a column-interleaved panel (accumulates onto `Y`).
+pub fn gemm_acc_into_b(
+    x: &[f64],
+    n: usize,
+    in_dim: usize,
+    out_dim: usize,
+    b: usize,
+    weight: &[f64],
+    y: &mut [f64],
+) {
+    gemm_b_core::<true>(x, n, in_dim, out_dim, b, weight, &[], y);
+}
+
+#[allow(clippy::too_many_arguments)]
+fn gemm_b_core<const ACC: bool>(
+    x: &[f64],
+    n: usize,
+    in_dim: usize,
+    out_dim: usize,
+    b: usize,
+    weight: &[f64],
+    bias: &[f64],
+    y: &mut [f64],
+) {
+    debug_assert_eq!(x.len(), n * in_dim * b);
+    debug_assert_eq!(weight.len(), out_dim * in_dim);
+    debug_assert_eq!(y.len(), n * out_dim * b);
+    let mut c0 = 0;
+    while c0 + B_CHUNK <= b {
+        gemm_b_panel::<B_CHUNK, ACC>(x, n, in_dim, out_dim, b, c0, weight, bias, y);
+        c0 += B_CHUNK;
+    }
+    match b - c0 {
+        1 => gemm_b_panel::<1, ACC>(x, n, in_dim, out_dim, b, c0, weight, bias, y),
+        2 => gemm_b_panel::<2, ACC>(x, n, in_dim, out_dim, b, c0, weight, bias, y),
+        3 => gemm_b_panel::<3, ACC>(x, n, in_dim, out_dim, b, c0, weight, bias, y),
+        4 => gemm_b_panel::<4, ACC>(x, n, in_dim, out_dim, b, c0, weight, bias, y),
+        5 => gemm_b_panel::<5, ACC>(x, n, in_dim, out_dim, b, c0, weight, bias, y),
+        6 => gemm_b_panel::<6, ACC>(x, n, in_dim, out_dim, b, c0, weight, bias, y),
+        7 => gemm_b_panel::<7, ACC>(x, n, in_dim, out_dim, b, c0, weight, bias, y),
+        _ => {}
+    }
+}
+
+/// Process columns `[c0, c0 + B)` of the batched f64 GEMM: a 4-row panel
+/// whose register tile is `B` columns wide per output; the weight scalar is
+/// loaded once per `(o, i)` and broadcast over all `B` columns.
+#[allow(clippy::too_many_arguments)]
+fn gemm_b_panel<const B: usize, const ACC: bool>(
+    x: &[f64],
+    n: usize,
+    in_dim: usize,
+    out_dim: usize,
+    b: usize,
+    c0: usize,
+    weight: &[f64],
+    bias: &[f64],
+    y: &mut [f64],
+) {
+    let init = |y: &[f64], r: usize, o: usize| -> [f64; B] {
+        let mut t = [0.0; B];
+        if ACC {
+            t.copy_from_slice(&y[(r * out_dim + o) * b + c0..][..B]);
+        } else if !bias.is_empty() {
+            t.fill(bias[o]);
+        }
+        t
+    };
+    let row_w = in_dim * b;
+    let mr_end = n - n % MR;
+    let mut r = 0;
+    while r < mr_end {
+        let x0 = &x[r * row_w..][..row_w];
+        let x1 = &x[(r + 1) * row_w..][..row_w];
+        let x2 = &x[(r + 2) * row_w..][..row_w];
+        let x3 = &x[(r + 3) * row_w..][..row_w];
+        for o in 0..out_dim {
+            let w = &weight[o * in_dim..][..in_dim];
+            let mut a0 = init(y, r, o);
+            let mut a1 = init(y, r + 1, o);
+            let mut a2 = init(y, r + 2, o);
+            let mut a3 = init(y, r + 3, o);
+            for (i, &q) in w.iter().enumerate() {
+                let p0: &[f64; B] = x0[i * b + c0..][..B].try_into().unwrap();
+                let p1: &[f64; B] = x1[i * b + c0..][..B].try_into().unwrap();
+                let p2: &[f64; B] = x2[i * b + c0..][..B].try_into().unwrap();
+                let p3: &[f64; B] = x3[i * b + c0..][..B].try_into().unwrap();
+                for c in 0..B {
+                    a0[c] += q * p0[c];
+                    a1[c] += q * p1[c];
+                    a2[c] += q * p2[c];
+                    a3[c] += q * p3[c];
+                }
+            }
+            y[(r * out_dim + o) * b + c0..][..B].copy_from_slice(&a0);
+            y[((r + 1) * out_dim + o) * b + c0..][..B].copy_from_slice(&a1);
+            y[((r + 2) * out_dim + o) * b + c0..][..B].copy_from_slice(&a2);
+            y[((r + 3) * out_dim + o) * b + c0..][..B].copy_from_slice(&a3);
+        }
+        r += MR;
+    }
+    while r < n {
+        let xr = &x[r * row_w..][..row_w];
+        for o in 0..out_dim {
+            let w = &weight[o * in_dim..][..in_dim];
+            let mut a = init(y, r, o);
+            for (i, &q) in w.iter().enumerate() {
+                let p: &[f64; B] = xr[i * b + c0..][..B].try_into().unwrap();
+                for c in 0..B {
+                    a[c] += q * p[c];
+                }
+            }
+            y[(r * out_dim + o) * b + c0..][..B].copy_from_slice(&a);
+        }
+        r += 1;
+    }
+}
+
+/// `Y = X Wᵀ + bias` over a column-interleaved f32 panel with a transposed
+/// (`in_dim × out_dim`) weight.
+#[allow(clippy::too_many_arguments)]
+pub fn gemm_t_bias_into_f32_b(
+    x: &[f32],
+    n: usize,
+    in_dim: usize,
+    out_dim: usize,
+    b: usize,
+    wt: &[f32],
+    bias: &[f32],
+    y: &mut [f32],
+) {
+    debug_assert_eq!(bias.len(), out_dim);
+    gemm_tb_core_f32::<false>(x, n, in_dim, out_dim, b, wt, bias, y);
+}
+
+/// `Y = X Wᵀ` over a column-interleaved f32 panel (outputs start from zero).
+pub fn gemm_t_into_f32_b(
+    x: &[f32],
+    n: usize,
+    in_dim: usize,
+    out_dim: usize,
+    b: usize,
+    wt: &[f32],
+    y: &mut [f32],
+) {
+    gemm_tb_core_f32::<false>(x, n, in_dim, out_dim, b, wt, &[], y);
+}
+
+/// `Y += X Wᵀ` over a column-interleaved f32 panel (accumulates onto `Y`).
+pub fn gemm_t_acc_into_f32_b(
+    x: &[f32],
+    n: usize,
+    in_dim: usize,
+    out_dim: usize,
+    b: usize,
+    wt: &[f32],
+    y: &mut [f32],
+) {
+    gemm_tb_core_f32::<true>(x, n, in_dim, out_dim, b, wt, &[], y);
+}
+
+#[allow(clippy::too_many_arguments)]
+fn gemm_tb_core_f32<const ACC: bool>(
+    x: &[f32],
+    n: usize,
+    in_dim: usize,
+    out_dim: usize,
+    b: usize,
+    wt: &[f32],
+    bias: &[f32],
+    y: &mut [f32],
+) {
+    debug_assert_eq!(x.len(), n * in_dim * b);
+    debug_assert_eq!(wt.len(), in_dim * out_dim);
+    debug_assert_eq!(y.len(), n * out_dim * b);
+    let mut c0 = 0;
+    while c0 + B_CHUNK <= b {
+        gemm_tb_panel_f32::<B_CHUNK, ACC>(x, n, in_dim, out_dim, b, c0, wt, bias, y);
+        c0 += B_CHUNK;
+    }
+    match b - c0 {
+        1 => gemm_tb_panel_f32::<1, ACC>(x, n, in_dim, out_dim, b, c0, wt, bias, y),
+        2 => gemm_tb_panel_f32::<2, ACC>(x, n, in_dim, out_dim, b, c0, wt, bias, y),
+        3 => gemm_tb_panel_f32::<3, ACC>(x, n, in_dim, out_dim, b, c0, wt, bias, y),
+        4 => gemm_tb_panel_f32::<4, ACC>(x, n, in_dim, out_dim, b, c0, wt, bias, y),
+        5 => gemm_tb_panel_f32::<5, ACC>(x, n, in_dim, out_dim, b, c0, wt, bias, y),
+        6 => gemm_tb_panel_f32::<6, ACC>(x, n, in_dim, out_dim, b, c0, wt, bias, y),
+        7 => gemm_tb_panel_f32::<7, ACC>(x, n, in_dim, out_dim, b, c0, wt, bias, y),
+        _ => {}
+    }
+}
+
+/// Columns `[c0, c0 + B)` of the batched f32 GEMM over a transposed weight:
+/// the weight scalar `wt[i][o]` is loaded once and broadcast across the `B`
+/// columns of a 4-row register panel.
+#[allow(clippy::too_many_arguments)]
+fn gemm_tb_panel_f32<const B: usize, const ACC: bool>(
+    x: &[f32],
+    n: usize,
+    in_dim: usize,
+    out_dim: usize,
+    b: usize,
+    c0: usize,
+    wt: &[f32],
+    bias: &[f32],
+    y: &mut [f32],
+) {
+    let init = |y: &[f32], r: usize, o: usize| -> [f32; B] {
+        let mut t = [0.0f32; B];
+        if ACC {
+            t.copy_from_slice(&y[(r * out_dim + o) * b + c0..][..B]);
+        } else if !bias.is_empty() {
+            t.fill(bias[o]);
+        }
+        t
+    };
+    let row_w = in_dim * b;
+    let mr_end = n - n % MR32;
+    let mut r = 0;
+    while r < mr_end {
+        let x0 = &x[r * row_w..][..row_w];
+        let x1 = &x[(r + 1) * row_w..][..row_w];
+        let x2 = &x[(r + 2) * row_w..][..row_w];
+        let x3 = &x[(r + 3) * row_w..][..row_w];
+        for o in 0..out_dim {
+            let mut a0 = init(y, r, o);
+            let mut a1 = init(y, r + 1, o);
+            let mut a2 = init(y, r + 2, o);
+            let mut a3 = init(y, r + 3, o);
+            for i in 0..in_dim {
+                let q = wt[i * out_dim + o];
+                let p0: &[f32; B] = x0[i * b + c0..][..B].try_into().unwrap();
+                let p1: &[f32; B] = x1[i * b + c0..][..B].try_into().unwrap();
+                let p2: &[f32; B] = x2[i * b + c0..][..B].try_into().unwrap();
+                let p3: &[f32; B] = x3[i * b + c0..][..B].try_into().unwrap();
+                for c in 0..B {
+                    a0[c] += q * p0[c];
+                    a1[c] += q * p1[c];
+                    a2[c] += q * p2[c];
+                    a3[c] += q * p3[c];
+                }
+            }
+            y[(r * out_dim + o) * b + c0..][..B].copy_from_slice(&a0);
+            y[((r + 1) * out_dim + o) * b + c0..][..B].copy_from_slice(&a1);
+            y[((r + 2) * out_dim + o) * b + c0..][..B].copy_from_slice(&a2);
+            y[((r + 3) * out_dim + o) * b + c0..][..B].copy_from_slice(&a3);
+        }
+        r += MR32;
+    }
+    while r < n {
+        let xr = &x[r * row_w..][..row_w];
+        for o in 0..out_dim {
+            let mut a = init(y, r, o);
+            for i in 0..in_dim {
+                let q = wt[i * out_dim + o];
+                let p: &[f32; B] = xr[i * b + c0..][..B].try_into().unwrap();
+                for c in 0..B {
+                    a[c] += q * p[c];
+                }
+            }
+            y[(r * out_dim + o) * b + c0..][..B].copy_from_slice(&a);
+        }
+        r += 1;
+    }
+}
+
+/// `Y = (X Qᵀ) ∘ scale` over a column-interleaved panel with a transposed
+/// int8 weight (outputs start from zero; see [`gemm_t_into_i8`]).
+#[allow(clippy::too_many_arguments)]
+pub fn gemm_t_into_i8_b(
+    x: &[f32],
+    n: usize,
+    in_dim: usize,
+    out_dim: usize,
+    b: usize,
+    wq: &[i8],
+    scale: &[f32],
+    wbuf: &mut Vec<f32>,
+    y: &mut [f32],
+) {
+    gemm_tb_core_i8::<f32, false>(x, n, in_dim, out_dim, b, wq, scale, wbuf, y);
+}
+
+/// `Y += (X Qᵀ) ∘ scale` over a column-interleaved panel (accumulates).
+#[allow(clippy::too_many_arguments)]
+pub fn gemm_t_acc_into_i8_b(
+    x: &[f32],
+    n: usize,
+    in_dim: usize,
+    out_dim: usize,
+    b: usize,
+    wq: &[i8],
+    scale: &[f32],
+    wbuf: &mut Vec<f32>,
+    y: &mut [f32],
+) {
+    gemm_tb_core_i8::<f32, true>(x, n, in_dim, out_dim, b, wq, scale, wbuf, y);
+}
+
+/// [`gemm_t_acc_into_i8_b`] with **bf16 activations** (the stored per-node
+/// hidden-sum panels), decoded on load.
+#[allow(clippy::too_many_arguments)]
+pub fn gemm_t_acc_into_i8_bf16_b(
+    x: &[u16],
+    n: usize,
+    in_dim: usize,
+    out_dim: usize,
+    b: usize,
+    wq: &[i8],
+    scale: &[f32],
+    wbuf: &mut Vec<f32>,
+    y: &mut [f32],
+) {
+    gemm_tb_core_i8::<u16, true>(x, n, in_dim, out_dim, b, wq, scale, wbuf, y);
+}
+
+#[allow(clippy::too_many_arguments)]
+fn gemm_tb_core_i8<E: QuantActivation, const ACC: bool>(
+    x: &[E],
+    n: usize,
+    in_dim: usize,
+    out_dim: usize,
+    b: usize,
+    wq: &[i8],
+    scale: &[f32],
+    wbuf: &mut Vec<f32>,
+    y: &mut [f32],
+) {
+    debug_assert_eq!(x.len(), n * in_dim * b);
+    debug_assert_eq!(wq.len(), in_dim * out_dim);
+    debug_assert_eq!(scale.len(), out_dim);
+    debug_assert_eq!(y.len(), n * out_dim * b);
+    // Widen the int8 weight to f32 once per call, like the unbatched core.
+    wbuf.clear();
+    wbuf.extend(wq.iter().map(|&q| q as f32));
+    let mut c0 = 0;
+    while c0 + B_CHUNK <= b {
+        gemm_tb_panel_i8::<E, B_CHUNK, ACC>(x, n, in_dim, out_dim, b, c0, wbuf, scale, y);
+        c0 += B_CHUNK;
+    }
+    match b - c0 {
+        1 => gemm_tb_panel_i8::<E, 1, ACC>(x, n, in_dim, out_dim, b, c0, wbuf, scale, y),
+        2 => gemm_tb_panel_i8::<E, 2, ACC>(x, n, in_dim, out_dim, b, c0, wbuf, scale, y),
+        3 => gemm_tb_panel_i8::<E, 3, ACC>(x, n, in_dim, out_dim, b, c0, wbuf, scale, y),
+        4 => gemm_tb_panel_i8::<E, 4, ACC>(x, n, in_dim, out_dim, b, c0, wbuf, scale, y),
+        5 => gemm_tb_panel_i8::<E, 5, ACC>(x, n, in_dim, out_dim, b, c0, wbuf, scale, y),
+        6 => gemm_tb_panel_i8::<E, 6, ACC>(x, n, in_dim, out_dim, b, c0, wbuf, scale, y),
+        7 => gemm_tb_panel_i8::<E, 7, ACC>(x, n, in_dim, out_dim, b, c0, wbuf, scale, y),
+        _ => {}
+    }
+}
+
+/// Columns `[c0, c0 + B)` of the batched int8 GEMM: zero-initialised f32
+/// accumulation in ascending `i` order, per-output scale applied once after
+/// the sweep — `y = base + acc · scale[o]` per column, exactly like the
+/// unbatched quantised core.
+#[allow(clippy::too_many_arguments)]
+fn gemm_tb_panel_i8<E: QuantActivation, const B: usize, const ACC: bool>(
+    x: &[E],
+    n: usize,
+    in_dim: usize,
+    out_dim: usize,
+    b: usize,
+    c0: usize,
+    wt: &[f32],
+    scale: &[f32],
+    y: &mut [f32],
+) {
+    let row_w = in_dim * b;
+    let store = |y: &mut [f32], r: usize, o: usize, a: &[f32; B], s: f32| {
+        let yr = &mut y[(r * out_dim + o) * b + c0..][..B];
+        for c in 0..B {
+            let base = if ACC { yr[c] } else { 0.0 };
+            yr[c] = base + a[c] * s;
+        }
+    };
+    let mr_end = n - n % MRQ;
+    let mut r = 0;
+    while r < mr_end {
+        let x0 = &x[r * row_w..][..row_w];
+        let x1 = &x[(r + 1) * row_w..][..row_w];
+        let x2 = &x[(r + 2) * row_w..][..row_w];
+        let x3 = &x[(r + 3) * row_w..][..row_w];
+        for o in 0..out_dim {
+            let mut a0 = [0.0f32; B];
+            let mut a1 = [0.0f32; B];
+            let mut a2 = [0.0f32; B];
+            let mut a3 = [0.0f32; B];
+            for i in 0..in_dim {
+                let q = wt[i * out_dim + o];
+                let p0 = &x0[i * b + c0..][..B];
+                let p1 = &x1[i * b + c0..][..B];
+                let p2 = &x2[i * b + c0..][..B];
+                let p3 = &x3[i * b + c0..][..B];
+                for c in 0..B {
+                    a0[c] += q * p0[c].widen();
+                    a1[c] += q * p1[c].widen();
+                    a2[c] += q * p2[c].widen();
+                    a3[c] += q * p3[c].widen();
+                }
+            }
+            let s = scale[o];
+            store(y, r, o, &a0, s);
+            store(y, r + 1, o, &a1, s);
+            store(y, r + 2, o, &a2, s);
+            store(y, r + 3, o, &a3, s);
+        }
+        r += MRQ;
+    }
+    while r < n {
+        let xr = &x[r * row_w..][..row_w];
+        for o in 0..out_dim {
+            let mut a = [0.0f32; B];
+            for i in 0..in_dim {
+                let q = wt[i * out_dim + o];
+                let p = &xr[i * b + c0..][..B];
+                for c in 0..B {
+                    a[c] += q * p[c].widen();
+                }
+            }
+            store(y, r, o, &a, scale[o]);
+        }
+        r += 1;
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1018,6 +1495,157 @@ mod tests {
         for (r, (q, e)) in quant.iter().zip(exact.iter()).enumerate() {
             let bound = in_dim as f32 * scale[r % out_dim] * 0.5 * 1.0 + 1e-6;
             assert!((q - e).abs() <= bound, "int8 {q} vs f32 {e} (bound {bound})");
+        }
+    }
+
+    /// Interleave `b` column matrices (each `rows × dim`) into one
+    /// column-interleaved panel `rows × dim × b`.
+    fn interleave<T: Copy + Default>(cols: &[Vec<T>], rows: usize, dim: usize) -> Vec<T> {
+        let b = cols.len();
+        let mut panel = vec![T::default(); rows * dim * b];
+        for (c, col) in cols.iter().enumerate() {
+            for e in 0..rows * dim {
+                panel[e * b + c] = col[e];
+            }
+        }
+        panel
+    }
+
+    fn extract_column<T: Copy + Default>(panel: &[T], b: usize, c: usize) -> Vec<T> {
+        panel.iter().skip(c).step_by(b).copied().collect()
+    }
+
+    #[test]
+    fn batched_f64_columns_bit_identical_to_unbatched() {
+        let mut rng = StdRng::seed_from_u64(91);
+        for &b in &[1usize, 2, 3, 5, 8, 11] {
+            for &(n, in_dim, out_dim) in
+                &[(0usize, 3usize, 2usize), (1, 10, 10), (5, 10, 20), (9, 20, 10), (23, 7, 5)]
+            {
+                let xs: Vec<Vec<f64>> = (0..b)
+                    .map(|_| (0..n * in_dim).map(|_| rng.gen_range(-2.0..2.0)).collect())
+                    .collect();
+                let w: Vec<f64> = (0..out_dim * in_dim).map(|_| rng.gen_range(-1.0..1.0)).collect();
+                let bias: Vec<f64> = (0..out_dim).map(|_| rng.gen_range(-1.0..1.0)).collect();
+                let y0s: Vec<Vec<f64>> = (0..b)
+                    .map(|_| (0..n * out_dim).map(|_| rng.gen_range(-1.0..1.0)).collect())
+                    .collect();
+                let xp = interleave(&xs, n, in_dim);
+
+                let mut yp = vec![0.0; n * out_dim * b];
+                gemm_bias_into_b(&xp, n, in_dim, out_dim, b, &w, &bias, &mut yp);
+                for c in 0..b {
+                    let mut y = vec![0.0; n * out_dim];
+                    gemm_bias_into(&xs[c], n, in_dim, out_dim, &w, &bias, &mut y);
+                    assert_eq!(extract_column(&yp, b, c), y, "bias b={b} c={c}");
+                }
+
+                let mut yp = vec![0.0; n * out_dim * b];
+                gemm_into_b(&xp, n, in_dim, out_dim, b, &w, &mut yp);
+                for c in 0..b {
+                    let mut y = vec![0.0; n * out_dim];
+                    gemm_into(&xs[c], n, in_dim, out_dim, &w, &mut y);
+                    assert_eq!(extract_column(&yp, b, c), y, "zero-init b={b} c={c}");
+                }
+
+                let mut yp = interleave(&y0s, n, out_dim);
+                gemm_acc_into_b(&xp, n, in_dim, out_dim, b, &w, &mut yp);
+                for c in 0..b {
+                    let mut y = y0s[c].clone();
+                    gemm_acc_into(&xs[c], n, in_dim, out_dim, &w, &mut y);
+                    assert_eq!(extract_column(&yp, b, c), y, "acc b={b} c={c}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn batched_f32_columns_bit_identical_to_unbatched() {
+        let mut rng = StdRng::seed_from_u64(92);
+        for &b in &[1usize, 2, 4, 7, 8, 9] {
+            for &(n, in_dim, out_dim) in
+                &[(1usize, 10usize, 10usize), (4, 20, 10), (9, 10, 20), (17, 9, 13)]
+            {
+                let xs: Vec<Vec<f32>> = (0..b)
+                    .map(|_| (0..n * in_dim).map(|_| rng.gen_range(-2.0f32..2.0)).collect())
+                    .collect();
+                let wt: Vec<f32> =
+                    (0..in_dim * out_dim).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+                let bias: Vec<f32> = (0..out_dim).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+                let y0s: Vec<Vec<f32>> = (0..b)
+                    .map(|_| (0..n * out_dim).map(|_| rng.gen_range(-1.0f32..1.0)).collect())
+                    .collect();
+                let xp = interleave(&xs, n, in_dim);
+
+                let mut yp = vec![0.0f32; n * out_dim * b];
+                gemm_t_bias_into_f32_b(&xp, n, in_dim, out_dim, b, &wt, &bias, &mut yp);
+                for c in 0..b {
+                    let mut y = vec![0.0f32; n * out_dim];
+                    gemm_t_bias_into_f32(&xs[c], n, in_dim, out_dim, &wt, &bias, &mut y);
+                    assert_eq!(extract_column(&yp, b, c), y, "f32 bias b={b} c={c}");
+                }
+
+                let mut yp = interleave(&y0s, n, out_dim);
+                gemm_t_acc_into_f32_b(&xp, n, in_dim, out_dim, b, &wt, &mut yp);
+                for c in 0..b {
+                    let mut y = y0s[c].clone();
+                    gemm_t_acc_into_f32(&xs[c], n, in_dim, out_dim, &wt, &mut y);
+                    assert_eq!(extract_column(&yp, b, c), y, "f32 acc b={b} c={c}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn batched_i8_columns_bit_identical_to_unbatched() {
+        let mut rng = StdRng::seed_from_u64(93);
+        for &b in &[1usize, 3, 8] {
+            for &(n, in_dim, out_dim) in &[(1usize, 10usize, 10usize), (6, 20, 10), (13, 10, 20)] {
+                let xs: Vec<Vec<f32>> = (0..b)
+                    .map(|_| (0..n * in_dim).map(|_| rng.gen_range(-2.0f32..2.0)).collect())
+                    .collect();
+                let wq: Vec<i8> =
+                    (0..in_dim * out_dim).map(|_| rng.gen_range(-127i32..=127) as i8).collect();
+                let scale: Vec<f32> = (0..out_dim).map(|_| rng.gen_range(0.001f32..0.02)).collect();
+                let y0s: Vec<Vec<f32>> = (0..b)
+                    .map(|_| (0..n * out_dim).map(|_| rng.gen_range(-1.0f32..1.0)).collect())
+                    .collect();
+                let xp = interleave(&xs, n, in_dim);
+                let mut wbuf = Vec::new();
+
+                let mut yp = vec![0.0f32; n * out_dim * b];
+                gemm_t_into_i8_b(&xp, n, in_dim, out_dim, b, &wq, &scale, &mut wbuf, &mut yp);
+                for c in 0..b {
+                    let mut y = vec![0.0f32; n * out_dim];
+                    gemm_t_into_i8(&xs[c], n, in_dim, out_dim, &wq, &scale, &mut wbuf, &mut y);
+                    assert_eq!(extract_column(&yp, b, c), y, "i8 b={b} c={c}");
+                }
+
+                let mut yp = interleave(&y0s, n, out_dim);
+                gemm_t_acc_into_i8_b(&xp, n, in_dim, out_dim, b, &wq, &scale, &mut wbuf, &mut yp);
+                for c in 0..b {
+                    let mut y = y0s[c].clone();
+                    gemm_t_acc_into_i8(&xs[c], n, in_dim, out_dim, &wq, &scale, &mut wbuf, &mut y);
+                    assert_eq!(extract_column(&yp, b, c), y, "i8 acc b={b} c={c}");
+                }
+
+                // bf16 activations: the per-element decode must commute with
+                // batching as well.
+                let xbs: Vec<Vec<u16>> =
+                    xs.iter().map(|col| col.iter().map(|&v| f32_to_bf16(v)).collect()).collect();
+                let xbp = interleave(&xbs, n, in_dim);
+                let mut yp = interleave(&y0s, n, out_dim);
+                gemm_t_acc_into_i8_bf16_b(
+                    &xbp, n, in_dim, out_dim, b, &wq, &scale, &mut wbuf, &mut yp,
+                );
+                for c in 0..b {
+                    let mut y = y0s[c].clone();
+                    gemm_t_acc_into_i8_bf16(
+                        &xbs[c], n, in_dim, out_dim, &wq, &scale, &mut wbuf, &mut y,
+                    );
+                    assert_eq!(extract_column(&yp, b, c), y, "i8/bf16 b={b} c={c}");
+                }
+            }
         }
     }
 }

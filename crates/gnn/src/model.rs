@@ -559,6 +559,210 @@ impl DssModel {
         }
     }
 
+    /// Batched planned inference: run the f64 engine on `b` right-hand sides
+    /// at once.  `input` and `out` are **column-interleaved `n × b` panels**
+    /// (`input[j*b + c]` is column `c`'s value at node `j`).  Every plan
+    /// stream — weights, static geo terms, Ψ statics — is read once per batch
+    /// instead of once per right-hand side, which is where the bandwidth
+    /// amortisation comes from; column `c` of the output is **bit-identical**
+    /// to [`DssModel::infer_with_plan_into`] run on that column alone, for
+    /// every batch width.
+    pub fn infer_with_plan_batched_into(
+        &self,
+        plan: &InferencePlan,
+        input: &[f64],
+        b: usize,
+        scratch: &mut InferScratch,
+        out: &mut [f64],
+    ) {
+        self.infer_plan_core_b(plan, input, b, scratch, out, None);
+    }
+
+    /// [`DssModel::infer_with_plan_batched_into`] with a per-stage wall-clock
+    /// breakdown accumulated into `timings`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn infer_with_plan_batched_timed(
+        &self,
+        plan: &InferencePlan,
+        input: &[f64],
+        b: usize,
+        scratch: &mut InferScratch,
+        out: &mut [f64],
+        timings: &mut InferenceTimings,
+    ) {
+        self.infer_plan_core_b(plan, input, b, scratch, out, Some(timings));
+    }
+
+    /// Batched single-precision planned inference over a column-interleaved
+    /// `n × b` panel — the f32 sibling of
+    /// [`DssModel::infer_with_plan_batched_into`].
+    pub fn infer_with_plan_f32_batched_into(
+        &self,
+        plan: &InferencePlanF32,
+        input: &[f64],
+        b: usize,
+        scratch: &mut InferScratchF32,
+        out: &mut [f64],
+    ) {
+        self.check_plan_f32(plan);
+        plan.infer_into_b(input, b, scratch, out);
+    }
+
+    /// [`DssModel::infer_with_plan_f32_batched_into`] with a per-stage
+    /// wall-clock breakdown accumulated into `timings`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn infer_with_plan_f32_batched_timed(
+        &self,
+        plan: &InferencePlanF32,
+        input: &[f64],
+        b: usize,
+        scratch: &mut InferScratchF32,
+        out: &mut [f64],
+        timings: &mut InferenceTimings,
+    ) {
+        self.check_plan_f32(plan);
+        plan.infer_timed_b(input, b, scratch, out, timings);
+    }
+
+    /// Batched quantised planned inference over a column-interleaved `n × b`
+    /// panel — the int8/bf16 sibling of
+    /// [`DssModel::infer_with_plan_batched_into`].
+    pub fn infer_with_plan_q_batched_into(
+        &self,
+        plan: &InferencePlanQ,
+        input: &[f64],
+        b: usize,
+        scratch: &mut InferScratchQ,
+        out: &mut [f64],
+    ) {
+        self.check_plan_q(plan);
+        plan.infer_into_b(input, b, scratch, out);
+    }
+
+    /// [`DssModel::infer_with_plan_q_batched_into`] with a per-stage
+    /// wall-clock breakdown accumulated into `timings`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn infer_with_plan_q_batched_timed(
+        &self,
+        plan: &InferencePlanQ,
+        input: &[f64],
+        b: usize,
+        scratch: &mut InferScratchQ,
+        out: &mut [f64],
+        timings: &mut InferenceTimings,
+    ) {
+        self.check_plan_q(plan);
+        plan.infer_timed_b(input, b, scratch, out, timings);
+    }
+
+    fn infer_plan_core_b(
+        &self,
+        plan: &InferencePlan,
+        input: &[f64],
+        b: usize,
+        scratch: &mut InferScratch,
+        out: &mut [f64],
+        mut timings: Option<&mut InferenceTimings>,
+    ) {
+        let d = self.config.latent_dim;
+        let n = plan.num_nodes;
+        assert_eq!(plan.latent_dim, d, "plan built for a different latent dimension");
+        assert_eq!(plan.num_blocks, self.blocks.len(), "plan built for a different model depth");
+        assert_eq!(input.len(), n * b, "input panel length mismatch");
+        assert_eq!(out.len(), n * b, "output panel length mismatch");
+
+        let InferScratch { h, a_dst, a_src, hsum_fwd, hsum_bwd, psi_hidden, update, hidden } =
+            scratch;
+        h.clear();
+        h.resize(n * d * b, 0.0);
+        a_dst.resize(n * d * b, 0.0);
+        a_src.resize(n * d * b, 0.0);
+        hsum_fwd.resize(n * d * b, 0.0);
+        hsum_bwd.resize(n * d * b, 0.0);
+        psi_hidden.resize(n * d * b, 0.0);
+        update.resize(n * d * b, 0.0);
+
+        let mut last = Instant::now();
+        macro_rules! tick {
+            ($field:ident) => {
+                if let Some(t) = timings.as_deref_mut() {
+                    let now = Instant::now();
+                    t.$field += now.duration_since(last).as_nanos() as u64;
+                    last = now;
+                }
+            };
+        }
+
+        let db = d * b;
+        for (block, pb) in self.blocks.iter().zip(plan.blocks.iter()) {
+            for dir in 0..2 {
+                let (w_dst, w_src, geo, hsum) = if dir == 0 {
+                    (&pb.w_dst_fwd, &pb.w_src_fwd, &pb.geo_fwd, &mut *hsum_fwd)
+                } else {
+                    (&pb.w_dst_bwd, &pb.w_src_bwd, &pb.geo_bwd, &mut *hsum_bwd)
+                };
+                gemm::gemm_into_b(h, n, d, d, b, w_dst, a_dst);
+                gemm::gemm_into_b(h, n, d, d, b, w_src, a_src);
+                tick!(node_gemm_ns);
+                // Fused edge sweep: the static geometric term is loaded once
+                // per edge and broadcast over the b columns; each column's
+                // accumulation order matches the unbatched sweep exactly.
+                for j in 0..n {
+                    let adj = &a_dst[j * db..(j + 1) * db];
+                    let acc = &mut hsum[j * db..(j + 1) * db];
+                    acc.fill(0.0);
+                    for slot in plan.edge_ptr[j]..plan.edge_ptr[j + 1] {
+                        let src = plan.edge_src[slot];
+                        let asj = &a_src[src * db..(src + 1) * db];
+                        let g = &geo[slot * d..(slot + 1) * d];
+                        for (k, &gk) in g.iter().enumerate() {
+                            let ak = &mut acc[k * b..(k + 1) * b];
+                            let adjk = &adj[k * b..(k + 1) * b];
+                            let asjk = &asj[k * b..(k + 1) * b];
+                            for c in 0..b {
+                                ak[c] += (gk + adjk[c] + asjk[c]).max(0.0);
+                            }
+                        }
+                    }
+                }
+                tick!(edge_gather_ns);
+            }
+            for j in 0..n {
+                let cin = &input[j * b..(j + 1) * b];
+                let stat = &pb.psi_static[j * d..(j + 1) * d];
+                let row = &mut psi_hidden[j * db..(j + 1) * db];
+                for k in 0..d {
+                    let s = stat[k];
+                    let wc = pb.psi_w_c[k];
+                    let rk = &mut row[k * b..(k + 1) * b];
+                    for c in 0..b {
+                        rk[c] = s + wc * cin[c];
+                    }
+                }
+            }
+            gemm::gemm_acc_into_b(h, n, d, d, b, &pb.psi_w_h, psi_hidden);
+            gemm::gemm_acc_into_b(hsum_fwd, n, d, d, b, &pb.psi_m_fwd, psi_hidden);
+            gemm::gemm_acc_into_b(hsum_bwd, n, d, d, b, &pb.psi_m_bwd, psi_hidden);
+            for v in psi_hidden.iter_mut() {
+                *v = v.max(0.0);
+            }
+            block.psi.l2.forward_into_b(psi_hidden, n, b, update);
+            for i in 0..n * d * b {
+                h[i] += self.config.alpha * update[i];
+            }
+            tick!(psi_update_ns);
+        }
+        match self.blocks.last() {
+            Some(block) => block.decoder.forward_into_b(h, n, b, hidden, out),
+            None => out.fill(0.0),
+        }
+        tick!(decoder_ns);
+        let _ = last; // the final tick's stamp is intentionally unused
+        if let Some(t) = timings {
+            t.calls += 1;
+        }
+    }
+
     /// Run the model on a batch of graphs in parallel (the CPU analogue of the
     /// paper's batched GPU inference of Eq. 14), recycling inference scratch
     /// through the model's retained [`BatchPools`] — repeated calls reuse the
@@ -1147,6 +1351,85 @@ mod tests {
         assert_eq!(merged.calls, 2);
         assert_eq!(merged.total_ns(), 2 * timings.total_ns());
         assert_eq!(timings.stages().len(), 4);
+    }
+
+    #[test]
+    fn batched_plan_inference_is_bit_identical_per_column() {
+        // Column c of an n×b batched apply must match the unbatched apply of
+        // that column alone bit-for-bit, for every engine and batch width.
+        let graph = tiny_graph();
+        let n = graph.num_nodes();
+        let model = DssModel::new(DssConfig { num_blocks: 3, latent_dim: 5, alpha: 1e-2 }, 41);
+        let plan64 = model.build_plan(&graph);
+        let plan32 = model.build_plan_f32(&graph);
+        let planq = model.build_plan_q(&graph);
+        let mut s64 = InferScratch::new();
+        let mut s32 = crate::plan::InferScratchF32::new();
+        let mut sq = crate::plan::InferScratchQ::new();
+        for b in [1usize, 2, 3, 5, 8] {
+            // Column-interleaved panel with b distinct inputs.
+            let mut panel = vec![0.0; n * b];
+            let mut columns = Vec::new();
+            for c in 0..b {
+                let scale = 1.0 - 0.37 * c as f64;
+                let col: Vec<f64> =
+                    graph.input.iter().map(|v| v * scale + 0.03 * c as f64).collect();
+                for j in 0..n {
+                    panel[j * b + c] = col[j];
+                }
+                columns.push(col);
+            }
+            let mut out_panel = vec![0.0; n * b];
+            let mut timed_panel = vec![0.0; n * b];
+            let mut expected = vec![0.0; n];
+            let mut timings = crate::plan::InferenceTimings::default();
+
+            model.infer_with_plan_batched_into(&plan64, &panel, b, &mut s64, &mut out_panel);
+            model.infer_with_plan_batched_timed(
+                &plan64,
+                &panel,
+                b,
+                &mut s64,
+                &mut timed_panel,
+                &mut timings,
+            );
+            assert_eq!(out_panel, timed_panel, "b={b}: timed f64 batched path diverged");
+            assert_eq!(timings.calls, 1);
+            for (c, col) in columns.iter().enumerate() {
+                model.infer_with_plan_into(&plan64, col, &mut s64, &mut expected);
+                for j in 0..n {
+                    assert_eq!(
+                        out_panel[j * b + c].to_bits(),
+                        expected[j].to_bits(),
+                        "b={b} c={c} j={j}: f64 batched column diverged"
+                    );
+                }
+            }
+
+            model.infer_with_plan_f32_batched_into(&plan32, &panel, b, &mut s32, &mut out_panel);
+            for (c, col) in columns.iter().enumerate() {
+                model.infer_with_plan_f32_into(&plan32, col, &mut s32, &mut expected);
+                for j in 0..n {
+                    assert_eq!(
+                        out_panel[j * b + c].to_bits(),
+                        expected[j].to_bits(),
+                        "b={b} c={c} j={j}: f32 batched column diverged"
+                    );
+                }
+            }
+
+            model.infer_with_plan_q_batched_into(&planq, &panel, b, &mut sq, &mut out_panel);
+            for (c, col) in columns.iter().enumerate() {
+                model.infer_with_plan_q_into(&planq, col, &mut sq, &mut expected);
+                for j in 0..n {
+                    assert_eq!(
+                        out_panel[j * b + c].to_bits(),
+                        expected[j].to_bits(),
+                        "b={b} c={c} j={j}: int8 batched column diverged"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

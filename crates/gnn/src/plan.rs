@@ -436,6 +436,24 @@ fn relu_sum3_acc_f32(acc: &mut [f32], g: &[f32], adj: &[f32], asj: &[f32]) {
     }
 }
 
+/// Batched fused edge-sweep body: `acc`, `adj` and `asj` are `2d × b`
+/// column-interleaved panels, `g` the shared `2d` static row — loaded once
+/// per edge and broadcast over the `b` right-hand sides.  Per column the
+/// operation sequence equals [`relu_sum3_acc_f32`] exactly.
+#[inline(always)]
+fn relu_sum3_acc_f32_b(acc: &mut [f32], g: &[f32], adj: &[f32], asj: &[f32], b: usize) {
+    let db = acc.len();
+    let (adj, asj) = (&adj[..db], &asj[..db]);
+    for (k, &gk) in g.iter().enumerate() {
+        let ak = &mut acc[k * b..(k + 1) * b];
+        let adjk = &adj[k * b..(k + 1) * b];
+        let asjk = &asj[k * b..(k + 1) * b];
+        for c in 0..b {
+            ak[c] += (gk + adjk[c] + asjk[c]).max(0.0);
+        }
+    }
+}
+
 /// A per-graph single-precision inference plan: the f32 sibling of
 /// [`InferencePlan`].
 ///
@@ -635,6 +653,156 @@ impl InferencePlanF32 {
             t.calls += 1;
         }
     }
+
+    /// Batched forward pass over `b` right-hand sides: `input` and `out` are
+    /// column-interleaved `n × b` panels (`input[j*b + c]` is column `c`'s
+    /// value at node `j`).  One sweep over the plan's static streams serves
+    /// all `b` columns; column `c` of the output matches
+    /// [`InferencePlanF32::infer_into`] run on that column alone.
+    pub fn infer_into_b(
+        &self,
+        input: &[f64],
+        b: usize,
+        scratch: &mut InferScratchF32,
+        out: &mut [f64],
+    ) {
+        self.infer_core_b(input, b, scratch, out, None);
+    }
+
+    /// [`InferencePlanF32::infer_into_b`] with a per-stage wall-clock
+    /// breakdown accumulated into `timings`.
+    pub fn infer_timed_b(
+        &self,
+        input: &[f64],
+        b: usize,
+        scratch: &mut InferScratchF32,
+        out: &mut [f64],
+        timings: &mut InferenceTimings,
+    ) {
+        self.infer_core_b(input, b, scratch, out, Some(timings));
+    }
+
+    fn infer_core_b(
+        &self,
+        input: &[f64],
+        b: usize,
+        scratch: &mut InferScratchF32,
+        out: &mut [f64],
+        mut timings: Option<&mut InferenceTimings>,
+    ) {
+        let d = self.latent_dim;
+        let n = self.num_nodes;
+        assert_eq!(input.len(), n * b, "input panel length mismatch");
+        assert_eq!(out.len(), n * b, "output panel length mismatch");
+
+        let InferScratchF32 { input: input32, h, a_dst, a_src, hsum, psi_hidden, update, hidden } =
+            scratch;
+        input32.clear();
+        input32.extend(input.iter().map(|&v| v as f32));
+        h.clear();
+        h.resize(n * d * b, 0.0);
+        let d2 = 2 * d;
+        a_dst.resize(n * d2 * b, 0.0);
+        a_src.resize(n * d2 * b, 0.0);
+        hsum.resize(n * d2 * b, 0.0);
+        psi_hidden.resize(n * d * b, 0.0);
+        update.resize(n * d * b, 0.0);
+        hidden.resize(n * d * b, 0.0);
+
+        let mut last = Instant::now();
+        macro_rules! tick {
+            ($field:ident) => {
+                if let Some(t) = timings.as_deref_mut() {
+                    let now = Instant::now();
+                    t.$field += now.duration_since(last).as_nanos() as u64;
+                    last = now;
+                }
+            };
+        }
+
+        let d2b = d2 * b;
+        for pb in &self.blocks {
+            // Node-level GEMMs, both message directions at once, all b
+            // columns per weight load.
+            gemm::gemm_t_into_f32_b(h, n, d, d2, b, &pb.w_dst_cat_t, a_dst);
+            gemm::gemm_t_into_f32_b(h, n, d, d2, b, &pb.w_src_cat_t, a_src);
+            tick!(node_gemm_ns);
+            // Fused edge sweep: the static geo row is read once per edge and
+            // broadcast across the b columns.
+            for j in 0..n {
+                let adj = &a_dst[j * d2b..(j + 1) * d2b];
+                let acc = &mut hsum[j * d2b..(j + 1) * d2b];
+                acc.fill(0.0);
+                for slot in self.edge_ptr[j]..self.edge_ptr[j + 1] {
+                    let src = self.edge_src[slot] as usize;
+                    relu_sum3_acc_f32_b(
+                        acc,
+                        &pb.geo_cat[slot * d2..(slot + 1) * d2],
+                        adj,
+                        &a_src[src * d2b..(src + 1) * d2b],
+                        b,
+                    );
+                }
+            }
+            tick!(edge_gather_ns);
+            for j in 0..n {
+                let cin = &input32[j * b..(j + 1) * b];
+                let stat = &pb.psi_static[j * d..(j + 1) * d];
+                let row = &mut psi_hidden[j * d * b..(j + 1) * d * b];
+                for k in 0..d {
+                    let s = stat[k];
+                    let wc = pb.psi_w_c[k];
+                    let rk = &mut row[k * b..(k + 1) * b];
+                    for c in 0..b {
+                        rk[c] = s + wc * cin[c];
+                    }
+                }
+            }
+            gemm::gemm_t_acc_into_f32_b(h, n, d, d, b, &pb.psi_w_h_t, psi_hidden);
+            gemm::gemm_t_acc_into_f32_b(hsum, n, d2, d, b, &pb.psi_m_cat_t, psi_hidden);
+            for v in psi_hidden.iter_mut() {
+                *v = v.max(0.0);
+            }
+            gemm::gemm_t_bias_into_f32_b(
+                psi_hidden,
+                n,
+                d,
+                d,
+                b,
+                &pb.psi_l2_wt,
+                &pb.psi_l2_b,
+                update,
+            );
+            for (hv, uv) in h.iter_mut().zip(update.iter()) {
+                *hv += self.alpha * *uv;
+            }
+            tick!(psi_update_ns);
+        }
+        match &self.decoder {
+            Some(dec) => {
+                gemm::gemm_t_bias_into_f32_b(h, n, d, d, b, &dec.l1_wt, &dec.l1_b, hidden);
+                for v in hidden.iter_mut() {
+                    *v = v.max(0.0);
+                }
+                for j in 0..n {
+                    let row = &hidden[j * d * b..(j + 1) * d * b];
+                    for c in 0..b {
+                        let mut acc = dec.l2_b;
+                        for k in 0..d {
+                            acc += dec.l2_w[k] * row[k * b + c];
+                        }
+                        out[j * b + c] = acc as f64;
+                    }
+                }
+            }
+            None => out.fill(0.0),
+        }
+        tick!(decoder_ns);
+        let _ = last; // the final tick's stamp is intentionally unused
+        if let Some(t) = timings {
+            t.calls += 1;
+        }
+    }
 }
 
 /// Per-output-column int8 quantisation of a transposed (`in × out`) f64
@@ -822,6 +990,25 @@ fn relu_sum3_acc_bf16_geo(acc: &mut [f32], g: &[u16], adj: &[f32], asj: &[f32]) 
     let (g, adj, asj) = (&g[..d], &adj[..d], &asj[..d]);
     for k in 0..d {
         acc[k] += (gemm::bf16_to_f32(g[k]) + adj[k] + asj[k]).max(0.0);
+    }
+}
+
+/// Batched bf16 edge-sweep body: the static term is **decoded once per edge**
+/// and broadcast across the `b` columns (the unbatched path decodes it once
+/// per (edge, rhs)).  Per column the operation sequence equals
+/// [`relu_sum3_acc_bf16_geo`] exactly.
+#[inline(always)]
+fn relu_sum3_acc_bf16_geo_b(acc: &mut [f32], g: &[u16], adj: &[f32], asj: &[f32], b: usize) {
+    let db = acc.len();
+    let (adj, asj) = (&adj[..db], &asj[..db]);
+    for (k, &gq) in g.iter().enumerate() {
+        let gk = gemm::bf16_to_f32(gq);
+        let ak = &mut acc[k * b..(k + 1) * b];
+        let adjk = &adj[k * b..(k + 1) * b];
+        let asjk = &asj[k * b..(k + 1) * b];
+        for c in 0..b {
+            ak[c] += (gk + adjk[c] + asjk[c]).max(0.0);
+        }
     }
 }
 
@@ -1063,6 +1250,206 @@ impl InferencePlanQ {
             t.calls += 1;
         }
     }
+
+    /// Batched quantised forward pass over `b` right-hand sides: `input` and
+    /// `out` are column-interleaved `n × b` panels.  The bf16 static streams
+    /// (geo edge terms and the Ψ static rows) are decoded once per element
+    /// and broadcast across all `b` columns; column `c` of the output matches
+    /// [`InferencePlanQ::infer_into`] run on that column alone.
+    pub fn infer_into_b(
+        &self,
+        input: &[f64],
+        b: usize,
+        scratch: &mut InferScratchQ,
+        out: &mut [f64],
+    ) {
+        self.infer_core_b(input, b, scratch, out, None);
+    }
+
+    /// [`InferencePlanQ::infer_into_b`] with a per-stage wall-clock breakdown
+    /// accumulated into `timings`.
+    pub fn infer_timed_b(
+        &self,
+        input: &[f64],
+        b: usize,
+        scratch: &mut InferScratchQ,
+        out: &mut [f64],
+        timings: &mut InferenceTimings,
+    ) {
+        self.infer_core_b(input, b, scratch, out, Some(timings));
+    }
+
+    fn infer_core_b(
+        &self,
+        input: &[f64],
+        b: usize,
+        scratch: &mut InferScratchQ,
+        out: &mut [f64],
+        mut timings: Option<&mut InferenceTimings>,
+    ) {
+        let d = self.latent_dim;
+        let n = self.num_nodes;
+        assert_eq!(input.len(), n * b, "input panel length mismatch");
+        assert_eq!(out.len(), n * b, "output panel length mismatch");
+
+        let InferScratchQ {
+            input: input32,
+            h,
+            a_dst,
+            a_src,
+            hsum,
+            acc,
+            wbuf,
+            psi_hidden,
+            update,
+            hidden,
+        } = scratch;
+        input32.clear();
+        input32.extend(input.iter().map(|&v| v as f32));
+        h.clear();
+        h.resize(n * d * b, 0.0);
+        let d2 = 2 * d;
+        a_dst.resize(n * d2 * b, 0.0);
+        a_src.resize(n * d2 * b, 0.0);
+        hsum.resize(n * d2 * b, 0);
+        acc.resize(d2 * b, 0.0);
+        psi_hidden.resize(n * d * b, 0.0);
+        update.resize(n * d * b, 0.0);
+        hidden.resize(n * d * b, 0.0);
+
+        let mut last = Instant::now();
+        macro_rules! tick {
+            ($field:ident) => {
+                if let Some(t) = timings.as_deref_mut() {
+                    let now = Instant::now();
+                    t.$field += now.duration_since(last).as_nanos() as u64;
+                    last = now;
+                }
+            };
+        }
+
+        let d2b = d2 * b;
+        for pb in &self.blocks {
+            gemm::gemm_t_into_i8_b(
+                h,
+                n,
+                d,
+                d2,
+                b,
+                &pb.w_dst_cat_q,
+                &pb.w_dst_cat_scale,
+                wbuf,
+                a_dst,
+            );
+            gemm::gemm_t_into_i8_b(
+                h,
+                n,
+                d,
+                d2,
+                b,
+                &pb.w_src_cat_q,
+                &pb.w_src_cat_scale,
+                wbuf,
+                a_src,
+            );
+            tick!(node_gemm_ns);
+            // Fused edge sweep: bf16 static terms decoded once per edge for
+            // all b columns, f32 accumulation into one panel row, rounded to
+            // bf16 once per node.
+            for j in 0..n {
+                let adj = &a_dst[j * d2b..(j + 1) * d2b];
+                acc.fill(0.0);
+                for slot in self.edge_ptr[j]..self.edge_ptr[j + 1] {
+                    let src = self.edge_src[slot] as usize;
+                    relu_sum3_acc_bf16_geo_b(
+                        acc,
+                        &pb.geo_cat[slot * d2..(slot + 1) * d2],
+                        adj,
+                        &a_src[src * d2b..(src + 1) * d2b],
+                        b,
+                    );
+                }
+                gemm::store_bf16(acc, &mut hsum[j * d2b..(j + 1) * d2b]);
+            }
+            tick!(edge_gather_ns);
+            for j in 0..n {
+                let cin = &input32[j * b..(j + 1) * b];
+                let stat = &pb.psi_static[j * d..(j + 1) * d];
+                let row = &mut psi_hidden[j * d * b..(j + 1) * d * b];
+                for k in 0..d {
+                    let s = gemm::bf16_to_f32(stat[k]);
+                    let wc = pb.psi_w_c[k];
+                    let rk = &mut row[k * b..(k + 1) * b];
+                    for c in 0..b {
+                        rk[c] = s + wc * cin[c];
+                    }
+                }
+            }
+            gemm::gemm_t_acc_into_i8_b(
+                h,
+                n,
+                d,
+                d,
+                b,
+                &pb.psi_w_h_q,
+                &pb.psi_w_h_scale,
+                wbuf,
+                psi_hidden,
+            );
+            gemm::gemm_t_acc_into_i8_bf16_b(
+                hsum,
+                n,
+                d2,
+                d,
+                b,
+                &pb.psi_m_cat_q,
+                &pb.psi_m_cat_scale,
+                wbuf,
+                psi_hidden,
+            );
+            for v in psi_hidden.iter_mut() {
+                *v = v.max(0.0);
+            }
+            gemm::gemm_t_bias_into_f32_b(
+                psi_hidden,
+                n,
+                d,
+                d,
+                b,
+                &pb.psi_l2_wt,
+                &pb.psi_l2_b,
+                update,
+            );
+            for (hv, uv) in h.iter_mut().zip(update.iter()) {
+                *hv += self.alpha * *uv;
+            }
+            tick!(psi_update_ns);
+        }
+        match &self.decoder {
+            Some(dec) => {
+                gemm::gemm_t_bias_into_f32_b(h, n, d, d, b, &dec.l1_wt, &dec.l1_b, hidden);
+                for v in hidden.iter_mut() {
+                    *v = v.max(0.0);
+                }
+                for j in 0..n {
+                    let row = &hidden[j * d * b..(j + 1) * d * b];
+                    for c in 0..b {
+                        let mut acc = dec.l2_b;
+                        for k in 0..d {
+                            acc += dec.l2_w[k] * row[k * b + c];
+                        }
+                        out[j * b + c] = acc as f64;
+                    }
+                }
+            }
+            None => out.fill(0.0),
+        }
+        tick!(decoder_ns);
+        let _ = last; // the final tick's stamp is intentionally unused
+        if let Some(t) = timings {
+            t.calls += 1;
+        }
+    }
 }
 
 /// Wall-clock breakdown of planned inference, one bucket per pipeline stage.
@@ -1135,23 +1522,48 @@ impl InferenceTimings {
 ///   into poison-panics on every later pool operation.  The guarded state
 ///   (a list of interchangeable buffers plus counters) has no invariant a
 ///   mid-panic writer could break.
+///
+/// **Size classes.**  Borrows are keyed by a *size class* — in practice the
+/// batch width `b` of a batched inference, so an `n × 8` panel scratch and a
+/// `n × 1` scratch live in separate bins.  Without the split, one batched
+/// apply would permanently inflate every pooled buffer to `b×` the unbatched
+/// size (buffers only ever grow), and alternating widths would hand b=1
+/// borrowers panel-sized allocations while batched borrowers keep drawing
+/// cold buffers.  [`ScratchPool::acquire`]/[`ScratchPool::release`] are the
+/// width-1 shorthand used by the unbatched paths; the retention cap applies
+/// per class.
 #[derive(Debug, Default)]
 pub struct ScratchPool<T = InferScratch> {
     state: Mutex<PoolState<T>>,
 }
 
+/// Size class of the unbatched (single right-hand-side) borrows.
+const POOL_CLASS_UNBATCHED: usize = 1;
+
 #[derive(Debug)]
 struct PoolState<T> {
-    idle: Vec<T>,
+    /// Idle buffers, binned by size class (few classes — linear scan).
+    bins: Vec<(usize, Vec<T>)>,
     /// Buffers currently borrowed (acquired and not yet released).
     outstanding: usize,
-    /// Maximum `outstanding` ever observed — the idle-retention cap.
+    /// Maximum `outstanding` ever observed — the per-class idle-retention cap.
     high_water: usize,
 }
 
 impl<T> Default for PoolState<T> {
     fn default() -> Self {
-        PoolState { idle: Vec::new(), outstanding: 0, high_water: 0 }
+        PoolState { bins: Vec::new(), outstanding: 0, high_water: 0 }
+    }
+}
+
+impl<T> PoolState<T> {
+    fn bin_mut(&mut self, class: usize) -> &mut Vec<T> {
+        if let Some(pos) = self.bins.iter().position(|(c, _)| *c == class) {
+            &mut self.bins[pos].1
+        } else {
+            self.bins.push((class, Vec::new()));
+            &mut self.bins.last_mut().expect("just pushed").1
+        }
     }
 }
 
@@ -1167,29 +1579,48 @@ impl<T: Default> ScratchPool<T> {
         self.state.lock().unwrap_or_else(PoisonError::into_inner)
     }
 
-    /// Take a scratch out of the pool (or create a fresh one).
+    /// Take an unbatched (size class 1) scratch out of the pool.
     pub fn acquire(&self) -> T {
+        self.acquire_class(POOL_CLASS_UNBATCHED)
+    }
+
+    /// Take a scratch of the given size class (batch width) out of the pool,
+    /// or create a fresh one when that class's bin is dry.  Borrows of other
+    /// classes are never handed out.
+    pub fn acquire_class(&self, class: usize) -> T {
         let mut st = self.lock();
         st.outstanding += 1;
         st.high_water = st.high_water.max(st.outstanding);
-        st.idle.pop().unwrap_or_default()
+        st.bin_mut(class).pop().unwrap_or_default()
     }
 
-    /// Return a scratch to the pool for reuse.  Buffers beyond the
-    /// high-water concurrent-borrow count are dropped.
+    /// Return an unbatched scratch to the pool for reuse.
     pub fn release(&self, scratch: T) {
+        self.release_class(POOL_CLASS_UNBATCHED, scratch);
+    }
+
+    /// Return a scratch to its size class's bin.  Buffers beyond the
+    /// high-water concurrent-borrow count (per class) are dropped.
+    pub fn release_class(&self, class: usize, scratch: T) {
         let mut st = self.lock();
         // Saturating: a panicked worker may never have reported its release,
         // and foreign buffers can legitimately be donated to the pool.
         st.outstanding = st.outstanding.saturating_sub(1);
-        if st.idle.len() < st.high_water {
-            st.idle.push(scratch);
+        let cap = st.high_water;
+        let bin = st.bin_mut(class);
+        if bin.len() < cap {
+            bin.push(scratch);
         }
     }
 
-    /// Number of idle buffers currently pooled.
+    /// Number of idle buffers currently pooled, across all size classes.
     pub fn idle(&self) -> usize {
-        self.lock().idle.len()
+        self.lock().bins.iter().map(|(_, bin)| bin.len()).sum()
+    }
+
+    /// Number of idle buffers pooled for one size class.
+    pub fn idle_class(&self, class: usize) -> usize {
+        self.lock().bins.iter().find(|(c, _)| *c == class).map_or(0, |(_, bin)| bin.len())
     }
 
     /// Drop every idle buffer and reset the idle-retention cap, releasing
@@ -1198,7 +1629,7 @@ impl<T: Default> ScratchPool<T> {
     /// demand.
     pub fn clear(&self) {
         let mut st = self.lock();
-        st.idle.clear();
+        st.bins.clear();
         st.high_water = st.outstanding;
     }
 }
@@ -1292,6 +1723,42 @@ mod tests {
         // outstanding is 0; release must not underflow and (with no borrow
         // history) must not retain the buffer.
         pool.release(InferScratch::new());
+        assert_eq!(pool.idle(), 0);
+    }
+
+    #[test]
+    fn pool_keeps_batched_and_unbatched_borrows_in_separate_bins() {
+        // Alternating b=1 / b=8 borrows: each width must recycle its own
+        // buffer, the b=1 bin must never be handed a panel-sized buffer and
+        // the pool must not accumulate one buffer per alternation.
+        let pool: ScratchPool<Vec<f64>> = ScratchPool::new();
+        let mut big = pool.acquire_class(8);
+        assert!(big.capacity() == 0, "first batched borrow starts cold");
+        big.resize(8 * 1024, 0.0);
+        let big_ptr = big.as_ptr();
+        pool.release_class(8, big);
+
+        let mut small = pool.acquire();
+        assert_eq!(small.capacity(), 0, "a b=1 borrow must not receive the n×8 panel buffer");
+        small.resize(1024, 0.0);
+        pool.release(small);
+
+        let big = pool.acquire_class(8);
+        assert_eq!(big.as_ptr(), big_ptr, "the batched borrow recycles the batched buffer");
+        assert!(big.capacity() >= 8 * 1024);
+        pool.release_class(8, big);
+
+        for _ in 0..16 {
+            let s = pool.acquire();
+            pool.release(s);
+            let s8 = pool.acquire_class(8);
+            pool.release_class(8, s8);
+        }
+        assert_eq!(pool.idle_class(1), 1, "sequential b=1 borrows keep one idle buffer");
+        assert_eq!(pool.idle_class(8), 1, "sequential b=8 borrows keep one idle buffer");
+        assert_eq!(pool.idle(), 2, "alternating widths must not inflate the pool");
+
+        pool.clear();
         assert_eq!(pool.idle(), 0);
     }
 }

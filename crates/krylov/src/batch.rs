@@ -1,0 +1,332 @@
+//! Multi-RHS lockstep PCG: `b` independent solves sharing one batched
+//! preconditioner apply per outer iteration.
+//!
+//! [`solve_batch`] runs one PCG instance per right-hand side, advancing them
+//! in lockstep so the preconditioner sees all still-active residuals at once
+//! through [`Preconditioner::apply_batch`].  For the bandwidth-bound GNN
+//! preconditioner this amortises the weight/plan panel traffic across the
+//! batch; for every other preconditioner the default column-loop makes the
+//! driver behave exactly like `b` sequential solves.
+//!
+//! Column `c`'s recurrence is *bit-identical* to an independent
+//! [`crate::preconditioned_conjugate_gradient`] call on `(A, bs[c])`: every
+//! per-column scalar (`α`, `β`, `ρ`, residual norms) is computed from that
+//! column's vectors alone in the same operation order, and converged /
+//! broken-down columns retire from the batch without perturbing the others.
+//! The only shared state is the preconditioner itself, whose batched apply
+//! contract (see [`Preconditioner::apply_batch`]) requires per-column
+//! bit-identity with the unbatched apply.
+
+use sparse::vector::{axpby, axpy, dot, norm2};
+use sparse::CsrMatrix;
+
+use crate::history::{relative_residual_norm, ConvergenceHistory, SolveStats, StopReason};
+use crate::preconditioner::Preconditioner;
+use crate::resilience::{FaultEvent, FaultKind, FaultLog};
+use crate::{SolveResult, SolverOptions};
+
+/// Per-column mutable state of one lockstep PCG instance.
+struct Column {
+    x: Vec<f64>,
+    r: Vec<f64>,
+    z: Vec<f64>,
+    p: Vec<f64>,
+    q: Vec<f64>,
+    r_prev: Vec<f64>,
+    rho: f64,
+    rnorm: f64,
+    bnorm: f64,
+    threshold: f64,
+    history: ConvergenceHistory,
+    faults: FaultLog,
+    stop: StopReason,
+    iterations: usize,
+    /// Still iterating (not converged / broken down / diverged).
+    active: bool,
+    /// Converged before the first preconditioner apply — the single-solve
+    /// driver returns early in that case without collecting preconditioner
+    /// faults, and the batched driver mirrors that.
+    init_converged: bool,
+}
+
+/// One batched preconditioner apply over the still-active columns.
+fn apply_batch_active(preconditioner: &dyn Preconditioner, cols: &mut [Column]) {
+    // Split borrows: the residuals are read-only, the corrections mutable,
+    // and they live in different fields of the same `Column`s — destructure
+    // so the borrow checker sees the disjointness.
+    let mut r_refs: Vec<&[f64]> = Vec::new();
+    let mut z_refs: Vec<&mut [f64]> = Vec::new();
+    for col in cols.iter_mut() {
+        if col.active {
+            r_refs.push(col.r.as_slice());
+            z_refs.push(col.z.as_mut_slice());
+        }
+    }
+    if !r_refs.is_empty() {
+        preconditioner.apply_batch(&r_refs, &mut z_refs);
+    }
+}
+
+/// Solve `A x_c = bs[c]` for every column with lockstep flexible PCG, sharing
+/// one [`Preconditioner::apply_batch`] across the active columns per outer
+/// iteration.
+///
+/// `x0s`, when given, supplies one initial guess per column.  The returned
+/// results are in column order; each column's `SolveStats` (iterations,
+/// residual history, stop reason) matches an independent
+/// [`crate::preconditioned_conjugate_gradient`] run of that column
+/// bit-for-bit whenever the preconditioner honours the batched-apply
+/// bit-identity contract.
+pub fn solve_batch(
+    a: &CsrMatrix,
+    bs: &[&[f64]],
+    x0s: Option<&[&[f64]]>,
+    preconditioner: &dyn Preconditioner,
+    opts: &SolverOptions,
+) -> Vec<SolveResult> {
+    assert_eq!(a.nrows(), a.ncols(), "batched PCG requires a square matrix");
+    let n = a.nrows();
+    if let Some(x0s) = x0s {
+        assert_eq!(x0s.len(), bs.len(), "batched PCG: one initial guess per right-hand side");
+    }
+
+    let mut cols: Vec<Column> = bs
+        .iter()
+        .enumerate()
+        .map(|(c, b)| {
+            assert_eq!(b.len(), n, "batched PCG rhs length mismatch in column {c}");
+            assert_eq!(preconditioner.dim(), n, "preconditioner dimension mismatch");
+            let x = match x0s {
+                Some(x0s) => {
+                    assert_eq!(
+                        x0s[c].len(),
+                        n,
+                        "batched PCG initial guess length mismatch in column {c}"
+                    );
+                    x0s[c].to_vec()
+                }
+                None => vec![0.0; n],
+            };
+            let bnorm = norm2(b);
+            let threshold = opts.threshold(bnorm);
+            let mut r = vec![0.0; n];
+            a.residual_into(b, &x, &mut r);
+            let rnorm = norm2(&r);
+            let mut history = ConvergenceHistory::new();
+            if opts.record_history {
+                history.push(rnorm);
+            }
+            let converged = rnorm <= threshold;
+            Column {
+                x,
+                r,
+                z: vec![0.0; n],
+                p: Vec::new(),
+                q: vec![0.0; n],
+                r_prev: Vec::new(),
+                rho: 0.0,
+                rnorm,
+                bnorm,
+                threshold,
+                history,
+                faults: FaultLog::new(),
+                stop: if converged { StopReason::Converged } else { StopReason::MaxIterations },
+                iterations: if converged { 0 } else { opts.max_iterations },
+                active: !converged,
+                init_converged: converged,
+            }
+        })
+        .collect();
+
+    // z0 = M⁻¹ r0 for every not-yet-converged column, in one batched apply.
+    apply_batch_active(preconditioner, &mut cols);
+    for col in cols.iter_mut().filter(|c| c.active) {
+        col.rho = dot(&col.r, &col.z);
+        if col.rho <= 0.0 || !col.rho.is_finite() {
+            col.z.copy_from_slice(&col.r);
+            col.rho = col.rnorm * col.rnorm;
+        }
+        col.p = col.z.clone();
+        col.r_prev = col.r.clone();
+    }
+
+    for iter in 0..opts.max_iterations {
+        if cols.iter().all(|c| !c.active) {
+            break;
+        }
+        // Per-column spmv + updates, retiring columns exactly where the
+        // single-solve driver would stop them.
+        for col in cols.iter_mut().filter(|c| c.active) {
+            a.spmv_into(&col.p, &mut col.q);
+            let pq = dot(&col.p, &col.q);
+            if pq <= 0.0 || !pq.is_finite() {
+                col.stop = StopReason::Breakdown;
+                col.faults.record(FaultEvent::new(
+                    FaultKind::Breakdown,
+                    iter as u64,
+                    "pcg",
+                    format!("non-positive or non-finite curvature p·Ap = {pq}"),
+                ));
+                col.iterations = iter;
+                col.active = false;
+                continue;
+            }
+            let alpha = col.rho / pq;
+            col.r_prev.copy_from_slice(&col.r);
+            axpy(alpha, &col.p, &mut col.x);
+            axpy(-alpha, &col.q, &mut col.r);
+            col.rnorm = norm2(&col.r);
+            if opts.record_history {
+                col.history.push(col.rnorm);
+            }
+            if !col.rnorm.is_finite() {
+                col.stop = StopReason::Diverged;
+                col.faults.record(FaultEvent::new(
+                    FaultKind::NonFinite,
+                    iter as u64,
+                    "pcg",
+                    "residual norm became non-finite",
+                ));
+                col.iterations = iter + 1;
+                col.active = false;
+                continue;
+            }
+            if col.rnorm <= col.threshold {
+                col.stop = StopReason::Converged;
+                col.iterations = iter + 1;
+                col.active = false;
+            }
+        }
+        // One shared batched apply for everything still running.
+        apply_batch_active(preconditioner, &mut cols);
+        for col in cols.iter_mut().filter(|c| c.active) {
+            let mut rho_new = dot(&col.r, &col.z);
+            if rho_new <= 0.0 || !rho_new.is_finite() {
+                col.z.copy_from_slice(&col.r);
+                rho_new = col.rnorm * col.rnorm;
+            }
+            let beta = ((rho_new - dot(&col.z, &col.r_prev)) / col.rho).max(0.0);
+            col.rho = rho_new;
+            if col.rho == 0.0 {
+                col.stop = StopReason::Breakdown;
+                col.faults.record(FaultEvent::new(
+                    FaultKind::Breakdown,
+                    iter as u64,
+                    "pcg",
+                    "z·r vanished while the residual is above the threshold",
+                ));
+                col.iterations = iter + 1;
+                col.active = false;
+                continue;
+            }
+            axpby(1.0, &col.z, beta, &mut col.p);
+        }
+    }
+
+    // The single-solve driver collects preconditioner faults once per solve,
+    // except on the converged-initial-guess early return.
+    let mut shared = FaultLog::new();
+    preconditioner.collect_faults(&mut shared);
+    cols.into_iter()
+        .map(|mut col| {
+            if !col.init_converged {
+                col.faults.merge(shared.clone());
+            }
+            SolveResult {
+                x: col.x,
+                stats: SolveStats {
+                    iterations: col.iterations,
+                    final_residual: col.rnorm,
+                    final_relative_residual: relative_residual_norm(col.rnorm, col.bnorm),
+                    stop_reason: col.stop,
+                    history: col.history,
+                    faults: col.faults,
+                },
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::preconditioner::{Ic0Preconditioner, IdentityPreconditioner, JacobiPreconditioner};
+    use crate::test_matrices::laplacian_2d;
+    use crate::{preconditioned_conjugate_gradient, SolverOptions};
+
+    fn batch_rhs(n: usize, b: usize) -> Vec<Vec<f64>> {
+        (0..b)
+            .map(|c| (0..n).map(|i| ((i * (c + 3)) % 7) as f64 - 2.5 + 0.1 * c as f64).collect())
+            .collect()
+    }
+
+    /// The batched driver must match b independent single solves bit-for-bit
+    /// for a preconditioner with the default column-loop `apply_batch`.
+    #[test]
+    fn solve_batch_matches_sequential_solves_bitwise() {
+        let a = laplacian_2d(14, 14);
+        let n = a.nrows();
+        let opts = SolverOptions::with_tolerance(1e-9);
+        for nrhs in [1usize, 2, 4] {
+            let rhs = batch_rhs(n, nrhs);
+            let refs: Vec<&[f64]> = rhs.iter().map(|b| b.as_slice()).collect();
+            let jacobi = JacobiPreconditioner::new(&a);
+            let batched = solve_batch(&a, &refs, None, &jacobi, &opts);
+            assert_eq!(batched.len(), nrhs);
+            for (c, b) in rhs.iter().enumerate() {
+                let single = preconditioned_conjugate_gradient(&a, b, None, &jacobi, &opts);
+                assert_eq!(batched[c].x, single.x, "column {c}: solution diverged");
+                assert_eq!(
+                    batched[c].stats.iterations, single.stats.iterations,
+                    "column {c}: iteration count diverged"
+                );
+                assert_eq!(
+                    batched[c].stats.history.norms(),
+                    single.stats.history.norms(),
+                    "column {c}: residual history diverged"
+                );
+                assert_eq!(batched[c].stats.stop_reason, single.stats.stop_reason);
+            }
+        }
+    }
+
+    /// Converged columns retire from the batch: mixing an already-solved
+    /// column with hard columns must not change anyone's stats.
+    #[test]
+    fn solve_batch_retires_converged_columns_independently() {
+        let a = laplacian_2d(10, 10);
+        let n = a.nrows();
+        let opts = SolverOptions::with_tolerance(1e-8);
+        let x_true: Vec<f64> = (0..n).map(|i| (i as f64 * 0.17).cos()).collect();
+        let solved_rhs = a.spmv(&x_true);
+        let hard_rhs: Vec<f64> = (0..n).map(|i| ((i % 5) as f64) - 2.0).collect();
+        let refs: Vec<&[f64]> = vec![&solved_rhs, &hard_rhs];
+        let guesses: Vec<&[f64]> = vec![&x_true, &x_true];
+        let ic0 = Ic0Preconditioner::new(&a).unwrap();
+        let batched = solve_batch(&a, &refs, Some(&guesses), &ic0, &opts);
+        assert_eq!(batched[0].stats.iterations, 0, "pre-solved column must retire at init");
+        assert!(batched[0].stats.converged());
+        assert!(batched[0].stats.faults.is_empty());
+        let single = preconditioned_conjugate_gradient(&a, &hard_rhs, Some(&x_true), &ic0, &opts);
+        assert_eq!(batched[1].stats.iterations, single.stats.iterations);
+        assert_eq!(batched[1].x, single.x);
+        assert!(batched[1].stats.converged());
+    }
+
+    /// With the identity preconditioner the batch behaves like plain CG per
+    /// column, and respects the iteration cap per column.
+    #[test]
+    fn solve_batch_respects_iteration_cap_per_column() {
+        let a = laplacian_2d(20, 20);
+        let n = a.nrows();
+        let rhs = batch_rhs(n, 3);
+        let refs: Vec<&[f64]> = rhs.iter().map(|b| b.as_slice()).collect();
+        let id = IdentityPreconditioner::new(n);
+        let opts = SolverOptions { max_iterations: 4, ..SolverOptions::with_tolerance(1e-14) };
+        let batched = solve_batch(&a, &refs, None, &id, &opts);
+        for (c, res) in batched.iter().enumerate() {
+            assert_eq!(res.stats.iterations, 4, "column {c}");
+            assert!(!res.stats.converged(), "column {c}");
+        }
+    }
+}

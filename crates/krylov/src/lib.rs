@@ -11,6 +11,7 @@
 //! Jacobi and IC(0) wrappers live here, the Schwarz and GNN preconditioners in
 //! the `ddm` and `ddm-gnn` crates.
 
+pub mod batch;
 pub mod bicgstab;
 pub mod cg;
 pub mod gmres;
@@ -19,6 +20,7 @@ pub mod pcg;
 pub mod preconditioner;
 pub mod resilience;
 
+pub use batch::solve_batch;
 pub use bicgstab::bicgstab;
 pub use cg::conjugate_gradient;
 pub use gmres::gmres;

@@ -36,6 +36,22 @@ pub trait Preconditioner: Send + Sync {
         Ok(())
     }
 
+    /// Apply the preconditioner to a batch of residuals at once: write
+    /// `zs[c] = M⁻¹ rs[c]` for every column `c`.
+    ///
+    /// The default loops over the columns with [`Preconditioner::apply`], so
+    /// every existing preconditioner works unchanged; bandwidth-bound
+    /// implementations (the DDM-GNN apply in particular) override this to
+    /// stream their weight/plan panels once for all columns.  Implementations
+    /// must keep each column's result bit-identical to an unbatched `apply`
+    /// of that column alone.
+    fn apply_batch(&self, rs: &[&[f64]], zs: &mut [&mut [f64]]) {
+        assert_eq!(rs.len(), zs.len(), "batched apply: rs/zs column count mismatch");
+        for (r, z) in rs.iter().zip(zs.iter_mut()) {
+            self.apply(r, z);
+        }
+    }
+
     /// Dimension of vectors this preconditioner acts on.
     fn dim(&self) -> usize;
 
@@ -61,6 +77,10 @@ impl Preconditioner for Box<dyn Preconditioner> {
 
     fn apply_checked(&self, r: &[f64], z: &mut [f64]) -> sparse::Result<()> {
         (**self).apply_checked(r, z)
+    }
+
+    fn apply_batch(&self, rs: &[&[f64]], zs: &mut [&mut [f64]]) {
+        (**self).apply_batch(rs, zs);
     }
 
     fn dim(&self) -> usize {

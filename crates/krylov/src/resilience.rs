@@ -264,6 +264,43 @@ fn run_guarded(
     Ok(start.elapsed())
 }
 
+/// Run one *batched* apply under the panic/output guards.
+///
+/// The whole batch is treated as one guarded unit: a panic anywhere, or a
+/// classified output in any column, fails the batch (and, under
+/// [`DegradationLadder`], degrades the tier for every column — consistent
+/// with the single-vector semantics, where the faulty tier is abandoned for
+/// all subsequent work).
+fn run_guarded_batch(
+    p: &dyn Preconditioner,
+    rs: &[&[f64]],
+    zs: &mut [&mut [f64]],
+    policy: &ResiliencePolicy,
+) -> Result<Duration, (FaultKind, String)> {
+    let start = Instant::now();
+    if let Err(payload) = catch_unwind(AssertUnwindSafe(|| p.apply_batch(rs, zs))) {
+        return Err((FaultKind::Panic, panic_message(payload.as_ref())));
+    }
+    for (c, (r, z)) in rs.iter().zip(zs.iter()).enumerate() {
+        if let Some((kind, detail)) = classify_output(r, z, policy) {
+            return Err((kind, format!("column {c}: {detail}")));
+        }
+    }
+    Ok(start.elapsed())
+}
+
+/// Root-sum-square of the per-column residual norms — the batch analogue of
+/// the scalar residual norm fed to the stagnation tracker.
+fn panel_norm(rs: &[&[f64]]) -> f64 {
+    rs.iter()
+        .map(|r| {
+            let n = norm2(r);
+            n * n
+        })
+        .sum::<f64>()
+        .sqrt()
+}
+
 /// Detects "no residual reduction over a window of applies".
 #[derive(Debug)]
 struct StagnationTracker {
@@ -377,6 +414,56 @@ impl<P: Preconditioner> Preconditioner for GuardedPreconditioner<P> {
                     format!("{detail}; identity fallback engaged"),
                 ));
                 z.copy_from_slice(r);
+            }
+        }
+    }
+
+    fn apply_batch(&self, rs: &[&[f64]], zs: &mut [&mut [f64]]) {
+        assert_eq!(rs.len(), zs.len(), "batched apply: rs/zs column count mismatch");
+        let idx = self.applies.fetch_add(1, Ordering::SeqCst);
+        if self.policy.stagnation_window > 0 {
+            let rnorm = panel_norm(rs);
+            let fired =
+                lock_recovering(&self.stagnation).observe(rnorm, self.policy.stagnation_window);
+            if fired {
+                lock_recovering(&self.log).record(FaultEvent::new(
+                    FaultKind::Stagnation,
+                    idx,
+                    self.inner.name(),
+                    format!(
+                        "no residual reduction over {} batched applies (‖R‖ = {rnorm:.3e})",
+                        self.policy.stagnation_window
+                    ),
+                ));
+            }
+        }
+        match run_guarded_batch(&self.inner, rs, zs, &self.policy) {
+            Ok(elapsed) => {
+                if let Some(budget) = self.policy.apply_time_budget {
+                    if elapsed > budget {
+                        lock_recovering(&self.log).record(FaultEvent::new(
+                            FaultKind::TimeBudget,
+                            idx,
+                            self.inner.name(),
+                            format!(
+                                "batched apply took {elapsed:?} against a budget of {budget:?}"
+                            ),
+                        ));
+                    }
+                }
+            }
+            Err((kind, detail)) => {
+                lock_recovering(&self.log).record(FaultEvent::new(
+                    kind,
+                    idx,
+                    self.inner.name(),
+                    format!("{detail}; identity fallback engaged for the whole batch"),
+                ));
+                // The faulty batch may be partially written: fall back to the
+                // identity correction in every column.
+                for (r, z) in rs.iter().zip(zs.iter_mut()) {
+                    z.copy_from_slice(r);
+                }
             }
         }
     }
@@ -528,6 +615,62 @@ impl Preconditioner for DegradationLadder {
                         // Even the most conservative tier faulted: identity
                         // fallback keeps the flexible outer iteration alive.
                         z.copy_from_slice(r);
+                        return;
+                    }
+                },
+            }
+        }
+    }
+
+    fn apply_batch(&self, rs: &[&[f64]], zs: &mut [&mut [f64]]) {
+        assert_eq!(rs.len(), zs.len(), "batched apply: rs/zs column count mismatch");
+        let idx = self.applies.fetch_add(1, Ordering::SeqCst);
+        let mut tier = self.active_tier();
+        if self.policy.stagnation_window > 0 && tier + 1 < self.tiers.len() {
+            let rnorm = panel_norm(rs);
+            let fired =
+                lock_recovering(&self.stagnation).observe(rnorm, self.policy.stagnation_window);
+            if fired {
+                if let Some(next) = self.downgrade(
+                    tier,
+                    FaultKind::Stagnation,
+                    idx,
+                    format!(
+                        "no residual reduction over {} batched applies (‖R‖ = {rnorm:.3e})",
+                        self.policy.stagnation_window
+                    ),
+                ) {
+                    tier = next;
+                }
+            }
+        }
+        loop {
+            match run_guarded_batch(self.tiers[tier].as_ref(), rs, zs, &self.policy) {
+                Ok(elapsed) => {
+                    if let Some(budget) = self.policy.apply_time_budget {
+                        if elapsed > budget && tier + 1 < self.tiers.len() {
+                            self.downgrade(
+                                tier,
+                                FaultKind::TimeBudget,
+                                idx,
+                                format!(
+                                    "batched apply took {elapsed:?} against a budget of {budget:?}"
+                                ),
+                            );
+                        }
+                    }
+                    return;
+                }
+                // A fault in any column degrades the tier for the whole
+                // batch: the faulty tier retries the *entire* batch one rung
+                // down, exactly as the single-vector path abandons it for all
+                // subsequent applies.
+                Err((kind, detail)) => match self.downgrade(tier, kind, idx, detail) {
+                    Some(next) => tier = next,
+                    None => {
+                        for (r, z) in rs.iter().zip(zs.iter_mut()) {
+                            z.copy_from_slice(r);
+                        }
                         return;
                     }
                 },

@@ -377,6 +377,126 @@ fn int8_preconditioner_iteration_count_within_fifteen_percent_of_f64() {
     assert!(sparse::vector::relative_error(&oq.x, &o64.x) < 1e-4);
 }
 
+/// Multi-right-hand-side batched solve at n ≈ 9k: `solve_ddm_gnn_batch` with
+/// b = 4 distinct right-hand sides must produce per-column `SolveStats`
+/// (iterations, residual history) and solutions **bit-identical** to four
+/// independent `solve_ddm_gnn` runs — and the whole comparison must hold at
+/// 1 and 4 rayon threads (the batched panel kernels keep each column's
+/// ascending accumulation order, so neither batching nor the thread count may
+/// move a single bit).  Like the determinism suite, each thread count runs in
+/// a child process because the pool size is fixed per process.
+#[test]
+#[cfg_attr(
+    debug_assertions,
+    ignore = "heavy end-to-end test: opt in with `cargo test --release -- --include-ignored`"
+)]
+fn batched_solve_matches_independent_solves_at_1_and_4_threads() {
+    const CHILD_ENV: &str = "DDM_GNN_BATCH_E2E_CHILD";
+    const OUT_ENV: &str = "DDM_GNN_BATCH_E2E_OUT";
+
+    // Child mode: run the batch-vs-sequential comparison at the inherited
+    // RAYON_NUM_THREADS and write a signature of the per-column histories.
+    if std::env::var(CHILD_ENV).is_ok() {
+        let out = std::env::var(OUT_ENV).expect("child needs the output path");
+        let model =
+            Arc::new(ddm_gnn::load_pretrained().unwrap_or_else(|| {
+                ddm_gnn::train_model(&ddm_gnn::PipelineConfig::default()).model
+            }));
+        let problem = ddm_gnn::generate_problem(2024, 9000);
+        let n = problem.num_unknowns();
+        assert!(n > 8000, "problem must be ~9k unknowns, got {n}");
+        let subdomains = partition_mesh_with_overlap(&problem.mesh, 250, 2, 0);
+        let opts = SolverOptions::with_tolerance(1e-6).max_iterations(2000);
+        // Four distinct right-hand sides: the assembled one plus three
+        // deterministic synthetic loads.
+        let mut rhss = vec![problem.rhs.clone()];
+        for c in 1..4usize {
+            rhss.push((0..n).map(|i| ((i * c) as f64 * 0.13 + c as f64).sin()).collect());
+        }
+        let rs: Vec<&[f64]> = rhss.iter().map(|r| r.as_slice()).collect();
+        let batch = ddm_gnn::solve_ddm_gnn_batch(
+            &problem,
+            subdomains.clone(),
+            Arc::clone(&model),
+            true,
+            ddm_gnn::Precision::F64,
+            &rs,
+            &opts,
+        )
+        .expect("batched DDM-GNN solve");
+        assert_eq!(batch.results.len(), 4);
+
+        let mut signature = String::new();
+        for (c, rhs) in rhss.iter().enumerate() {
+            let single_problem = PoissonProblem { rhs: rhs.clone(), ..problem.clone() };
+            let single = ddm_gnn::solve_ddm_gnn(
+                &single_problem,
+                subdomains.clone(),
+                Arc::clone(&model),
+                true,
+                &opts,
+            )
+            .expect("independent DDM-GNN solve");
+            let col = &batch.results[c];
+            assert!(single.stats.converged(), "column {c} must converge independently");
+            assert!(col.stats.converged(), "column {c} must converge in the batch");
+            assert_eq!(
+                col.stats.iterations, single.stats.iterations,
+                "column {c} iteration count differs from the independent solve"
+            );
+            let (bh, sh) = (col.stats.history.norms(), single.stats.history.norms());
+            assert_eq!(bh.len(), sh.len(), "column {c} history length differs");
+            for (i, (x, y)) in bh.iter().zip(sh.iter()).enumerate() {
+                assert_eq!(
+                    x.to_bits(),
+                    y.to_bits(),
+                    "column {c} residual history entry {i} differs: {x} vs {y}"
+                );
+            }
+            for (i, (x, y)) in col.x.iter().zip(single.x.iter()).enumerate() {
+                assert_eq!(x.to_bits(), y.to_bits(), "column {c} solution entry {i} differs");
+            }
+            use std::fmt::Write as _;
+            let _ = write!(signature, "col{c}:");
+            for v in bh {
+                let _ = write!(signature, "{:016x}", v.to_bits());
+            }
+            let _ = writeln!(signature);
+        }
+        std::fs::write(out, signature).expect("child cannot write signature");
+        return;
+    }
+
+    let exe = std::env::current_exe().expect("cannot locate test executable");
+    let mut signatures = Vec::new();
+    for threads in ["1", "4"] {
+        let out = std::env::temp_dir().join(format!("ddm_gnn_batch_e2e_{threads}.sig"));
+        let status = std::process::Command::new(&exe)
+            .args([
+                "batched_solve_matches_independent_solves_at_1_and_4_threads",
+                "--exact",
+                "--test-threads=1",
+                "--include-ignored",
+            ])
+            .env(CHILD_ENV, "1")
+            .env(OUT_ENV, &out)
+            .env("RAYON_NUM_THREADS", threads)
+            .status()
+            .expect("failed to spawn batched-solve child");
+        assert!(status.success(), "child with {threads} threads failed");
+        let sig = std::fs::read_to_string(&out).expect("missing child signature");
+        assert!(!sig.is_empty(), "empty signature at {threads} threads");
+        let _ = std::fs::remove_file(&out);
+        signatures.push((threads, sig));
+    }
+    let (_, reference) = &signatures[0];
+    let (threads, sig) = &signatures[1];
+    assert_eq!(
+        sig, reference,
+        "batched residual histories at RAYON_NUM_THREADS={threads} differ from the 1-thread run"
+    );
+}
+
 /// The multi-level hierarchy at scale (n ≈ 24k): the smoothed-aggregation
 /// coarse path builds three or more levels, the multilevel DDM-LU solver
 /// converges, and its iteration count stays within a small margin of the

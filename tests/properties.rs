@@ -12,6 +12,58 @@ use ddm_gnn_suite::*;
 use proptest::prelude::*;
 use sparse::{CooMatrix, CsrMatrix};
 
+use std::sync::{Arc, OnceLock};
+
+use krylov::Preconditioner;
+
+/// Shared fixture for the batched-apply properties: one small decomposed
+/// problem and the DDM-GNN preconditioner at every precision, built once.
+/// `None` when the pre-trained model asset is absent (the release-only heavy
+/// suite covers that configuration; training here would dwarf the property
+/// run).
+struct BatchedApplyFixture {
+    problem: fem::PoissonProblem,
+    f64_precond: ddm_gnn::DdmGnnPreconditioner,
+    f32_precond: ddm_gnn::DdmGnnPreconditioner,
+    int8_precond: ddm_gnn::DdmGnnPreconditioner,
+}
+
+fn batched_apply_fixture() -> Option<&'static BatchedApplyFixture> {
+    static FIXTURE: OnceLock<Option<BatchedApplyFixture>> = OnceLock::new();
+    FIXTURE
+        .get_or_init(|| {
+            let model = Arc::new(ddm_gnn::load_pretrained()?);
+            let problem = ddm_gnn::generate_problem(816, 600);
+            let subdomains = partition::partition_mesh_with_overlap(&problem.mesh, 150, 2, 0);
+            let build = |precision| {
+                ddm_gnn::DdmGnnPreconditioner::with_precision(
+                    &problem,
+                    subdomains.clone(),
+                    Arc::clone(&model),
+                    true,
+                    precision,
+                )
+                .expect("preconditioner setup")
+            };
+            let f64_precond = build(ddm_gnn::Precision::F64);
+            let f32_precond = build(ddm_gnn::Precision::F32);
+            let int8_precond = build(ddm_gnn::Precision::Int8);
+            Some(BatchedApplyFixture { problem, f64_precond, f32_precond, int8_precond })
+        })
+        .as_ref()
+}
+
+/// `b` deterministic pseudo-random residual vectors derived from a seed.
+fn batch_residuals(n: usize, b: usize, seed: u64) -> Vec<Vec<f64>> {
+    (0..b)
+        .map(|c| {
+            (0..n)
+                .map(|i| ((i as f64) * 0.37 + (seed as f64) * 1.73 + (c as f64) * 5.11).sin())
+                .collect()
+        })
+        .collect()
+}
+
 /// Build a random sparse SPD matrix of size `n`: diagonally dominant with
 /// random symmetric off-diagonal couplings.
 fn random_spd(n: usize, entries: &[(usize, usize, f64)]) -> CsrMatrix {
@@ -205,6 +257,74 @@ proptest! {
         // The solutions are bit-identical too.
         for (a, b) in r_nico.x.iter().zip(r_degen.x.iter()) {
             prop_assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    /// The batched preconditioner apply extends the standing bit-determinism
+    /// result: for every batch width b ∈ {1..8} and random residual panel,
+    /// column `c` of `apply_batch` is **bit-identical** to a sequential
+    /// `apply` on that column alone (f64 engine).
+    #[test]
+    fn f64_apply_batch_is_bit_identical_to_sequential_applies(
+        b in 1usize..9,
+        seed in 0u64..200,
+    ) {
+        let Some(fx) = batched_apply_fixture() else { return Ok(()); };
+        let n = fx.problem.num_unknowns();
+        let residuals = batch_residuals(n, b, seed);
+        let rs: Vec<&[f64]> = residuals.iter().map(|r| r.as_slice()).collect();
+        let mut batched = vec![vec![0.0f64; n]; b];
+        {
+            let mut zs: Vec<&mut [f64]> = batched.iter_mut().map(|z| z.as_mut_slice()).collect();
+            fx.f64_precond.apply_batch(&rs, &mut zs);
+        }
+        let mut sequential = vec![0.0f64; n];
+        for c in 0..b {
+            fx.f64_precond.apply(&residuals[c], &mut sequential);
+            for (i, (x, y)) in batched[c].iter().zip(sequential.iter()).enumerate() {
+                prop_assert!(
+                    x.to_bits() == y.to_bits(),
+                    "b={} column {} entry {} differs: {} vs {}", b, c, i, x, y
+                );
+            }
+        }
+    }
+
+    /// The f32 and int8 batched applies stay within the engines' standing
+    /// parity bounds of the f64 reference (1e-4 / 1e-2 relative), and each
+    /// column also matches its own unbatched apply bit for bit.
+    #[test]
+    fn reduced_precision_apply_batch_parity(
+        b in 1usize..9,
+        seed in 0u64..200,
+    ) {
+        let Some(fx) = batched_apply_fixture() else { return Ok(()); };
+        let n = fx.problem.num_unknowns();
+        let residuals = batch_residuals(n, b, seed);
+        let rs: Vec<&[f64]> = residuals.iter().map(|r| r.as_slice()).collect();
+        let mut reference = vec![0.0f64; n];
+        let mut unbatched = vec![0.0f64; n];
+        for (precond, bound) in
+            [(&fx.f32_precond, 1e-4), (&fx.int8_precond, 1e-2)]
+        {
+            let mut batched = vec![vec![0.0f64; n]; b];
+            {
+                let mut zs: Vec<&mut [f64]> =
+                    batched.iter_mut().map(|z| z.as_mut_slice()).collect();
+                precond.apply_batch(&rs, &mut zs);
+            }
+            for c in 0..b {
+                fx.f64_precond.apply(&residuals[c], &mut reference);
+                let err = sparse::vector::relative_error(&batched[c], &reference);
+                prop_assert!(
+                    err < bound,
+                    "b={} column {}: relative error {} exceeds {}", b, c, err, bound
+                );
+                precond.apply(&residuals[c], &mut unbatched);
+                for (x, y) in batched[c].iter().zip(unbatched.iter()) {
+                    prop_assert_eq!(x.to_bits(), y.to_bits());
+                }
+            }
         }
     }
 
