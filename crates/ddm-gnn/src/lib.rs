@@ -20,6 +20,11 @@
 //! * [`pipeline`] — end-to-end helpers: problem generation, dataset
 //!   extraction, model training and evaluation with one call each.
 
+// Library code must not panic via unwrap — the apply path runs under
+// `catch_unwind` containment whose soundness argument assumes poison-free
+// recovery (detlint enforces the wider contract; clippy carries this slice).
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
+
 pub mod pipeline;
 pub mod preconditioner;
 pub mod solver;

@@ -341,7 +341,7 @@ impl DdmGnnPreconditioner {
     /// Restrict, normalise and infer one sub-domain into its scratch slot,
     /// optionally accumulating per-stage timings.
     fn solve_local(&self, i: usize, r: &[f64], timings: Option<&mut InferenceTimings>) {
-        let mut guard = self.scratch[i].lock().unwrap();
+        let mut guard = self.scratch[i].lock().unwrap_or_else(PoisonError::into_inner);
         let SubdomainScratch { local_r, correction, norm, infer, infer32, inferq, .. } =
             &mut *guard;
         self.restrictions[i].restrict_into(r, local_r);
@@ -387,7 +387,7 @@ impl DdmGnnPreconditioner {
     /// is bit-identical to an unbatched `solve_local` on `rs[c]`.
     fn solve_local_batch(&self, i: usize, rs: &[&[f64]], timings: Option<&mut InferenceTimings>) {
         let b = rs.len();
-        let mut guard = self.scratch[i].lock().unwrap();
+        let mut guard = self.scratch[i].lock().unwrap_or_else(PoisonError::into_inner);
         let SubdomainScratch {
             local_r,
             local_rb,
@@ -478,7 +478,7 @@ impl DdmGnnPreconditioner {
             *zi = 0.0;
         }
         for (restriction, scratch) in self.restrictions.iter().zip(self.scratch.iter()) {
-            let guard = scratch.lock().unwrap();
+            let guard = scratch.lock().unwrap_or_else(PoisonError::into_inner);
             if guard.norm > 0.0 {
                 restriction.extend_add_scaled(guard.norm, &guard.correction, z);
             }
@@ -507,7 +507,7 @@ impl DdmGnnPreconditioner {
     pub fn apply_timed(&self, r: &[f64], z: &mut [f64], timings: &mut InferenceTimings) {
         debug_assert_eq!(r.len(), self.num_global);
         debug_assert_eq!(z.len(), self.num_global);
-        let _exclusive = self.apply_guard.lock().unwrap();
+        let _exclusive = self.apply_guard.lock().unwrap_or_else(PoisonError::into_inner);
         self.applies.fetch_add(1, Ordering::SeqCst);
         for i in 0..self.restrictions.len() {
             self.solve_local(i, r, Some(&mut *timings));
@@ -526,7 +526,7 @@ impl DdmGnnPreconditioner {
             }
         }
         for (restriction, scratch) in self.restrictions.iter().zip(self.scratch.iter()) {
-            let guard = scratch.lock().unwrap();
+            let guard = scratch.lock().unwrap_or_else(PoisonError::into_inner);
             for (c, z) in zs.iter_mut().enumerate() {
                 if guard.norms_b[c] > 0.0 {
                     restriction.extend_add_scaled_strided(
@@ -567,7 +567,7 @@ impl DdmGnnPreconditioner {
         timings: &mut InferenceTimings,
     ) {
         assert_eq!(rs.len(), zs.len(), "batched apply: rs/zs column count mismatch");
-        let _exclusive = self.apply_guard.lock().unwrap();
+        let _exclusive = self.apply_guard.lock().unwrap_or_else(PoisonError::into_inner);
         self.applies.fetch_add(1, Ordering::SeqCst);
         for i in 0..self.restrictions.len() {
             self.solve_local_batch(i, rs, Some(&mut *timings));
@@ -580,7 +580,7 @@ impl Preconditioner for DdmGnnPreconditioner {
     fn apply(&self, r: &[f64], z: &mut [f64]) {
         debug_assert_eq!(r.len(), self.num_global);
         debug_assert_eq!(z.len(), self.num_global);
-        let _exclusive = self.apply_guard.lock().unwrap();
+        let _exclusive = self.apply_guard.lock().unwrap_or_else(PoisonError::into_inner);
         self.applies.fetch_add(1, Ordering::SeqCst);
 
         // Local problems: restrict, normalise, infer — all sub-domains in
@@ -595,7 +595,7 @@ impl Preconditioner for DdmGnnPreconditioner {
         assert_eq!(rs.len(), zs.len(), "batched apply: rs/zs column count mismatch");
         debug_assert!(rs.iter().all(|r| r.len() == self.num_global));
         debug_assert!(zs.iter().all(|z| z.len() == self.num_global));
-        let _exclusive = self.apply_guard.lock().unwrap();
+        let _exclusive = self.apply_guard.lock().unwrap_or_else(PoisonError::into_inner);
         self.applies.fetch_add(1, Ordering::SeqCst);
         // Each sub-domain gathers its b local residuals into one panel and
         // runs a single batched inference — the plan streams are read once
@@ -706,6 +706,45 @@ mod tests {
         precond.apply_timed(&r, &mut z_timed, &mut timings);
         assert_eq!(z, z_timed, "timed apply must not change the correction");
         assert_eq!(timings.calls as usize, precond.num_subdomains());
+    }
+
+    #[test]
+    fn apply_survives_poisoned_scratch_bit_identically() {
+        // A worker panic while holding a scratch (or the batch serialisation)
+        // mutex poisons it.  The preconditioner must recover on the next
+        // apply — same guarantee `GuardedPreconditioner` relies on — and the
+        // recovered correction must be bit-identical, since every reachable
+        // scratch state is valid (scratch is fully overwritten per apply).
+        let fx = fixture();
+        let precond = DdmGnnPreconditioner::new(
+            &fx.problem,
+            fx.subdomains.clone(),
+            Arc::new(fx.model.clone()),
+            true,
+        )
+        .unwrap();
+        let r = fx.problem.rhs.clone();
+        let mut baseline = vec![0.0; r.len()];
+        precond.apply(&r, &mut baseline);
+
+        fn poison<T>(mutex: &Mutex<T>) {
+            let p = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                let _guard = mutex.lock().unwrap_or_else(PoisonError::into_inner);
+                panic!("injected worker panic while holding the lock");
+            }));
+            assert!(p.is_err());
+            assert!(mutex.is_poisoned(), "test setup failed to poison the mutex");
+        }
+        poison(&precond.scratch[0]);
+        poison(&precond.apply_guard);
+
+        let mut recovered = vec![1.0; r.len()];
+        precond.apply(&r, &mut recovered);
+        assert_eq!(baseline, recovered, "poison recovery changed the correction");
+
+        let mut batch_out = vec![0.0; r.len()];
+        precond.apply_batch(&[r.as_slice()], &mut [batch_out.as_mut_slice()]);
+        assert_eq!(baseline, batch_out, "batched apply must also recover bit-identically");
     }
 
     #[test]

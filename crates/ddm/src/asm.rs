@@ -255,7 +255,7 @@ impl Preconditioner for AdditiveSchwarz {
     fn apply(&self, r: &[f64], z: &mut [f64]) {
         debug_assert_eq!(r.len(), self.num_global);
         debug_assert_eq!(z.len(), self.num_global);
-        let _exclusive = self.apply_guard.lock().unwrap();
+        let _exclusive = self.apply_guard.lock().unwrap_or_else(PoisonError::into_inner);
         let apply_index = self.applies.fetch_add(1, Ordering::SeqCst);
 
         // Local corrections, computed in parallel into per-sub-domain scratch
@@ -265,7 +265,7 @@ impl Preconditioner for AdditiveSchwarz {
         // instead of panicking the worker — the remaining sub-domains (and
         // the coarse correction) still produce a usable preconditioner.
         (0..self.restrictions.len()).into_par_iter().for_each(|i| {
-            let mut guard = self.scratch[i].lock().unwrap();
+            let mut guard = self.scratch[i].lock().unwrap_or_else(PoisonError::into_inner);
             let LocalScratch { rhs, sol, work, .. } = &mut *guard;
             self.restrictions[i].restrict_into(r, rhs);
             if let Err(e) = self.local_solvers[i].solve_into(rhs, work, sol) {
@@ -287,7 +287,7 @@ impl Preconditioner for AdditiveSchwarz {
             *zi = 0.0;
         }
         for (restriction, scratch) in self.restrictions.iter().zip(self.scratch.iter()) {
-            restriction.extend_add(&scratch.lock().unwrap().sol, z);
+            restriction.extend_add(&scratch.lock().unwrap_or_else(PoisonError::into_inner).sol, z);
         }
         if let Some(coarse) = &self.coarse {
             if let Err(e) = coarse.apply_into(r, z) {
@@ -308,7 +308,7 @@ impl Preconditioner for AdditiveSchwarz {
         let b = rs.len();
         debug_assert!(rs.iter().all(|r| r.len() == self.num_global));
         debug_assert!(zs.iter().all(|z| z.len() == self.num_global));
-        let _exclusive = self.apply_guard.lock().unwrap();
+        let _exclusive = self.apply_guard.lock().unwrap_or_else(PoisonError::into_inner);
         let apply_index = self.applies.fetch_add(1, Ordering::SeqCst);
 
         // Batched local solves: each sub-domain factors stays cache-hot
@@ -317,7 +317,7 @@ impl Preconditioner for AdditiveSchwarz {
         // operation order as the unbatched apply, then scatters into the
         // column-interleaved panel.
         (0..self.restrictions.len()).into_par_iter().for_each(|i| {
-            let mut guard = self.scratch[i].lock().unwrap();
+            let mut guard = self.scratch[i].lock().unwrap_or_else(PoisonError::into_inner);
             let LocalScratch { rhs, sol, work, sol_b } = &mut *guard;
             let nl = rhs.len();
             sol_b.resize(nl * b, 0.0);
@@ -352,7 +352,7 @@ impl Preconditioner for AdditiveSchwarz {
             }
         }
         for (restriction, scratch) in self.restrictions.iter().zip(self.scratch.iter()) {
-            let guard = scratch.lock().unwrap();
+            let guard = scratch.lock().unwrap_or_else(PoisonError::into_inner);
             for (c, z) in zs.iter_mut().enumerate() {
                 restriction.extend_add_scaled_strided(1.0, &guard.sol_b, b, c, z);
             }

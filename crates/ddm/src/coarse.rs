@@ -288,7 +288,7 @@ mod tests {
 
         // Deliberately poison: panic while holding the scratch guard.
         let poison = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            let _guard = coarse.scratch.lock().unwrap();
+            let _guard = coarse.scratch.lock().unwrap_or_else(PoisonError::into_inner);
             panic!("deliberate poison");
         }));
         assert!(poison.is_err());

@@ -23,6 +23,11 @@
 //! The GNN preconditioner of the paper (`ddm-gnn` crate) reuses everything
 //! here except the local solver, which it replaces with DSS inference.
 
+// Library code must not panic via unwrap — `GuardedPreconditioner` treats
+// every Schwarz/coarse apply as panic-free (detlint enforces the wider
+// contract; clippy carries this slice).
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
+
 pub mod asm;
 pub mod coarse;
 pub mod local;

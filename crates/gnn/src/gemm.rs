@@ -22,6 +22,29 @@ const MR: usize = 4;
 /// Output columns per register tile.
 const NR: usize = 4;
 
+/// First `N` elements of a kernel subslice as an array reference.
+///
+/// The panel loops only take subslices they have already sized to at least
+/// one tile, so the length check cannot fail; `unreachable!` states that
+/// invariant instead of routing through `try_into().unwrap()`, which the
+/// workspace lint forbids on the apply hot path.
+#[inline(always)]
+fn head<T, const N: usize>(s: &[T]) -> &[T; N] {
+    match s.split_first_chunk::<N>() {
+        Some((a, _)) => a,
+        None => unreachable!("kernel subslice shorter than its tile width"),
+    }
+}
+
+/// Mutable variant of [`head`].
+#[inline(always)]
+fn head_mut<T, const N: usize>(s: &mut [T]) -> &mut [T; N] {
+    match s.split_first_chunk_mut::<N>() {
+        Some((a, _)) => a,
+        None => unreachable!("kernel subslice shorter than its tile width"),
+    }
+}
+
 /// `Y = X Wᵀ + bias` (each output element starts from its bias).
 pub fn gemm_bias_into(
     x: &[f64],
@@ -218,8 +241,8 @@ fn axpy_f32(acc: &mut [f32], w: &[f32], s: f32) {
     let mut ac = acc.chunks_exact_mut(F32_LANES);
     let mut wc = w.chunks_exact(F32_LANES);
     for (a, b) in ac.by_ref().zip(wc.by_ref()) {
-        let a: &mut [f32; F32_LANES] = a.try_into().unwrap();
-        let b: &[f32; F32_LANES] = b.try_into().unwrap();
+        let a: &mut [f32; F32_LANES] = head_mut(a);
+        let b: &[f32; F32_LANES] = head(b);
         #[cfg(feature = "portable-simd")]
         {
             use std::simd::f32x8;
@@ -326,7 +349,7 @@ fn gemm_t_core_f32<const ACC: bool>(
             let mut a2 = init_tile(y, r + 2, o);
             let mut a3 = init_tile(y, r + 3, o);
             for i in 0..in_dim {
-                let w: &[f32; F32_LANES] = wt[i * out_dim + o..][..F32_LANES].try_into().unwrap();
+                let w: &[f32; F32_LANES] = head(&wt[i * out_dim + o..]);
                 let (s0, s1, s2, s3) = (x0[i], x1[i], x2[i], x3[i]);
                 for k in 0..F32_LANES {
                     a0[k] += s0 * w[k];
@@ -359,7 +382,7 @@ fn gemm_t_core_f32<const ACC: bool>(
             let mut a2 = init_half(y, r + 2, o);
             let mut a3 = init_half(y, r + 3, o);
             for i in 0..in_dim {
-                let w: &[f32; H] = wt[i * out_dim + o..][..H].try_into().unwrap();
+                let w: &[f32; H] = head(&wt[i * out_dim + o..]);
                 let (s0, s1, s2, s3) = (x0[i], x1[i], x2[i], x3[i]);
                 for k in 0..H {
                     a0[k] += s0 * w[k];
@@ -589,7 +612,7 @@ fn gemm_t_core_i8<E: QuantActivation, const ACC: bool>(
             let mut a2 = [0.0f32; F32_LANES];
             let mut a3 = [0.0f32; F32_LANES];
             for i in 0..in_dim {
-                let w: &[f32; F32_LANES] = wt[i * out_dim + o..][..F32_LANES].try_into().unwrap();
+                let w: &[f32; F32_LANES] = head(&wt[i * out_dim + o..]);
                 let (s0, s1, s2, s3) = (x0[i].widen(), x1[i].widen(), x2[i].widen(), x3[i].widen());
                 for k in 0..F32_LANES {
                     a0[k] += s0 * w[k];
@@ -598,27 +621,23 @@ fn gemm_t_core_i8<E: QuantActivation, const ACC: bool>(
                     a3[k] += s3 * w[k];
                 }
             }
-            let sc: &[f32; F32_LANES] = scale[o..o + F32_LANES].try_into().unwrap();
-            let y0: &mut [f32; F32_LANES] =
-                (&mut y[r * out_dim + o..][..F32_LANES]).try_into().unwrap();
+            let sc: &[f32; F32_LANES] = head(&scale[o..]);
+            let y0: &mut [f32; F32_LANES] = head_mut(&mut y[r * out_dim + o..]);
             for k in 0..F32_LANES {
                 let b = if ACC { y0[k] } else { 0.0 };
                 y0[k] = b + a0[k] * sc[k];
             }
-            let y1: &mut [f32; F32_LANES] =
-                (&mut y[(r + 1) * out_dim + o..][..F32_LANES]).try_into().unwrap();
+            let y1: &mut [f32; F32_LANES] = head_mut(&mut y[(r + 1) * out_dim + o..]);
             for k in 0..F32_LANES {
                 let b = if ACC { y1[k] } else { 0.0 };
                 y1[k] = b + a1[k] * sc[k];
             }
-            let y2: &mut [f32; F32_LANES] =
-                (&mut y[(r + 2) * out_dim + o..][..F32_LANES]).try_into().unwrap();
+            let y2: &mut [f32; F32_LANES] = head_mut(&mut y[(r + 2) * out_dim + o..]);
             for k in 0..F32_LANES {
                 let b = if ACC { y2[k] } else { 0.0 };
                 y2[k] = b + a2[k] * sc[k];
             }
-            let y3: &mut [f32; F32_LANES] =
-                (&mut y[(r + 3) * out_dim + o..][..F32_LANES]).try_into().unwrap();
+            let y3: &mut [f32; F32_LANES] = head_mut(&mut y[(r + 3) * out_dim + o..]);
             for k in 0..F32_LANES {
                 let b = if ACC { y3[k] } else { 0.0 };
                 y3[k] = b + a3[k] * sc[k];
@@ -635,7 +654,7 @@ fn gemm_t_core_i8<E: QuantActivation, const ACC: bool>(
             let mut a2 = [0.0f32; H];
             let mut a3 = [0.0f32; H];
             for i in 0..in_dim {
-                let w: &[f32; H] = wt[i * out_dim + o..][..H].try_into().unwrap();
+                let w: &[f32; H] = head(&wt[i * out_dim + o..]);
                 let (s0, s1, s2, s3) = (x0[i].widen(), x1[i].widen(), x2[i].widen(), x3[i].widen());
                 for k in 0..H {
                     a0[k] += s0 * w[k];
@@ -644,23 +663,23 @@ fn gemm_t_core_i8<E: QuantActivation, const ACC: bool>(
                     a3[k] += s3 * w[k];
                 }
             }
-            let sc: &[f32; H] = scale[o..o + H].try_into().unwrap();
-            let y0: &mut [f32; H] = (&mut y[r * out_dim + o..][..H]).try_into().unwrap();
+            let sc: &[f32; H] = head(&scale[o..]);
+            let y0: &mut [f32; H] = head_mut(&mut y[r * out_dim + o..]);
             for k in 0..H {
                 let b = if ACC { y0[k] } else { 0.0 };
                 y0[k] = b + a0[k] * sc[k];
             }
-            let y1: &mut [f32; H] = (&mut y[(r + 1) * out_dim + o..][..H]).try_into().unwrap();
+            let y1: &mut [f32; H] = head_mut(&mut y[(r + 1) * out_dim + o..]);
             for k in 0..H {
                 let b = if ACC { y1[k] } else { 0.0 };
                 y1[k] = b + a1[k] * sc[k];
             }
-            let y2: &mut [f32; H] = (&mut y[(r + 2) * out_dim + o..][..H]).try_into().unwrap();
+            let y2: &mut [f32; H] = head_mut(&mut y[(r + 2) * out_dim + o..]);
             for k in 0..H {
                 let b = if ACC { y2[k] } else { 0.0 };
                 y2[k] = b + a2[k] * sc[k];
             }
-            let y3: &mut [f32; H] = (&mut y[(r + 3) * out_dim + o..][..H]).try_into().unwrap();
+            let y3: &mut [f32; H] = head_mut(&mut y[(r + 3) * out_dim + o..]);
             for k in 0..H {
                 let b = if ACC { y3[k] } else { 0.0 };
                 y3[k] = b + a3[k] * sc[k];
@@ -842,10 +861,10 @@ fn gemm_b_panel<const B: usize, const ACC: bool>(
             let mut a2 = init(y, r + 2, o);
             let mut a3 = init(y, r + 3, o);
             for (i, &q) in w.iter().enumerate() {
-                let p0: &[f64; B] = x0[i * b + c0..][..B].try_into().unwrap();
-                let p1: &[f64; B] = x1[i * b + c0..][..B].try_into().unwrap();
-                let p2: &[f64; B] = x2[i * b + c0..][..B].try_into().unwrap();
-                let p3: &[f64; B] = x3[i * b + c0..][..B].try_into().unwrap();
+                let p0: &[f64; B] = head(&x0[i * b + c0..]);
+                let p1: &[f64; B] = head(&x1[i * b + c0..]);
+                let p2: &[f64; B] = head(&x2[i * b + c0..]);
+                let p3: &[f64; B] = head(&x3[i * b + c0..]);
                 for c in 0..B {
                     a0[c] += q * p0[c];
                     a1[c] += q * p1[c];
@@ -866,7 +885,7 @@ fn gemm_b_panel<const B: usize, const ACC: bool>(
             let w = &weight[o * in_dim..][..in_dim];
             let mut a = init(y, r, o);
             for (i, &q) in w.iter().enumerate() {
-                let p: &[f64; B] = xr[i * b + c0..][..B].try_into().unwrap();
+                let p: &[f64; B] = head(&xr[i * b + c0..]);
                 for c in 0..B {
                     a[c] += q * p[c];
                 }
@@ -990,10 +1009,10 @@ fn gemm_tb_panel_f32<const B: usize, const ACC: bool>(
             let mut a3 = init(y, r + 3, o);
             for i in 0..in_dim {
                 let q = wt[i * out_dim + o];
-                let p0: &[f32; B] = x0[i * b + c0..][..B].try_into().unwrap();
-                let p1: &[f32; B] = x1[i * b + c0..][..B].try_into().unwrap();
-                let p2: &[f32; B] = x2[i * b + c0..][..B].try_into().unwrap();
-                let p3: &[f32; B] = x3[i * b + c0..][..B].try_into().unwrap();
+                let p0: &[f32; B] = head(&x0[i * b + c0..]);
+                let p1: &[f32; B] = head(&x1[i * b + c0..]);
+                let p2: &[f32; B] = head(&x2[i * b + c0..]);
+                let p3: &[f32; B] = head(&x3[i * b + c0..]);
                 for c in 0..B {
                     a0[c] += q * p0[c];
                     a1[c] += q * p1[c];
@@ -1014,7 +1033,7 @@ fn gemm_tb_panel_f32<const B: usize, const ACC: bool>(
             let mut a = init(y, r, o);
             for i in 0..in_dim {
                 let q = wt[i * out_dim + o];
-                let p: &[f32; B] = xr[i * b + c0..][..B].try_into().unwrap();
+                let p: &[f32; B] = head(&xr[i * b + c0..]);
                 for c in 0..B {
                     a[c] += q * p[c];
                 }

@@ -480,11 +480,11 @@ impl DssModel {
         psi_hidden.resize(n * d, 0.0);
         update.resize(n * d, 0.0);
 
-        let mut last = Instant::now();
+        let mut last = Instant::now(); // detlint::allow(nondet-clock): timing telemetry only
         macro_rules! tick {
             ($field:ident) => {
                 if let Some(t) = timings.as_deref_mut() {
-                    let now = Instant::now();
+                    let now = Instant::now(); // detlint::allow(nondet-clock): timing telemetry only
                     t.$field += now.duration_since(last).as_nanos() as u64;
                     last = now;
                 }
@@ -682,11 +682,11 @@ impl DssModel {
         psi_hidden.resize(n * d * b, 0.0);
         update.resize(n * d * b, 0.0);
 
-        let mut last = Instant::now();
+        let mut last = Instant::now(); // detlint::allow(nondet-clock): timing telemetry only
         macro_rules! tick {
             ($field:ident) => {
                 if let Some(t) = timings.as_deref_mut() {
-                    let now = Instant::now();
+                    let now = Instant::now(); // detlint::allow(nondet-clock): timing telemetry only
                     t.$field += now.duration_since(last).as_nanos() as u64;
                     last = now;
                 }

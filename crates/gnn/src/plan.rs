@@ -579,11 +579,11 @@ impl InferencePlanF32 {
         update.resize(n * d, 0.0);
         hidden.resize(n * d, 0.0);
 
-        let mut last = Instant::now();
+        let mut last = Instant::now(); // detlint::allow(nondet-clock): timing telemetry only
         macro_rules! tick {
             ($field:ident) => {
                 if let Some(t) = timings.as_deref_mut() {
-                    let now = Instant::now();
+                    let now = Instant::now(); // detlint::allow(nondet-clock): timing telemetry only
                     t.$field += now.duration_since(last).as_nanos() as u64;
                     last = now;
                 }
@@ -709,11 +709,11 @@ impl InferencePlanF32 {
         update.resize(n * d * b, 0.0);
         hidden.resize(n * d * b, 0.0);
 
-        let mut last = Instant::now();
+        let mut last = Instant::now(); // detlint::allow(nondet-clock): timing telemetry only
         macro_rules! tick {
             ($field:ident) => {
                 if let Some(t) = timings.as_deref_mut() {
-                    let now = Instant::now();
+                    let now = Instant::now(); // detlint::allow(nondet-clock): timing telemetry only
                     t.$field += now.duration_since(last).as_nanos() as u64;
                     last = now;
                 }
@@ -1154,11 +1154,11 @@ impl InferencePlanQ {
         update.resize(n * d, 0.0);
         hidden.resize(n * d, 0.0);
 
-        let mut last = Instant::now();
+        let mut last = Instant::now(); // detlint::allow(nondet-clock): timing telemetry only
         macro_rules! tick {
             ($field:ident) => {
                 if let Some(t) = timings.as_deref_mut() {
-                    let now = Instant::now();
+                    let now = Instant::now(); // detlint::allow(nondet-clock): timing telemetry only
                     t.$field += now.duration_since(last).as_nanos() as u64;
                     last = now;
                 }
@@ -1317,11 +1317,11 @@ impl InferencePlanQ {
         update.resize(n * d * b, 0.0);
         hidden.resize(n * d * b, 0.0);
 
-        let mut last = Instant::now();
+        let mut last = Instant::now(); // detlint::allow(nondet-clock): timing telemetry only
         macro_rules! tick {
             ($field:ident) => {
                 if let Some(t) = timings.as_deref_mut() {
-                    let now = Instant::now();
+                    let now = Instant::now(); // detlint::allow(nondet-clock): timing telemetry only
                     t.$field += now.duration_since(last).as_nanos() as u64;
                     last = now;
                 }
@@ -1562,7 +1562,10 @@ impl<T> PoolState<T> {
             &mut self.bins[pos].1
         } else {
             self.bins.push((class, Vec::new()));
-            &mut self.bins.last_mut().expect("just pushed").1
+            match self.bins.last_mut() {
+                Some(last) => &mut last.1,
+                None => unreachable!("bins is non-empty: an entry was just pushed"),
+            }
         }
     }
 }
@@ -1705,7 +1708,7 @@ mod tests {
         pool.release(s);
         // Poison the mutex: panic while holding the guard.
         let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            let _guard = pool.state.lock().unwrap();
+            let _guard = pool.state.lock().unwrap_or_else(PoisonError::into_inner);
             panic!("worker panic while holding the pool lock");
         }));
         assert!(result.is_err());

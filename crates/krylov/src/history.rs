@@ -97,11 +97,13 @@ impl ConvergenceHistory {
     /// endpoints and let NaN/∞ endpoints fall through the `<= 0.0` guards,
     /// propagating non-finite factors to callers.
     pub fn mean_reduction_factor(&self) -> Option<f64> {
+        let (Some(&first), Some(&last)) = (self.residual_norms.first(), self.residual_norms.last())
+        else {
+            return None;
+        };
         if self.residual_norms.len() < 2 {
             return None;
         }
-        let first = *self.residual_norms.first().unwrap();
-        let last = *self.residual_norms.last().unwrap();
         if !first.is_finite() || !last.is_finite() || first < 0.0 || last < 0.0 {
             return None;
         }

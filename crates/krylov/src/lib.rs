@@ -11,6 +11,10 @@
 //! Jacobi and IC(0) wrappers live here, the Schwarz and GNN preconditioners in
 //! the `ddm` and `ddm-gnn` crates.
 
+// Library code must not panic via unwrap — the resilience supervisor relies
+// on it (detlint enforces the wider contract; clippy carries this slice).
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
+
 pub mod batch;
 pub mod bicgstab;
 pub mod cg;

@@ -767,6 +767,7 @@ impl<P: Preconditioner> Preconditioner for FaultInjectingPreconditioner<P> {
     fn apply(&self, r: &[f64], z: &mut [f64]) {
         let idx = self.applies.fetch_add(1, Ordering::SeqCst);
         match self.schedule.get(&idx) {
+            // detlint::allow(panic-in-guarded): deliberate fault injection — this panic IS the feature under test
             Some(InjectedFault::Panic) => panic!("injected panic at apply {idx}"),
             Some(InjectedFault::NanOutput) => {
                 self.inner.apply(r, z);

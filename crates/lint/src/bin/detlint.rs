@@ -1,0 +1,192 @@
+//! `detlint` CLI: lint the workspace (or given paths) against the
+//! determinism & resilience contracts.
+//!
+//! ```text
+//! detlint [--json] [--self-check] [PATH …]
+//! ```
+//!
+//! * no paths: discover the workspace root (walk up to the `Cargo.toml`
+//!   containing `[workspace]`) and scan every `.rs` file outside the
+//!   excluded directories (vendored shims, build output),
+//! * `--json`: machine-readable report on stdout,
+//! * `--self-check`: additionally lint `crates/lint` itself and assert the
+//!   workspace-wide `detlint::allow` count matches the committed
+//!   `EXPECTED_WORKSPACE_ALLOWS` constant, so suppressions cannot
+//!   accumulate silently.
+//!
+//! Exit codes: `0` clean, `1` live violations (or self-check mismatch),
+//! `2` usage / IO error.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use lint::{count_allow_comments, lint_file, Config, Report, EXPECTED_WORKSPACE_ALLOWS};
+
+fn main() -> ExitCode {
+    let mut json = false;
+    let mut self_check = false;
+    let mut paths: Vec<PathBuf> = Vec::new();
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--self-check" => self_check = true,
+            "--help" | "-h" => {
+                println!("usage: detlint [--json] [--self-check] [PATH ...]");
+                return ExitCode::SUCCESS;
+            }
+            other if other.starts_with('-') => {
+                eprintln!("detlint: unknown flag `{other}` (try --help)");
+                return ExitCode::from(2);
+            }
+            other => paths.push(PathBuf::from(other)),
+        }
+    }
+
+    let cfg = Config::default();
+    let root = match workspace_root() {
+        Some(r) => r,
+        None => {
+            eprintln!("detlint: could not locate the workspace root (no [workspace] Cargo.toml)");
+            return ExitCode::from(2);
+        }
+    };
+    if paths.is_empty() {
+        paths.push(root.clone());
+    }
+
+    let mut files: Vec<PathBuf> = Vec::new();
+    for p in &paths {
+        if let Err(e) = collect_rs_files(p, &root, &cfg, &mut files) {
+            eprintln!("detlint: {}: {e}", p.display());
+            return ExitCode::from(2);
+        }
+    }
+    files.sort();
+    files.dedup();
+
+    let mut report = Report::default();
+    let mut allow_total = 0usize;
+    for f in &files {
+        let src = match fs::read_to_string(f) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("detlint: {}: {e}", f.display());
+                return ExitCode::from(2);
+            }
+        };
+        let rel = rel_path(f, &root);
+        allow_total += count_allow_comments(&src);
+        report.findings.extend(lint_file(&rel, &src, &cfg));
+        report.files_scanned += 1;
+    }
+    report.findings.sort_by(|a, b| (&a.file, a.line, &a.rule).cmp(&(&b.file, b.line, &b.rule)));
+
+    let mut self_check_failures: Vec<String> = Vec::new();
+    if self_check {
+        // 1. crates/lint must itself be clean (it is not in the default walk
+        //    scope's guarded lists, but all always-on rules apply).
+        let lint_live = report
+            .findings
+            .iter()
+            .filter(|v| v.is_live() && v.file.starts_with("crates/lint/"))
+            .count();
+        if lint_live > 0 {
+            self_check_failures
+                .push(format!("crates/lint has {lint_live} live violation(s) of its own rules"));
+        }
+        // 2. The workspace-wide suppression count is pinned.
+        if allow_total != EXPECTED_WORKSPACE_ALLOWS {
+            self_check_failures.push(format!(
+                "workspace has {allow_total} detlint::allow comment(s), expected \
+                 {EXPECTED_WORKSPACE_ALLOWS}; review the new/removed suppressions and \
+                 update EXPECTED_WORKSPACE_ALLOWS in crates/lint/src/config.rs"
+            ));
+        }
+    }
+
+    if json {
+        print!("{}", report.render_json());
+    } else {
+        print!("{}", report.render_human());
+    }
+    for f in &self_check_failures {
+        eprintln!("detlint: self-check: {f}");
+    }
+    if self_check && self_check_failures.is_empty() && !json {
+        println!(
+            "detlint: self-check OK ({allow_total} suppression(s), matching the committed count)"
+        );
+    }
+
+    if report.passed() && self_check_failures.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}
+
+/// Walk up from the current directory to the `Cargo.toml` declaring
+/// `[workspace]`.
+fn workspace_root() -> Option<PathBuf> {
+    let mut dir = std::env::current_dir().ok()?;
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if manifest.is_file() {
+            if let Ok(text) = fs::read_to_string(&manifest) {
+                if text.contains("[workspace]") {
+                    return Some(dir);
+                }
+            }
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+/// Recursively collect `.rs` files under `path`, skipping excluded
+/// directories.  Directory entries are visited in sorted order so output is
+/// deterministic.
+fn collect_rs_files(
+    path: &Path,
+    root: &Path,
+    cfg: &Config,
+    out: &mut Vec<PathBuf>,
+) -> std::io::Result<()> {
+    let rel = rel_path(path, root);
+    if cfg.is_excluded(&format!("{rel}/")) {
+        return Ok(());
+    }
+    if path.is_file() {
+        if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path.to_path_buf());
+        }
+        return Ok(());
+    }
+    let mut entries: Vec<PathBuf> =
+        fs::read_dir(path)?.filter_map(|e| e.ok().map(|e| e.path())).collect();
+    entries.sort();
+    for entry in entries {
+        if entry.is_dir() {
+            let name = entry.file_name().and_then(|n| n.to_str()).unwrap_or("");
+            if name.starts_with('.') {
+                continue;
+            }
+            collect_rs_files(&entry, root, cfg, out)?;
+        } else if entry.extension().is_some_and(|e| e == "rs") {
+            let rel = rel_path(&entry, root);
+            if !cfg.is_excluded(&rel) {
+                out.push(entry);
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Workspace-relative, forward-slash path for reporting and scoping.
+fn rel_path(p: &Path, root: &Path) -> String {
+    let canon = p.canonicalize().unwrap_or_else(|_| p.to_path_buf());
+    let rel = canon.strip_prefix(root).unwrap_or(&canon);
+    rel.to_string_lossy().replace('\\', "/")
+}

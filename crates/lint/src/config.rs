@@ -1,0 +1,101 @@
+//! Which rules apply where.
+//!
+//! Paths are workspace-relative fragments matched with `contains` after
+//! normalising to forward slashes, so the lists stay robust against being
+//! invoked from a sub-directory or another platform.
+
+/// Scope configuration for the rule engine.
+#[derive(Clone, Debug)]
+pub struct Config {
+    /// R2 `panic-in-guarded`: modules on the guarded hot path / resilience
+    /// contract — the krylov apply path, the gnn plan/gemm engine, the
+    /// ddm-gnn preconditioner and the Schwarz/coarse apply paths wrapped by
+    /// `GuardedPreconditioner`.
+    pub guarded_modules: Vec<String>,
+    /// R3 `nondet-clock`: modules allowed to read wall clocks — the bench
+    /// harness, the criterion shim's replacement (vendored, not scanned),
+    /// the resilience time-budget layer and the solver-driver modules whose
+    /// job is reporting setup/solve wall times.
+    pub clock_allowed: Vec<String>,
+    /// R4 `nondet-iteration` + R5 `float-reduce`: the deterministic solver
+    /// pipeline — everything whose results feed the bit-reproducible
+    /// residual-history contract.
+    pub deterministic_modules: Vec<String>,
+    /// Directory fragments excluded from the walk entirely (vendored
+    /// third-party stand-ins and build output).
+    pub excluded_dirs: Vec<String>,
+}
+
+/// Committed number of `detlint::allow` suppressions across the workspace.
+///
+/// `--self-check` re-counts and fails on mismatch, so a new suppression
+/// cannot land without a reviewed bump of this constant.
+pub const EXPECTED_WORKSPACE_ALLOWS: usize = 16;
+
+impl Default for Config {
+    fn default() -> Self {
+        let s = |v: &[&str]| v.iter().map(|p| p.to_string()).collect();
+        Config {
+            guarded_modules: s(&[
+                "crates/krylov/src/preconditioner.rs",
+                "crates/krylov/src/resilience.rs",
+                "crates/krylov/src/cg.rs",
+                "crates/krylov/src/pcg.rs",
+                "crates/krylov/src/bicgstab.rs",
+                "crates/krylov/src/gmres.rs",
+                "crates/krylov/src/batch.rs",
+                "crates/krylov/src/history.rs",
+                "crates/gnn/src/plan.rs",
+                "crates/gnn/src/gemm.rs",
+                "crates/ddm-gnn/src/preconditioner.rs",
+                "crates/ddm/src/asm.rs",
+                "crates/ddm/src/coarse.rs",
+                "crates/ddm/src/local.rs",
+                "crates/ddm/src/multilevel.rs",
+            ]),
+            clock_allowed: s(&[
+                "crates/bench/",
+                "crates/krylov/src/resilience.rs",
+                "crates/ddm-gnn/src/solver.rs",
+            ]),
+            deterministic_modules: s(&[
+                "crates/sparse/src/",
+                "crates/krylov/src/",
+                "crates/ddm/src/",
+                "crates/ddm-gnn/src/",
+                "crates/gnn/src/",
+                "crates/partition/src/",
+                "crates/meshgen/src/",
+                "crates/fem/src/",
+            ]),
+            excluded_dirs: s(&["shims/", "target/", ".git/"]),
+        }
+    }
+}
+
+impl Config {
+    fn matches(list: &[String], rel_path: &str) -> bool {
+        let p = rel_path.replace('\\', "/");
+        list.iter().any(|frag| p.contains(frag.as_str()) || p.starts_with(frag.as_str()))
+    }
+
+    /// Whether R2 applies to this file.
+    pub fn is_guarded(&self, rel_path: &str) -> bool {
+        Self::matches(&self.guarded_modules, rel_path)
+    }
+
+    /// Whether R3 exempts this file.
+    pub fn clock_is_allowed(&self, rel_path: &str) -> bool {
+        Self::matches(&self.clock_allowed, rel_path)
+    }
+
+    /// Whether R4/R5 apply to this file.
+    pub fn is_deterministic(&self, rel_path: &str) -> bool {
+        Self::matches(&self.deterministic_modules, rel_path)
+    }
+
+    /// Whether the walk should skip this path entirely.
+    pub fn is_excluded(&self, rel_path: &str) -> bool {
+        Self::matches(&self.excluded_dirs, rel_path)
+    }
+}

@@ -182,8 +182,12 @@ impl Mesh {
 /// Boundary detection: nodes incident to an edge that belongs to exactly one
 /// triangle.
 fn detect_boundary(points: &[Point2], triangles: &[[usize; 3]]) -> Vec<bool> {
-    use std::collections::HashMap;
-    let mut edge_count: HashMap<(usize, usize), u32> = HashMap::new();
+    // BTreeMap so the edge sweep below visits edges in key order: the result
+    // is order-insensitive today, but hash-order iteration is banned from the
+    // deterministic pipeline (detlint `nondet-iteration`) so a later change
+    // cannot silently become seed-dependent.
+    use std::collections::BTreeMap;
+    let mut edge_count: BTreeMap<(usize, usize), u32> = BTreeMap::new();
     for t in triangles {
         for k in 0..3 {
             let a = t[k];
