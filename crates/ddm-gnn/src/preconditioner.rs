@@ -25,7 +25,9 @@ use krylov::Preconditioner;
 use rayon::prelude::*;
 use sparse::CsrMatrix;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, PoisonError};
+use std::sync::Arc;
+
+use sanitizer::TrackedMutex;
 
 /// Reusable per-sub-domain buffers for one preconditioner application: the
 /// restricted (then normalised in place) residual, the DSS output, the norm
@@ -50,18 +52,21 @@ struct SubdomainScratch {
 }
 
 impl SubdomainScratch {
-    fn new(dim: usize) -> Mutex<Self> {
-        Mutex::new(SubdomainScratch {
-            local_r: vec![0.0; dim],
-            correction: vec![0.0; dim],
-            norm: 0.0,
-            local_rb: Vec::new(),
-            correction_b: Vec::new(),
-            norms_b: Vec::new(),
-            infer: InferScratch::new(),
-            infer32: InferScratchF32::new(),
-            inferq: InferScratchQ::new(),
-        })
+    fn new(dim: usize) -> TrackedMutex<Self> {
+        TrackedMutex::new(
+            SubdomainScratch {
+                local_r: vec![0.0; dim],
+                correction: vec![0.0; dim],
+                norm: 0.0,
+                local_rb: Vec::new(),
+                correction_b: Vec::new(),
+                norms_b: Vec::new(),
+                infer: InferScratch::new(),
+                infer32: InferScratchF32::new(),
+                inferq: InferScratchQ::new(),
+            },
+            "ddm_gnn::preconditioner::SubdomainScratch",
+        )
     }
 }
 
@@ -84,11 +89,11 @@ pub struct DdmGnnPreconditioner {
     plans: PlanSet,
     coarse: Option<CoarseSpace>,
     model: Arc<DssModel>,
-    scratch: Vec<Mutex<SubdomainScratch>>,
+    scratch: Vec<TrackedMutex<SubdomainScratch>>,
     /// Serialises whole `apply` calls: the scratch buffers span the parallel
     /// inference and the sequential gluing, so two concurrent `apply`s on the
     /// same preconditioner would otherwise interleave and corrupt each other.
-    apply_guard: Mutex<()>,
+    apply_guard: TrackedMutex<()>,
     num_global: usize,
     /// Reported by `Preconditioner::name` ("ddm-gnn-{1,2}level[-f32|-int8]"
     /// or "ddm-gnn-ml<levels>[-f32|-int8]").
@@ -96,7 +101,7 @@ pub struct DdmGnnPreconditioner {
     /// Number of `apply` calls so far (≈ the outer iteration index).
     applies: AtomicU64,
     /// Classified coarse-solve errors, surfaced via `collect_faults`.
-    faults: Mutex<FaultLog>,
+    faults: TrackedMutex<FaultLog>,
 }
 
 impl DdmGnnPreconditioner {
@@ -287,11 +292,20 @@ impl DdmGnnPreconditioner {
             coarse,
             model,
             scratch,
-            apply_guard: Mutex::new(()),
+            apply_guard: TrackedMutex::new(
+                (),
+                "ddm_gnn::preconditioner::DdmGnnPreconditioner::apply_guard",
+            ),
             num_global: matrix.nrows(),
             name,
             applies: AtomicU64::new(0),
-            faults: Mutex::new(FaultLog::new()),
+            // Commutative: the fault log is append-only inside parallel
+            // sections and every aggregation over it is order-insensitive.
+            faults: TrackedMutex::new_commutative(
+                FaultLog::new(),
+                "ddm_gnn::preconditioner::DdmGnnPreconditioner::faults",
+                "append-only fault log; aggregation queries are order-insensitive",
+            ),
         })
     }
 
@@ -341,7 +355,7 @@ impl DdmGnnPreconditioner {
     /// Restrict, normalise and infer one sub-domain into its scratch slot,
     /// optionally accumulating per-stage timings.
     fn solve_local(&self, i: usize, r: &[f64], timings: Option<&mut InferenceTimings>) {
-        let mut guard = self.scratch[i].lock().unwrap_or_else(PoisonError::into_inner);
+        let mut guard = self.scratch[i].lock();
         let SubdomainScratch { local_r, correction, norm, infer, infer32, inferq, .. } =
             &mut *guard;
         self.restrictions[i].restrict_into(r, local_r);
@@ -387,7 +401,7 @@ impl DdmGnnPreconditioner {
     /// is bit-identical to an unbatched `solve_local` on `rs[c]`.
     fn solve_local_batch(&self, i: usize, rs: &[&[f64]], timings: Option<&mut InferenceTimings>) {
         let b = rs.len();
-        let mut guard = self.scratch[i].lock().unwrap_or_else(PoisonError::into_inner);
+        let mut guard = self.scratch[i].lock();
         let SubdomainScratch {
             local_r,
             local_rb,
@@ -478,7 +492,7 @@ impl DdmGnnPreconditioner {
             *zi = 0.0;
         }
         for (restriction, scratch) in self.restrictions.iter().zip(self.scratch.iter()) {
-            let guard = scratch.lock().unwrap_or_else(PoisonError::into_inner);
+            let guard = scratch.lock();
             if guard.norm > 0.0 {
                 restriction.extend_add_scaled(guard.norm, &guard.correction, z);
             }
@@ -487,7 +501,7 @@ impl DdmGnnPreconditioner {
             if let Err(e) = coarse.apply_into(r, z) {
                 // Skip the coarse contribution; the glued local corrections
                 // alone are still a valid (one-level) preconditioner.
-                self.faults.lock().unwrap_or_else(PoisonError::into_inner).record(FaultEvent::new(
+                self.faults.lock().record(FaultEvent::new(
                     FaultKind::NumericalError,
                     self.applies.load(Ordering::SeqCst).saturating_sub(1),
                     &self.name,
@@ -507,7 +521,7 @@ impl DdmGnnPreconditioner {
     pub fn apply_timed(&self, r: &[f64], z: &mut [f64], timings: &mut InferenceTimings) {
         debug_assert_eq!(r.len(), self.num_global);
         debug_assert_eq!(z.len(), self.num_global);
-        let _exclusive = self.apply_guard.lock().unwrap_or_else(PoisonError::into_inner);
+        let _exclusive = self.apply_guard.lock();
         self.applies.fetch_add(1, Ordering::SeqCst);
         for i in 0..self.restrictions.len() {
             self.solve_local(i, r, Some(&mut *timings));
@@ -526,7 +540,7 @@ impl DdmGnnPreconditioner {
             }
         }
         for (restriction, scratch) in self.restrictions.iter().zip(self.scratch.iter()) {
-            let guard = scratch.lock().unwrap_or_else(PoisonError::into_inner);
+            let guard = scratch.lock();
             for (c, z) in zs.iter_mut().enumerate() {
                 if guard.norms_b[c] > 0.0 {
                     restriction.extend_add_scaled_strided(
@@ -542,14 +556,12 @@ impl DdmGnnPreconditioner {
         if let Some(coarse) = &self.coarse {
             for (c, (r, z)) in rs.iter().zip(zs.iter_mut()).enumerate() {
                 if let Err(e) = coarse.apply_into(r, z) {
-                    self.faults.lock().unwrap_or_else(PoisonError::into_inner).record(
-                        FaultEvent::new(
-                            FaultKind::NumericalError,
-                            self.applies.load(Ordering::SeqCst).saturating_sub(1),
-                            &self.name,
-                            format!("coarse correction failed in batch column {c}: {e}"),
-                        ),
-                    );
+                    self.faults.lock().record(FaultEvent::new(
+                        FaultKind::NumericalError,
+                        self.applies.load(Ordering::SeqCst).saturating_sub(1),
+                        &self.name,
+                        format!("coarse correction failed in batch column {c}: {e}"),
+                    ));
                 }
             }
         }
@@ -567,7 +579,7 @@ impl DdmGnnPreconditioner {
         timings: &mut InferenceTimings,
     ) {
         assert_eq!(rs.len(), zs.len(), "batched apply: rs/zs column count mismatch");
-        let _exclusive = self.apply_guard.lock().unwrap_or_else(PoisonError::into_inner);
+        let _exclusive = self.apply_guard.lock();
         self.applies.fetch_add(1, Ordering::SeqCst);
         for i in 0..self.restrictions.len() {
             self.solve_local_batch(i, rs, Some(&mut *timings));
@@ -580,7 +592,7 @@ impl Preconditioner for DdmGnnPreconditioner {
     fn apply(&self, r: &[f64], z: &mut [f64]) {
         debug_assert_eq!(r.len(), self.num_global);
         debug_assert_eq!(z.len(), self.num_global);
-        let _exclusive = self.apply_guard.lock().unwrap_or_else(PoisonError::into_inner);
+        let _exclusive = self.apply_guard.lock();
         self.applies.fetch_add(1, Ordering::SeqCst);
 
         // Local problems: restrict, normalise, infer — all sub-domains in
@@ -595,7 +607,7 @@ impl Preconditioner for DdmGnnPreconditioner {
         assert_eq!(rs.len(), zs.len(), "batched apply: rs/zs column count mismatch");
         debug_assert!(rs.iter().all(|r| r.len() == self.num_global));
         debug_assert!(zs.iter().all(|z| z.len() == self.num_global));
-        let _exclusive = self.apply_guard.lock().unwrap_or_else(PoisonError::into_inner);
+        let _exclusive = self.apply_guard.lock();
         self.applies.fetch_add(1, Ordering::SeqCst);
         // Each sub-domain gathers its b local residuals into one panel and
         // runs a single batched inference — the plan streams are read once
@@ -615,7 +627,7 @@ impl Preconditioner for DdmGnnPreconditioner {
     }
 
     fn collect_faults(&self, log: &mut FaultLog) {
-        log.merge(self.faults.lock().unwrap_or_else(PoisonError::into_inner).clone());
+        log.merge(self.faults.lock().clone());
     }
 }
 
@@ -727,9 +739,9 @@ mod tests {
         let mut baseline = vec![0.0; r.len()];
         precond.apply(&r, &mut baseline);
 
-        fn poison<T>(mutex: &Mutex<T>) {
+        fn poison<T>(mutex: &TrackedMutex<T>) {
             let p = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                let _guard = mutex.lock().unwrap_or_else(PoisonError::into_inner);
+                let _guard = mutex.lock();
                 panic!("injected worker panic while holding the lock");
             }));
             assert!(p.is_err());

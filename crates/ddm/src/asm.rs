@@ -17,8 +17,8 @@
 //! scatter (`Σ Rᵢᵀ vᵢ`) accumulates sequentially in sub-domain order so the
 //! result is bit-identical at every thread count.
 
+use sanitizer::TrackedMutex;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Mutex, PoisonError};
 
 use krylov::resilience::{FaultEvent, FaultKind, FaultLog};
 use krylov::Preconditioner;
@@ -99,13 +99,16 @@ struct LocalScratch {
 }
 
 impl LocalScratch {
-    fn new(dim: usize) -> Mutex<Self> {
-        Mutex::new(LocalScratch {
-            rhs: vec![0.0; dim],
-            sol: vec![0.0; dim],
-            work: Vec::new(),
-            sol_b: Vec::new(),
-        })
+    fn new(dim: usize) -> TrackedMutex<Self> {
+        TrackedMutex::new(
+            LocalScratch {
+                rhs: vec![0.0; dim],
+                sol: vec![0.0; dim],
+                work: Vec::new(),
+                sol_b: Vec::new(),
+            },
+            "ddm::asm::LocalScratch",
+        )
     }
 }
 
@@ -127,11 +130,11 @@ pub struct AdditiveSchwarz {
     restrictions: Vec<Restriction>,
     local_solvers: Vec<CholeskyLocalSolver>,
     coarse: Option<CoarseSpace>,
-    scratch: Vec<Mutex<LocalScratch>>,
+    scratch: Vec<TrackedMutex<LocalScratch>>,
     /// Serialises whole `apply` calls: the scratch buffers span the parallel
     /// fill and the sequential glue, so two concurrent `apply`s on the same
     /// preconditioner would otherwise interleave and corrupt each other.
-    apply_guard: Mutex<()>,
+    apply_guard: TrackedMutex<()>,
     num_global: usize,
     /// Reported by `Preconditioner::name` ("ddm-lu-1level", "ddm-lu-2level"
     /// or "ddm-lu-ml<levels>").
@@ -139,7 +142,7 @@ pub struct AdditiveSchwarz {
     /// Number of `apply` calls so far (≈ the outer iteration index).
     applies: AtomicU64,
     /// Classified local-/coarse-solve errors, surfaced via `collect_faults`.
-    faults: Mutex<FaultLog>,
+    faults: TrackedMutex<FaultLog>,
 }
 
 impl AdditiveSchwarz {
@@ -227,11 +230,17 @@ impl AdditiveSchwarz {
             local_solvers,
             coarse,
             scratch,
-            apply_guard: Mutex::new(()),
+            apply_guard: TrackedMutex::new((), "ddm::asm::AdditiveSchwarz::apply_guard"),
             num_global: matrix.nrows(),
             name,
             applies: AtomicU64::new(0),
-            faults: Mutex::new(FaultLog::new()),
+            // Commutative: the fault log is append-only inside parallel
+            // sections and every aggregation over it is order-insensitive.
+            faults: TrackedMutex::new_commutative(
+                FaultLog::new(),
+                "ddm::asm::AdditiveSchwarz::faults",
+                "append-only fault log; aggregation queries are order-insensitive",
+            ),
         })
     }
 
@@ -255,7 +264,7 @@ impl Preconditioner for AdditiveSchwarz {
     fn apply(&self, r: &[f64], z: &mut [f64]) {
         debug_assert_eq!(r.len(), self.num_global);
         debug_assert_eq!(z.len(), self.num_global);
-        let _exclusive = self.apply_guard.lock().unwrap_or_else(PoisonError::into_inner);
+        let _exclusive = self.apply_guard.lock();
         let apply_index = self.applies.fetch_add(1, Ordering::SeqCst);
 
         // Local corrections, computed in parallel into per-sub-domain scratch
@@ -265,14 +274,14 @@ impl Preconditioner for AdditiveSchwarz {
         // instead of panicking the worker — the remaining sub-domains (and
         // the coarse correction) still produce a usable preconditioner.
         (0..self.restrictions.len()).into_par_iter().for_each(|i| {
-            let mut guard = self.scratch[i].lock().unwrap_or_else(PoisonError::into_inner);
+            let mut guard = self.scratch[i].lock();
             let LocalScratch { rhs, sol, work, .. } = &mut *guard;
             self.restrictions[i].restrict_into(r, rhs);
             if let Err(e) = self.local_solvers[i].solve_into(rhs, work, sol) {
                 for v in sol.iter_mut() {
                     *v = 0.0;
                 }
-                self.faults.lock().unwrap_or_else(PoisonError::into_inner).record(FaultEvent::new(
+                self.faults.lock().record(FaultEvent::new(
                     FaultKind::NumericalError,
                     apply_index,
                     &self.name,
@@ -287,13 +296,13 @@ impl Preconditioner for AdditiveSchwarz {
             *zi = 0.0;
         }
         for (restriction, scratch) in self.restrictions.iter().zip(self.scratch.iter()) {
-            restriction.extend_add(&scratch.lock().unwrap_or_else(PoisonError::into_inner).sol, z);
+            restriction.extend_add(&scratch.lock().sol, z);
         }
         if let Some(coarse) = &self.coarse {
             if let Err(e) = coarse.apply_into(r, z) {
                 // Skip the coarse contribution; the local corrections alone
                 // are still a valid (one-level) preconditioner.
-                self.faults.lock().unwrap_or_else(PoisonError::into_inner).record(FaultEvent::new(
+                self.faults.lock().record(FaultEvent::new(
                     FaultKind::NumericalError,
                     apply_index,
                     &self.name,
@@ -308,7 +317,7 @@ impl Preconditioner for AdditiveSchwarz {
         let b = rs.len();
         debug_assert!(rs.iter().all(|r| r.len() == self.num_global));
         debug_assert!(zs.iter().all(|z| z.len() == self.num_global));
-        let _exclusive = self.apply_guard.lock().unwrap_or_else(PoisonError::into_inner);
+        let _exclusive = self.apply_guard.lock();
         let apply_index = self.applies.fetch_add(1, Ordering::SeqCst);
 
         // Batched local solves: each sub-domain factors stays cache-hot
@@ -317,7 +326,7 @@ impl Preconditioner for AdditiveSchwarz {
         // operation order as the unbatched apply, then scatters into the
         // column-interleaved panel.
         (0..self.restrictions.len()).into_par_iter().for_each(|i| {
-            let mut guard = self.scratch[i].lock().unwrap_or_else(PoisonError::into_inner);
+            let mut guard = self.scratch[i].lock();
             let LocalScratch { rhs, sol, work, sol_b } = &mut *guard;
             let nl = rhs.len();
             sol_b.resize(nl * b, 0.0);
@@ -327,16 +336,12 @@ impl Preconditioner for AdditiveSchwarz {
                     for v in sol.iter_mut() {
                         *v = 0.0;
                     }
-                    self.faults.lock().unwrap_or_else(PoisonError::into_inner).record(
-                        FaultEvent::new(
-                            FaultKind::NumericalError,
-                            apply_index,
-                            &self.name,
-                            format!(
-                                "local solve on sub-domain {i} failed in batch column {c}: {e}"
-                            ),
-                        ),
-                    );
+                    self.faults.lock().record(FaultEvent::new(
+                        FaultKind::NumericalError,
+                        apply_index,
+                        &self.name,
+                        format!("local solve on sub-domain {i} failed in batch column {c}: {e}"),
+                    ));
                 }
                 for (j, &v) in sol.iter().enumerate() {
                     sol_b[j * b + c] = v;
@@ -352,14 +357,14 @@ impl Preconditioner for AdditiveSchwarz {
             }
         }
         for (restriction, scratch) in self.restrictions.iter().zip(self.scratch.iter()) {
-            let guard = scratch.lock().unwrap_or_else(PoisonError::into_inner);
+            let guard = scratch.lock();
             for (c, z) in zs.iter_mut().enumerate() {
                 restriction.extend_add_scaled_strided(1.0, &guard.sol_b, b, c, z);
             }
         }
         if let Some(coarse) = &self.coarse {
             if let Err(e) = coarse.apply_batch_into(rs, zs) {
-                self.faults.lock().unwrap_or_else(PoisonError::into_inner).record(FaultEvent::new(
+                self.faults.lock().record(FaultEvent::new(
                     FaultKind::NumericalError,
                     apply_index,
                     &self.name,
@@ -378,7 +383,7 @@ impl Preconditioner for AdditiveSchwarz {
     }
 
     fn collect_faults(&self, into: &mut FaultLog) {
-        into.merge(self.faults.lock().unwrap_or_else(PoisonError::into_inner).clone());
+        into.merge(self.faults.lock().clone());
     }
 }
 

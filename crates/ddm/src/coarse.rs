@@ -15,7 +15,7 @@
 //! with LU once per setup; `apply_into` reuses pre-sized scratch vectors so
 //! the per-Krylov-iteration path is allocation-free.
 
-use std::sync::{Mutex, PoisonError};
+use sanitizer::TrackedMutex;
 
 use sparse::{CsrMatrix, DenseMatrix, LuFactor};
 
@@ -37,7 +37,7 @@ pub struct NicolaidesCoarseSpace {
     /// LU factorisation of `R₀ A R₀ᵀ`.
     factor: LuFactor,
     /// Pre-sized buffers for `apply_into`.
-    scratch: Mutex<CoarseScratch>,
+    scratch: TrackedMutex<CoarseScratch>,
 }
 
 impl NicolaidesCoarseSpace {
@@ -66,12 +66,15 @@ impl NicolaidesCoarseSpace {
         let a0 = matrix.galerkin_product_csr(&r0);
         let dense = DenseMatrix::from_row_major(k, k, a0)?;
         let factor = LuFactor::factor_dense(&dense)?;
-        let scratch = Mutex::new(CoarseScratch {
-            rhs: vec![0.0; k],
-            sol: vec![0.0; k],
-            rhs_b: Vec::new(),
-            sol_b: Vec::new(),
-        });
+        let scratch = TrackedMutex::new(
+            CoarseScratch {
+                rhs: vec![0.0; k],
+                sol: vec![0.0; k],
+                rhs_b: Vec::new(),
+                sol_b: Vec::new(),
+            },
+            "ddm::coarse::NicolaidesCoarseSpace::scratch",
+        );
         Ok(NicolaidesCoarseSpace { r0, factor, scratch })
     }
 
@@ -105,7 +108,7 @@ impl NicolaidesCoarseSpace {
         // being read, so recovering the guard is always safe.  Without this,
         // one panicked worker would permanently disable the coarse solve for
         // every subsequent apply.
-        let mut guard = self.scratch.lock().unwrap_or_else(PoisonError::into_inner);
+        let mut guard = self.scratch.lock();
         let CoarseScratch { rhs, sol, .. } = &mut *guard;
         // coarse rhs = R0 r (sparse restriction)
         self.r0.spmv_into(r, rhs);
@@ -137,7 +140,7 @@ impl NicolaidesCoarseSpace {
             }
         }
         let k = self.r0.nrows();
-        let mut guard = self.scratch.lock().unwrap_or_else(PoisonError::into_inner);
+        let mut guard = self.scratch.lock();
         let CoarseScratch { rhs, sol, rhs_b, sol_b } = &mut *guard;
         rhs_b.resize(k * b, 0.0);
         sol_b.resize(k * b, 0.0);
@@ -288,7 +291,7 @@ mod tests {
 
         // Deliberately poison: panic while holding the scratch guard.
         let poison = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            let _guard = coarse.scratch.lock().unwrap_or_else(PoisonError::into_inner);
+            let _guard = coarse.scratch.lock();
             panic!("deliberate poison");
         }));
         assert!(poison.is_err());

@@ -35,7 +35,7 @@
 //! straight into `out` — no intermediate accumulator, which would re-round
 //! the additions).
 
-use std::sync::{Mutex, PoisonError};
+use sanitizer::TrackedMutex;
 
 use sparse::{CsrMatrix, DenseMatrix, LuFactor, SkylineCholesky};
 
@@ -192,7 +192,7 @@ struct HierarchyScratch {
 pub struct Hierarchy {
     levels: Vec<Level>,
     coarse: CoarseSolve,
-    scratch: Mutex<HierarchyScratch>,
+    scratch: TrackedMutex<HierarchyScratch>,
     /// Row counts per level, fine to coarse (length = number of levels).
     level_dims: Vec<usize>,
     /// `Σ_ℓ nnz(A_ℓ) / nnz(A_0)` — the classical AMG operator complexity.
@@ -240,7 +240,10 @@ impl Hierarchy {
             a = a_coarse;
         }
         let coarse = CoarseSolve::factor(&a)?;
-        let scratch = Mutex::new(make_scratch(&levels, a.nrows()));
+        let scratch = TrackedMutex::new(
+            make_scratch(&levels, a.nrows()),
+            "ddm::multilevel::SmoothedAggregationHierarchy::scratch",
+        );
         Ok(Hierarchy {
             levels,
             coarse,
@@ -285,7 +288,10 @@ impl Hierarchy {
         let factor = LuFactor::factor_dense(&dense)?;
         let total_nnz = matrix.nnz() + k * k;
         let levels = vec![Level { a: matrix.clone(), r: r0, smoother: LevelSmoother::None }];
-        let scratch = Mutex::new(make_scratch(&levels, k));
+        let scratch = TrackedMutex::new(
+            make_scratch(&levels, k),
+            "ddm::multilevel::SmoothedAggregationHierarchy::scratch",
+        );
         Ok(Hierarchy {
             levels,
             coarse: CoarseSolve::DenseLu(factor),
@@ -332,7 +338,7 @@ impl Hierarchy {
         // Recover from poisoning exactly as the coarse space does: every
         // buffer is fully overwritten before it is read, so a panicking
         // holder cannot leave a broken invariant behind.
-        let mut guard = self.scratch.lock().unwrap_or_else(PoisonError::into_inner);
+        let mut guard = self.scratch.lock();
         let HierarchyScratch { xs, bs, tmps, work } = &mut *guard;
 
         if self.degenerate_two_level {
@@ -885,7 +891,7 @@ mod tests {
         let r: Vec<f64> = (0..n).map(|i| ((i * 7 % 29) as f64) - 14.0).collect();
         let before = h.apply(&r);
         let poison = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            let _guard = h.scratch.lock().unwrap_or_else(PoisonError::into_inner);
+            let _guard = h.scratch.lock();
             panic!("deliberate poison");
         }));
         assert!(poison.is_err());

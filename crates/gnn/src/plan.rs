@@ -25,8 +25,9 @@
 //! [`LocalGraph::edge_ptr`]), so message aggregation in the planned forward
 //! pass is a contiguous per-node gather.
 
-use std::sync::{Mutex, MutexGuard, PoisonError};
 use std::time::Instant;
+
+use sanitizer::TrackedMutex;
 
 use crate::gemm;
 use crate::graph::LocalGraph;
@@ -1532,9 +1533,25 @@ impl InferenceTimings {
 /// cold buffers.  [`ScratchPool::acquire`]/[`ScratchPool::release`] are the
 /// width-1 shorthand used by the unbatched paths; the retention cap applies
 /// per class.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct ScratchPool<T = InferScratch> {
-    state: Mutex<PoolState<T>>,
+    state: TrackedMutex<PoolState<T>>,
+}
+
+impl<T> Default for ScratchPool<T> {
+    fn default() -> Self {
+        ScratchPool {
+            // Commutative: the bins hold *interchangeable* buffers, so which
+            // of two same-batch borrowers pops a given buffer first cannot
+            // affect any solver output (contents are overwritten on use).
+            state: TrackedMutex::new_commutative(
+                PoolState::default(),
+                "gnn::plan::ScratchPool::state",
+                "pooled buffers are interchangeable; acquire/release order never \
+                 reaches solver output",
+            ),
+        }
+    }
 }
 
 /// Size class of the unbatched (single right-hand-side) borrows.
@@ -1576,12 +1593,6 @@ impl<T: Default> ScratchPool<T> {
         ScratchPool::default()
     }
 
-    /// Lock the pool state, recovering from a poisoned mutex (see the type
-    /// docs: every reachable state is valid).
-    fn lock(&self) -> MutexGuard<'_, PoolState<T>> {
-        self.state.lock().unwrap_or_else(PoisonError::into_inner)
-    }
-
     /// Take an unbatched (size class 1) scratch out of the pool.
     pub fn acquire(&self) -> T {
         self.acquire_class(POOL_CLASS_UNBATCHED)
@@ -1591,7 +1602,7 @@ impl<T: Default> ScratchPool<T> {
     /// or create a fresh one when that class's bin is dry.  Borrows of other
     /// classes are never handed out.
     pub fn acquire_class(&self, class: usize) -> T {
-        let mut st = self.lock();
+        let mut st = self.state.lock();
         st.outstanding += 1;
         st.high_water = st.high_water.max(st.outstanding);
         st.bin_mut(class).pop().unwrap_or_default()
@@ -1605,7 +1616,7 @@ impl<T: Default> ScratchPool<T> {
     /// Return a scratch to its size class's bin.  Buffers beyond the
     /// high-water concurrent-borrow count (per class) are dropped.
     pub fn release_class(&self, class: usize, scratch: T) {
-        let mut st = self.lock();
+        let mut st = self.state.lock();
         // Saturating: a panicked worker may never have reported its release,
         // and foreign buffers can legitimately be donated to the pool.
         st.outstanding = st.outstanding.saturating_sub(1);
@@ -1618,12 +1629,12 @@ impl<T: Default> ScratchPool<T> {
 
     /// Number of idle buffers currently pooled, across all size classes.
     pub fn idle(&self) -> usize {
-        self.lock().bins.iter().map(|(_, bin)| bin.len()).sum()
+        self.state.lock().bins.iter().map(|(_, bin)| bin.len()).sum()
     }
 
     /// Number of idle buffers pooled for one size class.
     pub fn idle_class(&self, class: usize) -> usize {
-        self.lock().bins.iter().find(|(c, _)| *c == class).map_or(0, |(_, bin)| bin.len())
+        self.state.lock().bins.iter().find(|(c, _)| *c == class).map_or(0, |(_, bin)| bin.len())
     }
 
     /// Drop every idle buffer and reset the idle-retention cap, releasing
@@ -1631,7 +1642,7 @@ impl<T: Default> ScratchPool<T> {
     /// pool to.  Outstanding borrows are unaffected; the pool refills on
     /// demand.
     pub fn clear(&self) {
-        let mut st = self.lock();
+        let mut st = self.state.lock();
         st.bins.clear();
         st.high_water = st.outstanding;
     }
@@ -1708,11 +1719,11 @@ mod tests {
         pool.release(s);
         // Poison the mutex: panic while holding the guard.
         let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            let _guard = pool.state.lock().unwrap_or_else(PoisonError::into_inner);
+            let _guard = pool.state.lock();
             panic!("worker panic while holding the pool lock");
         }));
         assert!(result.is_err());
-        assert!(pool.state.lock().is_err(), "mutex must actually be poisoned");
+        assert!(pool.state.is_poisoned(), "mutex must actually be poisoned");
         // Every pool operation must keep working.
         assert_eq!(pool.idle(), 1);
         let s = pool.acquire();

@@ -5,8 +5,8 @@
 //! in their own crates; here we provide the identity (plain CG), Jacobi
 //! (diagonal scaling) and IC(0) wrappers used as baselines.
 
+use sanitizer::TrackedMutex;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Mutex, PoisonError};
 
 use sparse::{CsrMatrix, IncompleteCholesky};
 
@@ -163,7 +163,7 @@ impl Preconditioner for JacobiPreconditioner {
 pub struct Ic0Preconditioner {
     factor: IncompleteCholesky,
     applies: AtomicU64,
-    faults: Mutex<FaultLog>,
+    faults: TrackedMutex<FaultLog>,
 }
 
 impl Ic0Preconditioner {
@@ -172,7 +172,10 @@ impl Ic0Preconditioner {
         Ok(Ic0Preconditioner {
             factor: IncompleteCholesky::factor(a)?,
             applies: AtomicU64::new(0),
-            faults: Mutex::new(FaultLog::new()),
+            faults: TrackedMutex::new(
+                FaultLog::new(),
+                "krylov::preconditioner::Ic0Preconditioner::faults",
+            ),
         })
     }
 }
@@ -191,7 +194,7 @@ impl Preconditioner for Ic0Preconditioner {
                     *v = 0.0;
                 }
             }
-            self.faults.lock().unwrap_or_else(PoisonError::into_inner).record(FaultEvent::new(
+            self.faults.lock().record(FaultEvent::new(
                 FaultKind::NumericalError,
                 idx,
                 "ic0",
@@ -214,7 +217,7 @@ impl Preconditioner for Ic0Preconditioner {
     }
 
     fn collect_faults(&self, into: &mut FaultLog) {
-        into.merge(self.faults.lock().unwrap_or_else(PoisonError::into_inner).clone());
+        into.merge(self.faults.lock().clone());
     }
 }
 

@@ -23,12 +23,12 @@
 //! so a fault-free solve is bit-identical to an unguarded one (hash-pinned by
 //! the end-to-end resilience suite).
 
+use sanitizer::TrackedMutex;
 use std::any::Any;
 use std::collections::BTreeMap;
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Mutex, PoisonError};
 use std::time::{Duration, Instant};
 
 use rand::{RngCore, SeedableRng};
@@ -331,10 +331,6 @@ impl StagnationTracker {
     }
 }
 
-fn lock_recovering<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
-    m.lock().unwrap_or_else(PoisonError::into_inner)
-}
-
 /// A single-tier fault guard: contains panics, classifies bad outputs, and
 /// falls back to the identity correction `z = r` so the outer (flexible)
 /// Krylov iteration stays well-defined.
@@ -344,8 +340,8 @@ pub struct GuardedPreconditioner<P> {
     inner: P,
     policy: ResiliencePolicy,
     applies: AtomicU64,
-    log: Mutex<FaultLog>,
-    stagnation: Mutex<StagnationTracker>,
+    log: TrackedMutex<FaultLog>,
+    stagnation: TrackedMutex<StagnationTracker>,
     name: String,
 }
 
@@ -357,15 +353,21 @@ impl<P: Preconditioner> GuardedPreconditioner<P> {
             inner,
             policy,
             applies: AtomicU64::new(0),
-            log: Mutex::new(FaultLog::new()),
-            stagnation: Mutex::new(StagnationTracker::new()),
+            log: TrackedMutex::new(
+                FaultLog::new(),
+                "krylov::resilience::GuardedPreconditioner::log",
+            ),
+            stagnation: TrackedMutex::new(
+                StagnationTracker::new(),
+                "krylov::resilience::GuardedPreconditioner::stagnation",
+            ),
             name,
         }
     }
 
     /// Snapshot of the faults recorded so far.
     pub fn fault_log(&self) -> FaultLog {
-        lock_recovering(&self.log).clone()
+        self.log.lock().clone()
     }
 
     /// The wrapped preconditioner.
@@ -379,10 +381,9 @@ impl<P: Preconditioner> Preconditioner for GuardedPreconditioner<P> {
         let idx = self.applies.fetch_add(1, Ordering::SeqCst);
         if self.policy.stagnation_window > 0 {
             let rnorm = norm2(r);
-            let fired =
-                lock_recovering(&self.stagnation).observe(rnorm, self.policy.stagnation_window);
+            let fired = self.stagnation.lock().observe(rnorm, self.policy.stagnation_window);
             if fired {
-                lock_recovering(&self.log).record(FaultEvent::new(
+                self.log.lock().record(FaultEvent::new(
                     FaultKind::Stagnation,
                     idx,
                     self.inner.name(),
@@ -397,7 +398,7 @@ impl<P: Preconditioner> Preconditioner for GuardedPreconditioner<P> {
             Ok(elapsed) => {
                 if let Some(budget) = self.policy.apply_time_budget {
                     if elapsed > budget {
-                        lock_recovering(&self.log).record(FaultEvent::new(
+                        self.log.lock().record(FaultEvent::new(
                             FaultKind::TimeBudget,
                             idx,
                             self.inner.name(),
@@ -407,7 +408,7 @@ impl<P: Preconditioner> Preconditioner for GuardedPreconditioner<P> {
                 }
             }
             Err((kind, detail)) => {
-                lock_recovering(&self.log).record(FaultEvent::new(
+                self.log.lock().record(FaultEvent::new(
                     kind,
                     idx,
                     self.inner.name(),
@@ -423,10 +424,9 @@ impl<P: Preconditioner> Preconditioner for GuardedPreconditioner<P> {
         let idx = self.applies.fetch_add(1, Ordering::SeqCst);
         if self.policy.stagnation_window > 0 {
             let rnorm = panel_norm(rs);
-            let fired =
-                lock_recovering(&self.stagnation).observe(rnorm, self.policy.stagnation_window);
+            let fired = self.stagnation.lock().observe(rnorm, self.policy.stagnation_window);
             if fired {
-                lock_recovering(&self.log).record(FaultEvent::new(
+                self.log.lock().record(FaultEvent::new(
                     FaultKind::Stagnation,
                     idx,
                     self.inner.name(),
@@ -441,7 +441,7 @@ impl<P: Preconditioner> Preconditioner for GuardedPreconditioner<P> {
             Ok(elapsed) => {
                 if let Some(budget) = self.policy.apply_time_budget {
                     if elapsed > budget {
-                        lock_recovering(&self.log).record(FaultEvent::new(
+                        self.log.lock().record(FaultEvent::new(
                             FaultKind::TimeBudget,
                             idx,
                             self.inner.name(),
@@ -453,7 +453,7 @@ impl<P: Preconditioner> Preconditioner for GuardedPreconditioner<P> {
                 }
             }
             Err((kind, detail)) => {
-                lock_recovering(&self.log).record(FaultEvent::new(
+                self.log.lock().record(FaultEvent::new(
                     kind,
                     idx,
                     self.inner.name(),
@@ -496,8 +496,8 @@ pub struct DegradationLadder {
     policy: ResiliencePolicy,
     active: AtomicUsize,
     applies: AtomicU64,
-    log: Mutex<FaultLog>,
-    stagnation: Mutex<StagnationTracker>,
+    log: TrackedMutex<FaultLog>,
+    stagnation: TrackedMutex<StagnationTracker>,
     name: String,
     dim: usize,
 }
@@ -520,8 +520,11 @@ impl DegradationLadder {
             policy,
             active: AtomicUsize::new(0),
             applies: AtomicU64::new(0),
-            log: Mutex::new(FaultLog::new()),
-            stagnation: Mutex::new(StagnationTracker::new()),
+            log: TrackedMutex::new(FaultLog::new(), "krylov::resilience::DegradationLadder::log"),
+            stagnation: TrackedMutex::new(
+                StagnationTracker::new(),
+                "krylov::resilience::DegradationLadder::stagnation",
+            ),
             name,
             dim,
         }
@@ -540,7 +543,7 @@ impl DegradationLadder {
     /// Snapshot of the faults and downgrades recorded so far (with the
     /// current tier as the final tier).
     pub fn fault_log(&self) -> FaultLog {
-        let mut log = lock_recovering(&self.log).clone();
+        let mut log = self.log.lock().clone();
         log.set_final_tier(self.active_tier_name());
         log
     }
@@ -554,7 +557,7 @@ impl DegradationLadder {
         apply_index: u64,
         detail: String,
     ) -> Option<usize> {
-        let mut log = lock_recovering(&self.log);
+        let mut log = self.log.lock();
         log.record(FaultEvent::new(kind, apply_index, self.tiers[tier].name(), detail));
         if tier + 1 >= self.tiers.len() {
             return None;
@@ -576,8 +579,7 @@ impl Preconditioner for DegradationLadder {
         let mut tier = self.active_tier();
         if self.policy.stagnation_window > 0 && tier + 1 < self.tiers.len() {
             let rnorm = norm2(r);
-            let fired =
-                lock_recovering(&self.stagnation).observe(rnorm, self.policy.stagnation_window);
+            let fired = self.stagnation.lock().observe(rnorm, self.policy.stagnation_window);
             if fired {
                 if let Some(next) = self.downgrade(
                     tier,
@@ -628,8 +630,7 @@ impl Preconditioner for DegradationLadder {
         let mut tier = self.active_tier();
         if self.policy.stagnation_window > 0 && tier + 1 < self.tiers.len() {
             let rnorm = panel_norm(rs);
-            let fired =
-                lock_recovering(&self.stagnation).observe(rnorm, self.policy.stagnation_window);
+            let fired = self.stagnation.lock().observe(rnorm, self.policy.stagnation_window);
             if fired {
                 if let Some(next) = self.downgrade(
                     tier,

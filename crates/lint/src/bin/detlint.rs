@@ -2,12 +2,14 @@
 //! determinism & resilience contracts.
 //!
 //! ```text
-//! detlint [--json] [--self-check] [PATH …]
+//! detlint [--json] [--self-check] [--exclude-shims] [PATH …]
 //! ```
 //!
 //! * no paths: discover the workspace root (walk up to the `Cargo.toml`
 //!   containing `[workspace]`) and scan every `.rs` file outside the
-//!   excluded directories (vendored shims, build output),
+//!   excluded directories (build output; the vendored shims ARE scanned —
+//!   `--include-shims` is the default, `--exclude-shims` restores the
+//!   pre-PR-10 scope),
 //! * `--json`: machine-readable report on stdout,
 //! * `--self-check`: additionally lint `crates/lint` itself and assert the
 //!   workspace-wide `detlint::allow` count matches the committed
@@ -26,13 +28,22 @@ use lint::{count_allow_comments, lint_file, Config, Report, EXPECTED_WORKSPACE_A
 fn main() -> ExitCode {
     let mut json = false;
     let mut self_check = false;
+    let mut include_shims = true;
     let mut paths: Vec<PathBuf> = Vec::new();
     for arg in std::env::args().skip(1) {
         match arg.as_str() {
             "--json" => json = true,
             "--self-check" => self_check = true,
+            // Default-on: the pool shim is the most determinism-critical
+            // code in the tree.  The explicit flag documents intent in CI
+            // invocations; --exclude-shims restores the pre-PR-10 scope.
+            "--include-shims" => include_shims = true,
+            "--exclude-shims" => include_shims = false,
             "--help" | "-h" => {
-                println!("usage: detlint [--json] [--self-check] [PATH ...]");
+                println!(
+                    "usage: detlint [--json] [--self-check] [--include-shims|--exclude-shims] \
+                     [PATH ...]"
+                );
                 return ExitCode::SUCCESS;
             }
             other if other.starts_with('-') => {
@@ -43,7 +54,10 @@ fn main() -> ExitCode {
         }
     }
 
-    let cfg = Config::default();
+    let mut cfg = Config::default();
+    if !include_shims {
+        cfg.exclude_shims();
+    }
     let root = match workspace_root() {
         Some(r) => r,
         None => {

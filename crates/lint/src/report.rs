@@ -29,6 +29,13 @@ impl Report {
 
     /// Human-readable rendering.
     pub fn render_human(&self) -> String {
+        self.render_human_as("detlint")
+    }
+
+    /// Human-readable rendering with the summary line attributed to `tool`
+    /// (the sanitizer reuses this report machinery for runtime findings;
+    /// `files_scanned` then counts files with registered lock sites).
+    pub fn render_human_as(&self, tool: &str) -> String {
         let mut out = String::new();
         for v in self.live() {
             out.push_str(&format!(
@@ -51,7 +58,7 @@ impl Report {
         }
         let n_live = self.live().count();
         out.push_str(&format!(
-            "detlint: {} file(s) scanned, {} violation(s), {} suppressed — {}\n",
+            "{tool}: {} file(s) scanned, {} violation(s), {} suppressed — {}\n",
             self.files_scanned,
             n_live,
             n_allowed,

@@ -1,4 +1,4 @@
-//! The rule engine: five determinism/resilience contract checks plus the
+//! The rule engine: six determinism/resilience contract checks plus the
 //! suppression (`detlint::allow`) machinery.
 //!
 //! | id                 | contract                                                        |
@@ -8,6 +8,7 @@
 //! | `nondet-clock`     | wall clocks only in timing / bench / budget modules             |
 //! | `nondet-iteration` | no hash-order iteration in the deterministic solver pipeline    |
 //! | `float-reduce`     | no ad-hoc float reductions inside `par_iter` closures           |
+//! | `unsafe-justified` | every `unsafe` carries an anchored `// SAFETY:` argument        |
 //!
 //! Suppression is explicit and reasoned:
 //!
@@ -25,8 +26,14 @@ use crate::context::{classify_path, contexts, TokenContext};
 use crate::lexer::{lex, TokKind, Token};
 
 /// Every valid rule id.
-pub const RULE_IDS: [&str; 5] =
-    ["mutex-poison", "panic-in-guarded", "nondet-clock", "nondet-iteration", "float-reduce"];
+pub const RULE_IDS: [&str; 6] = [
+    "mutex-poison",
+    "panic-in-guarded",
+    "nondet-clock",
+    "nondet-iteration",
+    "float-reduce",
+    "unsafe-justified",
+];
 
 /// One finding (possibly suppressed).
 #[derive(Clone, Debug)]
@@ -75,6 +82,7 @@ pub fn lint_file(rel_path: &str, src: &str, cfg: &Config) -> Vec<Violation> {
 
     let mut findings: Vec<(String, u32, String)> = Vec::new();
     rule_mutex_poison(&tokens, &ctxs, &mut findings);
+    rule_unsafe_justified(&tokens, &ctxs, &mut findings);
     if cfg.is_guarded(rel_path) {
         rule_panic_in_guarded(&tokens, &ctxs, &mut findings);
     }
@@ -274,6 +282,72 @@ fn rule_mutex_poison(
                      scratch state is valid)",
                     tokens[m].text
                 ),
+            ));
+        }
+    }
+}
+
+/// R6: every `unsafe` block/fn/impl requires an anchored `// SAFETY:`
+/// comment — on the statement's own lines, or in the contiguous comment
+/// block directly above it.  A soundness argument that lives in module docs
+/// (or nowhere) drifts away from the code it excuses; anchoring it to the
+/// site keeps the argument reviewable next to every edit of the `unsafe`
+/// code itself.
+fn rule_unsafe_justified(
+    tokens: &[Token<'_>],
+    ctxs: &[TokenContext],
+    findings: &mut Vec<(String, u32, String)>,
+) {
+    use std::collections::BTreeSet;
+    // Line maps: which lines hold a `SAFETY:` comment, and which hold code.
+    // Tokens can span lines (block comments, multi-line strings), so count
+    // every line a token touches.
+    let mut safety_lines: BTreeSet<u32> = BTreeSet::new();
+    let mut code_lines: BTreeSet<u32> = BTreeSet::new();
+    for t in tokens {
+        let span = t.text.matches('\n').count() as u32;
+        if t.kind.is_comment() && t.text.contains("SAFETY:") {
+            safety_lines.extend(t.line..=t.line + span);
+        }
+        if !t.kind.is_trivia() {
+            code_lines.extend(t.line..=t.line + span);
+        }
+    }
+    for (i, t) in tokens.iter().enumerate() {
+        if !is_ident(t, "unsafe") || ctxs[i].test {
+            continue;
+        }
+        // First line of the statement/item the `unsafe` belongs to: walk
+        // code tokens backward to the previous statement boundary.
+        let mut start = t.line;
+        let mut j = i;
+        while let Some(p) = prev_code(tokens, j) {
+            if is_punct(&tokens[p], ";") || is_punct(&tokens[p], "{") || is_punct(&tokens[p], "}") {
+                break;
+            }
+            start = start.min(tokens[p].line);
+            j = p;
+        }
+        let on_statement = (start..=t.line).any(|l| safety_lines.contains(&l));
+        let above = || {
+            // Scan the contiguous run of non-code lines directly above the
+            // statement (comments and blanks) for a SAFETY line.
+            let mut l = start;
+            while l > 1 && !code_lines.contains(&(l - 1)) {
+                l -= 1;
+                if safety_lines.contains(&l) {
+                    return true;
+                }
+            }
+            false
+        };
+        if !on_statement && !above() {
+            findings.push((
+                "unsafe-justified".to_string(),
+                t.line,
+                "`unsafe` without an anchored `// SAFETY:` comment; state the soundness \
+                 argument at the site (on the statement or directly above it)"
+                    .to_string(),
             ));
         }
     }
@@ -726,6 +800,71 @@ mod tests {
         // The mutex-poison finding stays live and the clock allow is unused.
         assert!(rules.contains(&"mutex-poison"));
         assert!(rules.contains(&"allow-syntax"));
+    }
+
+    #[test]
+    fn unjustified_unsafe_is_flagged() {
+        let src = "fn f(p: *const u8) -> u8 { unsafe { *p } }";
+        assert_eq!(live_rules(&lint_at(PLAIN, src)), vec!["unsafe-justified"]);
+        // Unsafe impls need the argument too.
+        let imp = "unsafe impl Send for Foo {}";
+        assert_eq!(live_rules(&lint_at(PLAIN, imp)), vec!["unsafe-justified"]);
+    }
+
+    #[test]
+    fn safety_comment_above_the_statement_justifies_unsafe() {
+        let src = "fn f(p: *const u8) -> u8 {\n\
+                   // SAFETY: caller guarantees p is valid for reads.\n\
+                   let v =\n\
+                   unsafe { *p };\n\
+                   v }";
+        assert!(lint_at(PLAIN, src).is_empty());
+        // A multi-line statement with the SAFETY block several comment lines
+        // above its first line (the pool.rs transmute shape).
+        let pool_shape = "fn f(p: *const u8) -> u8 {\n\
+                          // SAFETY: the borrow outlives every use because the\n\
+                          // latch blocks until all jobs finish.\n\
+                          let value: u8 =\n\
+                          unsafe { *p };\n\
+                          value }";
+        assert!(lint_at(PLAIN, pool_shape).is_empty());
+    }
+
+    #[test]
+    fn safety_comment_on_the_same_line_justifies_unsafe() {
+        let src = "fn f(p: *const u8) -> u8 { unsafe { *p } /* SAFETY: p valid */ }";
+        assert!(lint_at(PLAIN, src).is_empty());
+    }
+
+    #[test]
+    fn unrelated_comment_does_not_justify_unsafe() {
+        let src = "fn f(p: *const u8) -> u8 {\n\
+                   // definitely fine, trust me\n\
+                   unsafe { *p }\n\
+                   }";
+        assert_eq!(live_rules(&lint_at(PLAIN, src)), vec!["unsafe-justified"]);
+        // A SAFETY comment separated from the statement by code does not
+        // anchor.
+        let stale = "fn f(p: *const u8) -> u8 {\n\
+                     // SAFETY: for the other statement.\n\
+                     let _x = 1;\n\
+                     unsafe { *p }\n\
+                     }";
+        assert_eq!(live_rules(&lint_at(PLAIN, stale)), vec!["unsafe-justified"]);
+    }
+
+    #[test]
+    fn unsafe_in_test_code_is_exempt() {
+        let src = "#[cfg(test)]\nmod tests { fn t(p: *const u8) -> u8 { unsafe { *p } } }";
+        assert!(lint_at(PLAIN, src).is_empty());
+    }
+
+    #[test]
+    fn unsafe_can_be_allowed_with_reason() {
+        let src = "// detlint::allow(unsafe-justified): audited in PR review\n\
+                   fn f(p: *const u8) -> u8 { unsafe { *p } }";
+        let vs = lint_at(PLAIN, src);
+        assert!(vs.iter().all(|v| !v.is_live()), "allow must suppress: {vs:?}");
     }
 
     #[test]

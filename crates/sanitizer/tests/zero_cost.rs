@@ -1,0 +1,43 @@
+//! Guards the "zero cost when off" claim: without `--cfg detsan`,
+//! `TrackedMutex<T>` must be a transparent newtype over `std::sync::Mutex`
+//! — same size/alignment, and `lock()` must return the *plain*
+//! `std::sync::MutexGuard` (no wrapper type, hence no extra field, branch
+//! or drop glue in the lock path).
+
+#![cfg(not(detsan))]
+
+use std::sync::{Mutex, MutexGuard};
+
+use sanitizer::TrackedMutex;
+
+#[test]
+fn tracked_mutex_is_layout_identical_to_std_mutex() {
+    assert_eq!(
+        std::mem::size_of::<TrackedMutex<[u64; 8]>>(),
+        std::mem::size_of::<Mutex<[u64; 8]>>(),
+    );
+    assert_eq!(
+        std::mem::align_of::<TrackedMutex<[u64; 8]>>(),
+        std::mem::align_of::<Mutex<[u64; 8]>>(),
+    );
+    assert_eq!(std::mem::size_of::<TrackedMutex<()>>(), std::mem::size_of::<Mutex<()>>());
+}
+
+/// Compile-time proof that the disabled lock path returns the unwrapped std
+/// guard: this function only type-checks if `TrackedMutex::lock` yields
+/// `std::sync::MutexGuard` directly.
+fn lock_is_the_plain_std_guard<T>(m: &TrackedMutex<T>) -> MutexGuard<'_, T> {
+    m.lock()
+}
+
+#[test]
+fn disabled_lock_returns_the_std_guard_type() {
+    let m = TrackedMutex::new(5u32, "test::zero-cost");
+    {
+        let g: MutexGuard<'_, u32> = lock_is_the_plain_std_guard(&m);
+        assert_eq!(*g, 5);
+    }
+    // And the commutative constructor is equally transparent.
+    let c = TrackedMutex::new_commutative(6u32, "test::zero-cost-commut", "fixture");
+    assert_eq!(*lock_is_the_plain_std_guard(&c), 6);
+}

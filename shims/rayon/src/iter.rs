@@ -87,7 +87,14 @@ where
     F: Fn(P::IntoIter) -> R + Sync,
 {
     let chunks = split_chunks(producer);
-    if pool.num_threads() == 1 || chunks.len() == 1 {
+    // The inline bypass skips `run_batch`, so it must stay off while the
+    // sanitizer's pool hooks are active: job identities and seeded
+    // permutations have to cover 1-thread and 1-chunk sections too.
+    #[cfg(detsan)]
+    let inline = (pool.num_threads() == 1 || chunks.len() == 1) && !sanitizer::pool_hooks_active();
+    #[cfg(not(detsan))]
+    let inline = pool.num_threads() == 1 || chunks.len() == 1;
+    if inline {
         return chunks.into_iter().map(|chunk| consume(chunk.into_seq())).collect();
     }
     let k = chunks.len();

@@ -75,7 +75,7 @@ impl<'env> Scope<'env> {
     where
         F: for<'a> FnOnce(&'a Scope<'env>) + Send + 'env,
     {
-        self.tasks.lock().unwrap().push(Box::new(f));
+        self.tasks.lock().unwrap_or_else(std::sync::PoisonError::into_inner).push(Box::new(f));
     }
 }
 
@@ -87,7 +87,8 @@ where
     let s = Scope { tasks: std::sync::Mutex::new(Vec::new()) };
     let result = f(&s);
     loop {
-        let pending = std::mem::take(&mut *s.tasks.lock().unwrap());
+        let pending =
+            std::mem::take(&mut *s.tasks.lock().unwrap_or_else(std::sync::PoisonError::into_inner));
         if pending.is_empty() {
             break;
         }

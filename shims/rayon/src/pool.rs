@@ -25,18 +25,22 @@
 //! borrows captured by sibling jobs stay valid for their whole execution.
 //! Worker threads therefore never die; the pool survives panicking payloads.
 //!
-//! # Why the lifetime transmute is sound
+//! # detsan instrumentation
 //!
-//! Jobs borrow caller data (slices being iterated, result slots), so they are
-//! not `'static`.  They are type-erased to `'static` boxes purely to sit in
-//! the shared queue; `run_batch` does not return (normally or by unwinding)
-//! until the latch confirms every job has finished, which makes the erased
-//! borrows strictly outlive every use.
+//! Under `--cfg detsan` every batch is assigned a process-unique id and each
+//! job carries its `(batch, job)` identity while it runs, which is what lets
+//! `crates/sanitizer` flag two jobs of one batch contending on the same
+//! `TrackedMutex` (an order-sensitivity hazard).  When a schedule-fuzz seed
+//! is active (`DETSAN_SCHEDULE_SEED` or `sanitizer::set_schedule_seed`), the
+//! job vector is deterministically permuted per batch and the submitter's
+//! drain loop yields on seeded coin flips to force submitter/worker
+//! handoffs — an adversarial but reproducible schedule.  Without the cfg,
+//! none of this code exists and the pool is byte-for-byte the plain FIFO.
 
 use std::any::Any;
 use std::collections::VecDeque;
 use std::panic::{self, AssertUnwindSafe};
-use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::sync::{Arc, Condvar, Mutex, OnceLock, PoisonError};
 
 /// A type-erased, lifetime-erased unit of work.
 type Job = Box<dyn FnOnce() + Send + 'static>;
@@ -61,6 +65,11 @@ impl Latch {
     }
 
     fn complete(&self, panic_payload: Option<Box<dyn Any + Send>>) {
+        // Latch state is only touched inside these two short critical
+        // sections; poison here means the completion accounting itself is
+        // corrupt, and propagating that panic beats blocking on a broken
+        // condvar.
+        // detlint::allow(mutex-poison): poisoned latch accounting is unrecoverable; propagate
         let mut state = self.state.lock().unwrap();
         state.remaining -= 1;
         if state.panic.is_none() {
@@ -73,6 +82,9 @@ impl Latch {
 
     /// Block until every job has finished; return the first panic payload.
     fn wait(&self) -> Option<Box<dyn Any + Send>> {
+        // See `complete`: a poisoned latch means the completion count may be
+        // wrong, so waiting on it could hang forever.
+        // detlint::allow(mutex-poison): poisoned latch accounting is unrecoverable; propagate
         let mut state = self.state.lock().unwrap();
         while state.remaining > 0 {
             state = self.done.wait(state).unwrap();
@@ -135,6 +147,11 @@ impl ThreadPool {
     /// after all of them have finished.  If one or more jobs panic, the first
     /// payload is re-raised on the calling thread.
     pub fn run_batch<'a>(&self, jobs: Vec<Box<dyn FnOnce() + Send + 'a>>) {
+        // Wrap jobs with their (batch, job) identity and apply the seeded
+        // permutation *before* the inline fast path, so a 1-thread pool sees
+        // the same fuzzed execution order as a large one.
+        #[cfg(detsan)]
+        let (jobs, mut fuzz) = detsan::prepare(jobs);
         if self.num_threads == 1 || jobs.len() <= 1 {
             for job in jobs {
                 job();
@@ -143,16 +160,22 @@ impl ThreadPool {
         }
         let latch = Arc::new(Latch::new(jobs.len()));
         {
-            let mut queue = self.shared.queue.lock().unwrap();
+            let mut queue = self.shared.queue.lock().unwrap_or_else(PoisonError::into_inner);
             for job in jobs {
                 let latch = Arc::clone(&latch);
                 let wrapped: Box<dyn FnOnce() + Send + 'a> = Box::new(move || {
                     let result = panic::catch_unwind(AssertUnwindSafe(job));
                     latch.complete(result.err());
                 });
-                // SAFETY: `run_batch` blocks on the latch until every job has
-                // finished executing (normally or by panic) before returning,
-                // so all borrows captured by `job` strictly outlive its run.
+                // SAFETY: jobs borrow caller data (slices being iterated,
+                // result slots), so they are not `'static`; the transmute
+                // erases the lifetime purely so they can sit in the shared
+                // queue.  `run_batch` does not return (normally or by
+                // unwinding) until `latch.wait()` confirms every job has
+                // finished executing — `complete` runs after the job body,
+                // panic or not — so the erased borrows strictly outlive every
+                // use, and no queued job can survive past the stack frame
+                // whose data it captures.
                 let wrapped: Job =
                     unsafe { std::mem::transmute::<Box<dyn FnOnce() + Send + 'a>, Job>(wrapped) };
                 queue.jobs.push_back(wrapped);
@@ -162,7 +185,18 @@ impl ThreadPool {
         // Help drain the queue while the batch is in flight.  Popping *any*
         // job (not just our own) is what makes nested parallelism safe.
         loop {
-            let job = self.shared.queue.lock().unwrap().jobs.pop_front();
+            // Under an active schedule fuzz, flip a seeded coin before each
+            // pop and yield on heads: workers get a window to claim the next
+            // job, forcing submitter/worker handoff interleavings that plain
+            // FIFO draining would rarely exercise.
+            #[cfg(detsan)]
+            if let Some(rng) = fuzz.as_mut() {
+                if rng.coin() {
+                    std::thread::yield_now();
+                }
+            }
+            let job =
+                self.shared.queue.lock().unwrap_or_else(PoisonError::into_inner).jobs.pop_front();
             match job {
                 Some(job) => job(),
                 None => break,
@@ -177,7 +211,7 @@ impl ThreadPool {
 impl Drop for ThreadPool {
     fn drop(&mut self) {
         {
-            let mut queue = self.shared.queue.lock().unwrap();
+            let mut queue = self.shared.queue.lock().unwrap_or_else(PoisonError::into_inner);
             queue.shutdown = true;
             self.shared.available.notify_all();
         }
@@ -190,7 +224,7 @@ impl Drop for ThreadPool {
 fn worker_loop(shared: Arc<Shared>) {
     loop {
         let job = {
-            let mut queue = shared.queue.lock().unwrap();
+            let mut queue = shared.queue.lock().unwrap_or_else(PoisonError::into_inner);
             loop {
                 // Finish queued work before honouring a shutdown request.
                 if let Some(job) = queue.jobs.pop_front() {
@@ -203,6 +237,46 @@ fn worker_loop(shared: Arc<Shared>) {
             }
         };
         job();
+    }
+}
+
+/// The pool side of the concurrency sanitizer (see the module docs); only
+/// compiled under `--cfg detsan`.
+#[cfg(detsan)]
+mod detsan {
+    use sanitizer::BatchRng;
+
+    /// One queued unit of work, as the pool stores it.
+    type Job<'a> = Box<dyn FnOnce() + Send + 'a>;
+
+    /// Tag every job of a batch with its `(batch, job)` identity and, when a
+    /// schedule-fuzz seed is active, deterministically permute the execution
+    /// order.  Job identity is the *pre-permutation* index, so contention
+    /// reports name stable job numbers regardless of the seed.  When neither
+    /// tracking nor fuzzing is on, the batch passes through untouched.
+    pub(super) fn prepare<'a>(jobs: Vec<Job<'a>>) -> (Vec<Job<'a>>, Option<BatchRng>) {
+        let seed = sanitizer::schedule_seed();
+        if seed.is_none() && !sanitizer::tracking_enabled() {
+            return (jobs, None);
+        }
+        let batch = sanitizer::next_batch_id();
+        let mut wrapped: Vec<Job<'a>> = jobs
+            .into_iter()
+            .enumerate()
+            .map(|(idx, job)| {
+                let tagged: Job<'a> = Box::new(move || {
+                    let _scope = sanitizer::enter_job(batch, idx as u32);
+                    job();
+                });
+                tagged
+            })
+            .collect();
+        let rng = seed.map(|s| {
+            let mut rng = sanitizer::batch_rng(s, batch);
+            rng.shuffle(&mut wrapped);
+            rng
+        });
+        (wrapped, rng)
     }
 }
 
@@ -344,6 +418,42 @@ mod tests {
     fn env_sizing_defaults_are_sane() {
         // Whatever the environment, the computed size is at least 1.
         assert!(num_threads_from_env() >= 1);
+    }
+
+    /// With a schedule seed set, a 1-thread pool must execute a batch in the
+    /// seeded permutation (a valid permutation, and across several batches
+    /// not the identity), and revert to submission order once cleared.
+    #[cfg(detsan)]
+    #[test]
+    fn schedule_fuzz_permutes_single_thread_execution_order() {
+        let pool = ThreadPool::new(1);
+        let run_order = |n: usize| {
+            let order = Mutex::new(Vec::new());
+            let jobs: Vec<_> = (0..n)
+                .map(|i| {
+                    let order = &order;
+                    boxed(move || {
+                        order.lock().unwrap_or_else(PoisonError::into_inner).push(i);
+                    })
+                })
+                .collect();
+            pool.run_batch(jobs);
+            order.into_inner().unwrap_or_else(PoisonError::into_inner)
+        };
+
+        sanitizer::set_schedule_seed(0x0DE7_5A11);
+        let mut any_permuted = false;
+        for _ in 0..4 {
+            let order = run_order(16);
+            let mut sorted = order.clone();
+            sorted.sort_unstable();
+            assert_eq!(sorted, (0..16).collect::<Vec<_>>(), "fuzz lost or duplicated a job");
+            any_permuted |= order != (0..16).collect::<Vec<_>>();
+        }
+        assert!(any_permuted, "4 seeded batches of 16 jobs all ran in identity order");
+
+        sanitizer::clear_schedule_seed();
+        assert_eq!(run_order(16), (0..16).collect::<Vec<_>>(), "cleared seed must restore FIFO");
     }
 
     #[test]

@@ -1,0 +1,68 @@
+//! Same-batch contention detection through the real pool: two jobs of one
+//! parallel batch acquiring the same `TrackedMutex` is an
+//! order-sensitivity hazard unless the site carries a reviewed
+//! `commutative` annotation.  Runs only under `--cfg detsan`.
+
+#![cfg(detsan)]
+
+use rayon::prelude::*;
+use sanitizer::TrackedMutex;
+
+#[test]
+fn unannotated_same_batch_contention_is_flagged() {
+    sanitizer::force_tracking(true);
+    let m = TrackedMutex::new(0u64, "test::contend-strict");
+    // Every chunk job of this batch bumps the same counter: maximally
+    // order-sensitive shared state.
+    (0..256usize).into_par_iter().for_each(|i| {
+        *m.lock() += i as u64;
+    });
+    assert_eq!(*m.lock(), 255 * 256 / 2, "the sum itself is still correct");
+
+    let findings = sanitizer::findings();
+    let hits: Vec<_> = findings
+        .iter()
+        .filter(|f| f.rule == "batch-order-sensitivity" && f.label == "test::contend-strict")
+        .collect();
+    assert_eq!(hits.len(), 1, "one finding per instance expected: {hits:?}");
+    assert!(hits[0].allow_reason.is_none(), "unannotated contention must be live");
+}
+
+#[test]
+fn commutative_annotated_contention_is_suppressed() {
+    sanitizer::force_tracking(true);
+    let m = TrackedMutex::new_commutative(
+        Vec::new(),
+        "test::contend-commut",
+        "append-only log; aggregation is order-insensitive",
+    );
+    (0..256usize).into_par_iter().for_each(|i| {
+        m.lock().push(i as u64);
+    });
+    assert_eq!(m.lock().len(), 256);
+
+    let findings = sanitizer::findings();
+    let hits: Vec<_> = findings.iter().filter(|f| f.label == "test::contend-commut").collect();
+    for f in &hits {
+        assert_eq!(f.rule, "batch-order-sensitivity", "unexpected finding: {f:?}");
+        assert!(
+            f.allow_reason.is_some(),
+            "commutative contention must be suppressed, not live: {f:?}"
+        );
+    }
+}
+
+#[test]
+fn disjoint_state_is_not_flagged() {
+    sanitizer::force_tracking(true);
+    // One mutex per slot: no two jobs of a batch share an instance.
+    let slots: Vec<TrackedMutex<u64>> =
+        (0..16).map(|_| TrackedMutex::new(0, "test::contend-disjoint")).collect();
+    slots.par_iter().enumerate().for_each(|(i, slot)| {
+        *slot.lock() += i as u64;
+    });
+    assert!(
+        !sanitizer::findings().iter().any(|f| f.label == "test::contend-disjoint"),
+        "per-instance state must not cross-flag between instances of one site"
+    );
+}

@@ -1,0 +1,97 @@
+//! Schedule-invariance property suite for the seeded worker-pool fuzzer.
+//!
+//! Compiled only under `--cfg detsan`.  When a schedule seed is installed
+//! (`sanitizer::set_schedule_seed`), the rayon shim's pool permutes the pop
+//! order of every submitted batch and injects submitter/worker handoffs.
+//! The determinism contract says results must not notice: every parallel
+//! reduction stores per-chunk partials *by chunk index* and merges them in
+//! index order, so `sum` / `reduce` / `collect` outputs must stay
+//! bit-identical no matter how the schedule is permuted.
+//!
+//! Lengths are drawn from `1..=4096`, which sweeps every chunk count the
+//! shim can produce (`len.clamp(1, NUM_CHUNKS)`, i.e. 1..=16) including the
+//! single-chunk and short-batch edge cases.  Across the fixed regression
+//! test and the property cases, well over 64 distinct fuzzed seeds are
+//! exercised per run.
+
+#![cfg(detsan)]
+
+use std::sync::{Mutex, PoisonError};
+
+use proptest::prelude::*;
+use rayon::prelude::*;
+use sanitizer::{clear_schedule_seed, set_schedule_seed};
+
+/// The schedule seed is process-global; serialise the tests in this binary
+/// so they cannot observe each other's seeds.
+static SEED_LOCK: Mutex<()> = Mutex::new(());
+
+/// Golden-ratio stride so consecutive `k` produce unrelated seeds.
+const SEED_STRIDE: u64 = 0x9E37_79B9_7F4A_7C15;
+
+fn bits(xs: &[f64]) -> Vec<u64> {
+    xs.iter().map(|x| x.to_bits()).collect()
+}
+
+/// `sum` through a non-trivial map — float addition is non-associative, so
+/// any chunk-merge-order change would show up in the bits.
+fn par_sum(data: &[f64]) -> u64 {
+    data.par_iter().map(|&x| x * 1.000_000_1 + 0.25).sum::<f64>().to_bits()
+}
+
+/// Explicit identity/op reduction over the raw values.
+fn par_reduce(data: &[f64]) -> u64 {
+    data.par_iter().map(|&x| x).reduce(|| 0.0, |a, b| a + b).to_bits()
+}
+
+/// Order-sensitive by construction: a permuted chunk concatenation would
+/// reorder elements, not just perturb a rounding term.
+fn par_collect(data: &[f64]) -> Vec<u64> {
+    bits(&data.par_iter().map(|&x| x.sin() * x).collect::<Vec<f64>>())
+}
+
+/// Fixed-input regression: one mid-size vector, 64 fuzzed schedules, all
+/// three reductions bit-identical to the unfuzzed FIFO baseline.
+#[test]
+fn fixed_input_bit_identical_across_64_fuzzed_schedules() {
+    let _guard = SEED_LOCK.lock().unwrap_or_else(PoisonError::into_inner);
+    clear_schedule_seed();
+    let data: Vec<f64> = (0..3000).map(|i| (i as f64 * 0.731).sin() / (i as f64 + 1.0)).collect();
+    let (want_sum, want_red, want_col) = (par_sum(&data), par_reduce(&data), par_collect(&data));
+
+    for k in 0..64u64 {
+        let seed = 0xC0FF_EE00_D15E_A5E5 ^ k.wrapping_mul(SEED_STRIDE);
+        set_schedule_seed(seed);
+        assert_eq!(par_sum(&data), want_sum, "sum diverged under schedule seed {seed:#x}");
+        assert_eq!(par_reduce(&data), want_red, "reduce diverged under schedule seed {seed:#x}");
+        assert_eq!(par_collect(&data), want_col, "collect diverged under schedule seed {seed:#x}");
+    }
+    clear_schedule_seed();
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Random data, random length (and therefore random chunk count), eight
+    /// fuzzed schedules per case derived from a random base seed.
+    #[test]
+    fn par_ops_bit_identical_under_fuzzed_schedules(
+        data in proptest::collection::vec(-1.0e3f64..1.0e3, 1..4096),
+        base_seed in 0u64..u64::MAX,
+    ) {
+        let _guard = SEED_LOCK.lock().unwrap_or_else(PoisonError::into_inner);
+        clear_schedule_seed();
+        let want_sum = par_sum(&data);
+        let want_red = par_reduce(&data);
+        let want_col = par_collect(&data);
+
+        for k in 0..8u64 {
+            let seed = base_seed ^ k.wrapping_mul(SEED_STRIDE);
+            set_schedule_seed(seed);
+            prop_assert!(par_sum(&data) == want_sum, "sum diverged under seed {:#x}", seed);
+            prop_assert!(par_reduce(&data) == want_red, "reduce diverged under seed {:#x}", seed);
+            prop_assert!(par_collect(&data) == want_col, "collect diverged under seed {:#x}", seed);
+        }
+        clear_schedule_seed();
+    }
+}
